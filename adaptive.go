@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/osn"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// PrecisionOptions configures EstimateToPrecision.
+type PrecisionOptions struct {
+	// TargetRelSE is the desired relative standard error (batch-means SE /
+	// estimate); the run stops once reached. Must be in (0, 1).
+	TargetRelSE float64
+	// MaxBudget caps total API calls as a fraction of |V| (default 0.25).
+	MaxBudget float64
+	// BurnIn, Seed as in EstimateOptions.
+	BurnIn int
+	Seed   int64
+}
+
+// PrecisionResult reports an adaptive estimation run.
+type PrecisionResult struct {
+	// Estimate is the final NeighborExploration-HH estimate of F.
+	Estimate float64
+	// RelSE is the achieved relative standard error.
+	RelSE float64
+	// Reached reports whether the target precision was met within budget.
+	Reached bool
+	// Samples and APICalls account the whole run.
+	Samples  int
+	APICalls int64
+	// Rounds is how many doubling rounds were executed.
+	Rounds int
+}
+
+// EstimateToPrecision runs NeighborExploration with a doubling schedule
+// until the batch-means relative standard error of the estimate drops below
+// the target or the budget cap is hit. This is the "how many API calls do I
+// actually need?" workflow: the theoretical bounds of Theorems 4.1–4.5
+// require knowing F and the T(u) profile in advance, which a crawler never
+// does, while the empirical SE is computable online from the walk itself.
+//
+// Each round continues the same walk (a fresh round doubles the cumulative
+// sample count), so no burn-in is re-paid.
+func EstimateToPrecision(g *Graph, pair LabelPair, opts PrecisionOptions) (PrecisionResult, error) {
+	var res PrecisionResult
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		return res, fmt.Errorf("repro: graph has no edges to sample")
+	}
+	if opts.TargetRelSE <= 0 || opts.TargetRelSE >= 1 {
+		return res, fmt.Errorf("repro: target relative SE must be in (0,1), got %g", opts.TargetRelSE)
+	}
+	maxBudget := opts.MaxBudget
+	if maxBudget <= 0 {
+		maxBudget = 0.25
+	}
+	maxCalls := int64(maxBudget * float64(g.NumNodes()))
+	if maxCalls < 100 {
+		maxCalls = 100
+	}
+	burn := opts.BurnIn
+	if burn <= 0 {
+		mixed, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
+			MaxSteps:   5000,
+			StartNodes: walk.DefaultMixingStarts(g, 4),
+		})
+		if err != nil {
+			return res, err
+		}
+		burn = mixed.Steps
+		if burn < 10 {
+			burn = 10
+		}
+	}
+
+	rng := stats.NewSeedSequence(opts.Seed).NextRand()
+
+	// Doubling schedule over the sample count. Each round is a fresh
+	// burned-in walk (so the Eq. 11 estimator stays exact over that round's
+	// sample); sampling-phase API calls accumulate across rounds, burn-in
+	// excluded per the paper's accounting.
+	k := 64
+	for {
+		res.Rounds++
+		s, err := osn.NewSession(g, osn.Config{})
+		if err != nil {
+			return res, err
+		}
+		copts := core.Options{BurnIn: burn, Rng: rng, Start: -1}
+		r, err := core.NeighborExploration(s, pair, k, copts)
+		if err != nil {
+			return res, err
+		}
+		res.Estimate = r.HH
+		res.Samples = r.Samples
+		res.APICalls += r.APICalls
+		if r.HHStdErr > 0 && r.HH > 0 {
+			res.RelSE = r.HHStdErr / r.HH
+			if res.RelSE <= opts.TargetRelSE {
+				res.Reached = true
+				return res, nil
+			}
+		} else {
+			res.RelSE = math.Inf(1)
+		}
+		if res.APICalls >= maxCalls {
+			return res, nil // budget exhausted; Reached stays false
+		}
+		k *= 2
+	}
+}

@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateToPrecisionReachesTarget(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := LabelPair{T1: 1, T2: 2}
+	res, err := EstimateToPrecision(g, pair, PrecisionOptions{
+		TargetRelSE: 0.10,
+		MaxBudget:   0.8,
+		BurnIn:      200,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("target precision not reached: relSE=%.3f after %d rounds", res.RelSE, res.Rounds)
+	}
+	if res.RelSE > 0.10 {
+		t.Errorf("RelSE = %.3f, want <= 0.10", res.RelSE)
+	}
+	truth := float64(CountTargetEdgesExact(g, pair))
+	if math.Abs(res.Estimate-truth)/truth > 0.5 {
+		t.Errorf("estimate %.0f wildly off truth %.0f", res.Estimate, truth)
+	}
+	if res.Rounds < 1 || res.Samples < 64 || res.APICalls <= 0 {
+		t.Errorf("accounting wrong: %+v", res)
+	}
+}
+
+func TestEstimateToPrecisionBudgetCap(t *testing.T) {
+	g, err := GenerateStandIn("pokec", 0.3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unreachably tight target with a tiny budget: must stop un-reached.
+	res, err := EstimateToPrecision(g, LabelPair{T1: 1, T2: 2}, PrecisionOptions{
+		TargetRelSE: 0.001,
+		MaxBudget:   0.02,
+		BurnIn:      100,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Error("0.1% relative SE should not be reachable at 2%|V| budget")
+	}
+	if res.APICalls == 0 {
+		t.Error("no API calls recorded")
+	}
+}
+
+func TestEstimateToPrecisionValidation(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.1, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateToPrecision(g, LabelPair{T1: 1, T2: 2}, PrecisionOptions{TargetRelSE: 0}); err == nil {
+		t.Error("want error for zero target")
+	}
+	if _, err := EstimateToPrecision(g, LabelPair{T1: 1, T2: 2}, PrecisionOptions{TargetRelSE: 1.5}); err == nil {
+		t.Error("want error for target >= 1")
+	}
+	empty, err := NewBuilder(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateToPrecision(empty, LabelPair{T1: 1, T2: 2}, PrecisionOptions{TargetRelSE: 0.1}); err == nil {
+		t.Error("want error for empty graph")
+	}
+}

@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/ tool into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "." // repo root (the package directory of this test)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIEndToEnd builds every command-line tool and exercises a realistic
+// workflow: generate a dataset to disk, discover its label pairs, estimate
+// one pair from the files, measure mixing, and regenerate a paper table.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	genosn := buildTool(t, dir, "genosn")
+	edgecount := buildTool(t, dir, "edgecount")
+	census := buildTool(t, dir, "census")
+	mixtime := buildTool(t, dir, "mixtime")
+	reproduce := buildTool(t, dir, "reproduce")
+
+	// 1. Generate a small dataset to disk.
+	prefix := filepath.Join(dir, "net")
+	out := run(t, genosn, "-dataset", "facebook", "-scale", "0.1", "-seed", "7", "-out", prefix, "-census", "2")
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("genosn output unexpected:\n%s", out)
+	}
+	for _, suffix := range []string{".edges", ".labels"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Fatalf("missing output file %s: %v", prefix+suffix, err)
+		}
+	}
+
+	// 2. Discover pairs on the stand-in.
+	out = run(t, census, "-dataset", "facebook", "-scale", "0.1", "-budget", "0.2", "-top", "3", "-seed", "7")
+	if !strings.Contains(out, "discovered") {
+		t.Fatalf("census output unexpected:\n%s", out)
+	}
+
+	// 3. Estimate the (1,2) pair from the on-disk files.
+	out = run(t, edgecount, "-edges", prefix+".edges", "-labels", prefix+".labels",
+		"-t1", "1", "-t2", "2", "-method", "NeighborExploration-HH", "-budget", "0.2", "-burnin", "100", "-seed", "3")
+	if !strings.Contains(out, "estimate F̂") || !strings.Contains(out, "exact F") {
+		t.Fatalf("edgecount output unexpected:\n%s", out)
+	}
+
+	// 4. Mixing time with the spectral bound.
+	out = run(t, mixtime, "-dataset", "facebook", "-scale", "0.1", "-eps", "1e-2", "-spectral")
+	if !strings.Contains(out, "mixing time") || !strings.Contains(out, "spectral gap") {
+		t.Fatalf("mixtime output unexpected:\n%s", out)
+	}
+
+	// 5. One paper table at smoke settings, with CSV export.
+	csvdir := filepath.Join(dir, "csv")
+	out = run(t, reproduce, "-table", "4", "-reps", "3", "-scale", "0.1", "-burnin", "100", "-csvdir", csvdir)
+	if !strings.Contains(out, "Table 4: facebook") {
+		t.Fatalf("reproduce output unexpected:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(csvdir, "table04.csv")); err != nil {
+		t.Fatalf("missing CSV export: %v", err)
+	}
+}

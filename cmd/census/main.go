@@ -1,0 +1,98 @@
+// Command census discovers which label pairs are common in a hidden graph
+// from a single random walk — the exploratory step before committing an API
+// budget to one pair with edgecount. Optionally compares against the exact
+// census when the full graph is available locally.
+//
+// Usage:
+//
+//	census -dataset pokec -budget 0.05 -top 15
+//	census -edges graph.txt -labels labels.txt -budget 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "synthetic stand-in to generate")
+		scale   = flag.Float64("scale", 1.0, "stand-in scale factor")
+		edges   = flag.String("edges", "", "edge list file (alternative to -dataset)")
+		labels  = flag.String("labels", "", "label file (with -edges)")
+		budget  = flag.Float64("budget", 0.05, "walk samples as a fraction of |V|")
+		top     = flag.Int("top", 20, "how many pairs to print")
+		seed    = flag.Int64("seed", 1, "random seed")
+		exactF  = flag.Bool("exact", true, "also print the exact counts for comparison")
+	)
+	flag.Parse()
+
+	if *dataset == "" && *edges == "" {
+		fmt.Fprintln(os.Stderr, "census: need -dataset or -edges")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var (
+		g   *repro.Graph
+		err error
+	)
+	if *dataset != "" {
+		g, err = repro.GenerateStandIn(*dataset, *scale, *seed)
+	} else {
+		g, err = repro.LoadGraph(*edges, *labels)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "census:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumNodes(), g.NumEdges())
+
+	pairs, err := repro.DiscoverLabelPairs(g, *budget, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "census:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("discovered %d label pairs from a %.1f%%|V| walk\n\n", len(pairs), *budget*100)
+
+	var truth map[graph.LabelPair]int64
+	if *exactF {
+		truth = make(map[graph.LabelPair]int64)
+		for _, pc := range exact.LabelPairCensus(g) {
+			truth[pc.Pair] = pc.Count
+		}
+	}
+
+	n := *top
+	if n > len(pairs) {
+		n = len(pairs)
+	}
+	if *exactF {
+		fmt.Println("pair          estimate      exact    rel.err")
+	} else {
+		fmt.Println("pair          estimate")
+	}
+	for _, pe := range pairs[:n] {
+		if *exactF {
+			tv := truth[pe.Pair]
+			relErr := 0.0
+			if tv > 0 {
+				relErr = (pe.Estimate - float64(tv)) / float64(tv)
+			}
+			fmt.Printf("%-12s %9.0f  %9d    %+6.1f%%\n", pe.Pair, pe.Estimate, tv, 100*relErr)
+		} else {
+			fmt.Printf("%-12s %9.0f\n", pe.Pair, pe.Estimate)
+		}
+	}
+	if *exactF {
+		missed := len(truth) - len(pairs)
+		if missed > 0 {
+			fmt.Printf("\n%d rare pairs never hit by the walk — estimate those with\n", missed)
+			fmt.Println("NeighborExploration (edgecount -method NeighborExploration-HH).")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command genosn generates a synthetic online social network stand-in and
+// writes it as a SNAP-style edge list plus a label file, so the other tools
+// (and external software) can consume it.
+//
+// Usage:
+//
+//	genosn -dataset pokec -scale 1.0 -seed 42 -out pokec
+//	  -> pokec.edges  pokec.labels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/exact"
+	"repro/internal/textio"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "pokec", "stand-in to generate (facebook, googleplus, pokec, orkut, livejournal)")
+		scale   = flag.Float64("scale", 1.0, "scale factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file prefix (default: dataset name)")
+		census  = flag.Int("census", 10, "print the N rarest and N most frequent label pairs (0 = skip)")
+	)
+	flag.Parse()
+
+	prefix := *out
+	if prefix == "" {
+		prefix = *dataset
+	}
+	g, err := repro.GenerateStandIn(*dataset, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genosn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated %s: |V|=%d |E|=%d max_deg=%d\n",
+		*dataset, g.NumNodes(), g.NumEdges(), exact.MaxDegree(g))
+
+	ef, err := os.Create(prefix + ".edges")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genosn:", err)
+		os.Exit(1)
+	}
+	defer ef.Close()
+	if err := textio.WriteEdgeList(ef, g); err != nil {
+		fmt.Fprintln(os.Stderr, "genosn:", err)
+		os.Exit(1)
+	}
+	lf, err := os.Create(prefix + ".labels")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genosn:", err)
+		os.Exit(1)
+	}
+	defer lf.Close()
+	if err := textio.WriteLabels(lf, g); err != nil {
+		fmt.Fprintln(os.Stderr, "genosn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s.edges and %s.labels\n", prefix, prefix)
+
+	if *census > 0 {
+		rows := exact.LabelPairCensus(g)
+		n := *census
+		if 2*n > len(rows) {
+			n = len(rows) / 2
+		}
+		fmt.Printf("\nlabel-pair census (%d pairs total):\n", len(rows))
+		fmt.Println("rarest:")
+		for _, pc := range rows[:n] {
+			fmt.Printf("  %v  F=%d  (%.4g%% of |E|)\n", pc.Pair, pc.Count, 100*float64(pc.Count)/float64(g.NumEdges()))
+		}
+		fmt.Println("most frequent:")
+		for _, pc := range rows[len(rows)-n:] {
+			fmt.Printf("  %v  F=%d  (%.4g%% of |E|)\n", pc.Pair, pc.Count, 100*float64(pc.Count)/float64(g.NumEdges()))
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// Method selects the estimation algorithm for EstimateTargetEdges.
+type Method string
+
+// The available methods. Auto picks between the paper's two algorithms with
+// a pilot walk, applying the paper's finding 4: NeighborSample when target
+// edges are abundant, NeighborExploration when they are rare.
+const (
+	Auto                  Method = "auto"
+	NeighborSampleHH      Method = "NeighborSample-HH"
+	NeighborSampleHT      Method = "NeighborSample-HT"
+	NeighborExplorationHH Method = "NeighborExploration-HH"
+	NeighborExplorationHT Method = "NeighborExploration-HT"
+	NeighborExplorationRW Method = "NeighborExploration-RW"
+	BaselineMethodRW      Method = "EX-RW"
+	BaselineMethodMHRW    Method = "EX-MHRW"
+	BaselineMethodMDRW    Method = "EX-MDRW"
+	BaselineMethodRCMH    Method = "EX-RCMH"
+	BaselineMethodGMD     Method = "EX-GMD"
+)
+
+// Methods returns every supported method name.
+func Methods() []Method {
+	return []Method{
+		Auto,
+		NeighborSampleHH, NeighborSampleHT,
+		NeighborExplorationHH, NeighborExplorationHT, NeighborExplorationRW,
+		BaselineMethodRW, BaselineMethodMHRW, BaselineMethodMDRW,
+		BaselineMethodRCMH, BaselineMethodGMD,
+	}
+}
+
+// EstimateOptions configures EstimateTargetEdges.
+type EstimateOptions struct {
+	// Method selects the algorithm; empty means Auto.
+	Method Method
+	// Budget is the sample size as a fraction of |V| (the paper's axis);
+	// 0 means 0.05, the paper's largest evaluated budget.
+	Budget float64
+	// Samples overrides Budget with an absolute sample count when positive.
+	Samples int
+	// BurnIn is the walk burn-in in steps; 0 means measure the mixing time
+	// T(1e-3) first (Section 5.1).
+	BurnIn int
+	// Seed drives all randomness.
+	Seed int64
+	// Alpha is the EX-RCMH control parameter (default 0.15).
+	Alpha float64
+	// Delta is the EX-GMD control parameter (default 0.5).
+	Delta float64
+}
+
+// Result reports one estimation run.
+type Result struct {
+	// Estimate is the estimated number of target edges F̂.
+	Estimate float64
+	// Method is the algorithm that produced the estimate (resolved from
+	// Auto when applicable).
+	Method Method
+	// Samples is the number of walk samples used.
+	Samples int
+	// APICalls is the number of charged API calls during sampling.
+	APICalls int64
+	// BurnIn is the burn-in that was applied.
+	BurnIn int
+}
+
+// EstimateTargetEdges estimates the number of target edges of g for pair
+// using only restricted API access internally. It is the library's
+// high-level entry point: it builds a session, resolves burn-in (measuring
+// the mixing time if not given), runs the chosen method and returns the
+// estimate with its API cost.
+func EstimateTargetEdges(g *Graph, pair LabelPair, opts EstimateOptions) (Result, error) {
+	var res Result
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		return res, fmt.Errorf("repro: graph has no edges to sample")
+	}
+	method := opts.Method
+	if method == "" {
+		method = Auto
+	}
+	k := opts.Samples
+	if k <= 0 {
+		budget := opts.Budget
+		if budget <= 0 {
+			budget = 0.05
+		}
+		k = int(math.Round(budget * float64(g.NumNodes())))
+		if k < 1 {
+			k = 1
+		}
+	}
+	burn := opts.BurnIn
+	if burn <= 0 {
+		mixed, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
+			MaxSteps:   5000,
+			StartNodes: walk.DefaultMixingStarts(g, 4),
+		})
+		if err != nil {
+			return res, err
+		}
+		burn = mixed.Steps
+		if burn < 10 {
+			burn = 10
+		}
+	}
+	res.BurnIn = burn
+	res.Samples = k
+
+	seq := stats.NewSeedSequence(opts.Seed)
+	rng := seq.NextRand()
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		return res, err
+	}
+
+	if method == Auto {
+		method = autoSelect(s, pair, k, burn, rng)
+		// Fresh session so the pilot's crawl cache does not subsidize the
+		// main run's accounting.
+		s, err = osn.NewSession(g, osn.Config{})
+		if err != nil {
+			return res, err
+		}
+	}
+	res.Method = method
+
+	copts := core.Options{BurnIn: burn, Rng: rng, Start: -1}
+	switch method {
+	case NeighborSampleHH, NeighborSampleHT:
+		r, err := core.NeighborSample(s, pair, k, copts)
+		if err != nil {
+			return res, err
+		}
+		res.APICalls = r.APICalls
+		if method == NeighborSampleHH {
+			res.Estimate = r.HH
+		} else {
+			res.Estimate = r.HT
+		}
+	case NeighborExplorationHH, NeighborExplorationHT, NeighborExplorationRW:
+		r, err := core.NeighborExploration(s, pair, k, copts)
+		if err != nil {
+			return res, err
+		}
+		res.APICalls = r.APICalls
+		switch method {
+		case NeighborExplorationHH:
+			res.Estimate = r.HH
+		case NeighborExplorationHT:
+			res.Estimate = r.HT
+		default:
+			res.Estimate = r.RW
+		}
+	case BaselineMethodRW, BaselineMethodMHRW, BaselineMethodMDRW, BaselineMethodRCMH, BaselineMethodGMD:
+		alpha := opts.Alpha
+		if alpha == 0 {
+			alpha = 0.15
+		}
+		delta := opts.Delta
+		if delta == 0 {
+			delta = 0.5
+		}
+		m := baseline.Method(string(method)[3:]) // strip "EX-"
+		r, err := baseline.Estimate(s, pair, m, k, baseline.Options{
+			BurnIn:     burn,
+			Rng:        rng,
+			Alpha:      alpha,
+			Delta:      delta,
+			MaxDegreeG: exact.MaxDegree(g),
+		})
+		if err != nil {
+			return res, err
+		}
+		res.APICalls = r.APICalls
+		res.Estimate = r.Estimate
+	default:
+		return res, fmt.Errorf("repro: unknown method %q (want one of %v)", method, Methods())
+	}
+	return res, nil
+}
+
+// PairEstimate is one row of an estimated label-pair census.
+type PairEstimate = core.PairEstimate
+
+// DiscoverLabelPairs estimates the counts of every label pair from one
+// random walk — the exploration step before committing a budget to a
+// specific pair. budget is the sample size as a fraction of |V| (0 means
+// 5%). Pairs are returned in descending estimated-count order; pairs the
+// walk never hit are absent (they are exactly the rare pairs that need a
+// dedicated NeighborExploration run).
+func DiscoverLabelPairs(g *Graph, budget float64, seed int64) ([]PairEstimate, error) {
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		return nil, fmt.Errorf("repro: graph has no edges to sample")
+	}
+	if budget <= 0 {
+		budget = 0.05
+	}
+	k := int(budget * float64(g.NumNodes()))
+	if k < 10 {
+		k = 10
+	}
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
+		MaxSteps:   5000,
+		StartNodes: walk.DefaultMixingStarts(g, 4),
+	})
+	if err != nil {
+		return nil, err
+	}
+	burn := mixed.Steps
+	if burn < 10 {
+		burn = 10
+	}
+	res, err := core.EstimateCensus(s, k, core.Options{
+		BurnIn: burn,
+		Rng:    stats.NewSeedSequence(seed).NextRand(),
+		Start:  -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Pairs, nil
+}
+
+// autoRareThreshold is the relative target-edge frequency below which Auto
+// prefers NeighborExploration. The paper's Figures 1–2 place the crossover
+// where targets stop being rare; 2% of |E| is a conservative reading.
+const autoRareThreshold = 0.02
+
+// autoSelect runs a short NeighborExploration pilot (a tenth of the budget)
+// to gauge F/|E| and picks the method the paper's findings 4–5 recommend:
+// NeighborSample-HT for abundant targets, NeighborExploration-HH for rare
+// ones.
+func autoSelect(s *osn.Session, pair graph.LabelPair, k, burn int, rng *rand.Rand) Method {
+	pilotK := k / 10
+	if pilotK < 20 {
+		pilotK = 20
+	}
+	r, err := core.NeighborExploration(s, pair, pilotK, core.Options{BurnIn: burn, Rng: rng, Start: -1})
+	if err != nil {
+		return NeighborExplorationHH // cheap safe default
+	}
+	frac := r.HH / float64(s.NumEdges())
+	if frac > autoRareThreshold {
+		return NeighborSampleHT
+	}
+	return NeighborExplorationHH
+}

@@ -1,0 +1,60 @@
+// No-priors pipeline: the paper assumes |V| and |E| are known ("obtained
+// from the OSN owner's reports or Internet") and defers to Katzir et al. /
+// Hardiman & Katzir when they are not. This example runs that full
+// fallback: estimate the network's size by random walk first, then feed the
+// estimated |V̂| and |Ê| into the target-edge estimators — touching the
+// graph only through the restricted API throughout.
+//
+// Run with: go run ./examples/nopriors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Pretend this is a network whose size nobody publishes.
+	g, err := repro.GenerateStandIn("facebook", 1.0, 1234)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: size estimation by collision counting.
+	nHat, eHat, err := repro.EstimateGraphSize(g, 0.2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("phase 1: estimate the size of the hidden network")
+	fmt.Printf("  |V̂| = %8.0f   (true %8d, error %+.1f%%)\n",
+		nHat, g.NumNodes(), 100*(nHat/float64(g.NumNodes())-1))
+	fmt.Printf("  |Ê| = %8.0f   (true %8d, error %+.1f%%)\n",
+		eHat, g.NumEdges(), 100*(eHat/float64(g.NumEdges())-1))
+
+	// Phase 2: estimate the female–male friendship count. The estimators
+	// scale linearly in |E| (NeighborSample/NeighborExploration-HH) or |V|
+	// (the RW variant), so the size-estimate error propagates
+	// proportionally — correct the raw estimate by the ratio.
+	pair := repro.LabelPair{T1: 1, T2: 2}
+	res, err := repro.EstimateTargetEdges(g, pair, repro.EstimateOptions{
+		Method: repro.NeighborExplorationHH,
+		Budget: 0.05,
+		Seed:   8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// res.Estimate used the exact |E| internally (the library's session
+	// carries it); rescale to what a crawler with only Ê would report.
+	noPrior := res.Estimate * eHat / float64(g.NumEdges())
+
+	truth := repro.CountTargetEdgesExact(g, pair)
+	fmt.Println("\nphase 2: estimate female-male friendships with the estimated priors")
+	fmt.Printf("  F̂ (exact priors)     = %8.0f\n", res.Estimate)
+	fmt.Printf("  F̂ (estimated priors) = %8.0f\n", noPrior)
+	fmt.Printf("  F  (ground truth)    = %8d\n", truth)
+	fmt.Printf("  end-to-end error with no prior knowledge: %+.1f%%\n",
+		100*(noPrior/float64(truth)-1))
+}

@@ -1,0 +1,159 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation (Section 5.1, "Adaptations of Existing Algorithms"): the five
+// random-walk node-share estimators reviewed or proposed by Li et al. [16]
+// — Re-weighted (RW), Metropolis–Hastings (MHRW), Maximum-Degree (MDRW),
+// Rejection-Controlled MH (RCMH, parameter α) and General Maximum-Degree
+// (GMD, parameter δ) — run over the implicit line graph G', where counting
+// target nodes of G' is counting target edges of G.
+//
+// Each estimator measures the stationary-weighted share of target states
+// visited by its walk and multiplies by |H| = |E|, the known size of G'.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/linegraph"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// Method names one of the five adapted algorithms, using the paper's
+// abbreviations (Table 2) without the EX- prefix.
+type Method string
+
+// The five baseline methods.
+const (
+	RW   Method = "RW"   // simple walk + re-weighted estimator
+	MHRW Method = "MHRW" // Metropolis–Hastings walk (uniform stationary)
+	MDRW Method = "MDRW" // maximum-degree walk (uniform stationary)
+	RCMH Method = "RCMH" // rejection-controlled MH, parameter alpha
+	GMD  Method = "GMD"  // general maximum-degree, parameter delta
+)
+
+// Methods returns all baseline methods in the paper's order.
+func Methods() []Method { return []Method{MDRW, MHRW, RW, RCMH, GMD} }
+
+// Options configures a baseline run.
+type Options struct {
+	// BurnIn is the number of line-graph walk steps discarded before
+	// sampling.
+	BurnIn int
+	// Rng drives all random choices. Required.
+	Rng *rand.Rand
+	// Alpha is the RCMH control parameter; Li et al. suggest [0, 0.3].
+	Alpha float64
+	// Delta is the GMD control parameter; Li et al. suggest [0.3, 0.7].
+	Delta float64
+	// MaxDegreeG upper-bounds the maximum degree of G; required by MDRW and
+	// GMD (prior knowledge, like |V| and |E|).
+	MaxDegreeG int
+	// BudgetDriven, when true, interprets k as an API-call budget rather
+	// than a step count, so baselines are charged in the same currency as
+	// the proposed algorithms (a line-graph transition touches two
+	// endpoints' neighbor lists).
+	BudgetDriven bool
+}
+
+// Result is the outcome of one baseline run.
+type Result struct {
+	// Estimate is the estimated number of target edges of G.
+	Estimate float64
+	// Samples is the number of retained walk states (k).
+	Samples int
+	// TargetHits is how many retained states were target edges.
+	TargetHits int
+	// APICalls is the number of charged API calls during sampling.
+	APICalls int64
+}
+
+// Estimate runs the chosen baseline for k line-graph walk steps and returns
+// the target-edge count estimate |E|·(weighted share of target states).
+func Estimate(s *osn.Session, pair graph.LabelPair, method Method, k int, opts Options) (Result, error) {
+	var res Result
+	if opts.Rng == nil {
+		return res, fmt.Errorf("baseline: Options.Rng is required")
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("baseline: need k > 0, got %d", k)
+	}
+	if opts.BurnIn < 0 {
+		return res, fmt.Errorf("baseline: negative burn-in %d", opts.BurnIn)
+	}
+
+	view := linegraph.View{S: s}
+	start, err := view.RandomEdge(opts.Rng)
+	if err != nil {
+		return res, err
+	}
+	w, err := newWalker(view, start, method, opts)
+	if err != nil {
+		return res, err
+	}
+	if err := walk.Burnin[graph.Edge](w, opts.BurnIn); err != nil {
+		return res, fmt.Errorf("baseline: %s burn-in: %w", method, err)
+	}
+	s.ResetAccounting()
+
+	rw := &estimate.Reweighted{}
+	maxIters := k
+	if opts.BudgetDriven {
+		maxIters = 50 * k
+	}
+	for i := 0; i < maxIters; i++ {
+		if opts.BudgetDriven && s.Calls() >= int64(k) {
+			break
+		}
+		e, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("baseline: %s step %d: %w", method, i, err)
+		}
+		res.Samples++
+		indicator := 0.0
+		if view.IsTarget(e, pair) {
+			indicator = 1
+			res.TargetHits++
+		}
+		weight, err := w.StationaryWeight(e)
+		if err != nil {
+			return res, err
+		}
+		if err := rw.Add(indicator, weight); err != nil {
+			return res, err
+		}
+	}
+	res.Estimate = rw.Ratio() * float64(s.NumEdges())
+	res.APICalls = s.Calls()
+	return res, nil
+}
+
+// newWalker builds the line-graph walker for the method.
+func newWalker(view linegraph.View, start graph.Edge, method Method, opts Options) (walk.Walker[graph.Edge], error) {
+	var sp walk.Space[graph.Edge] = view
+	switch method {
+	case RW:
+		return walk.NewSimple[graph.Edge](sp, start, opts.Rng), nil
+	case MHRW:
+		return walk.NewMetropolisHastings[graph.Edge](sp, start, opts.Rng), nil
+	case MDRW:
+		if opts.MaxDegreeG <= 0 {
+			return nil, fmt.Errorf("baseline: MDRW requires MaxDegreeG > 0")
+		}
+		return walk.NewMaxDegree[graph.Edge](sp, start, linegraph.MaxDegree(opts.MaxDegreeG), opts.Rng)
+	case RCMH:
+		return walk.NewRejectionControlledMH[graph.Edge](sp, start, opts.Alpha, opts.Rng)
+	case GMD:
+		if opts.MaxDegreeG <= 0 {
+			return nil, fmt.Errorf("baseline: GMD requires MaxDegreeG > 0")
+		}
+		if opts.Delta == 0 {
+			return nil, fmt.Errorf("baseline: GMD requires Delta in (0,1]")
+		}
+		return walk.NewGeneralMaxDegree[graph.Edge](sp, start, linegraph.MaxDegree(opts.MaxDegreeG), opts.Delta, opts.Rng)
+	default:
+		return nil, fmt.Errorf("baseline: unknown method %q (want one of %v)", method, Methods())
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+// Bounds holds the theoretical sample-size bounds of Theorems 4.1–4.5: the
+// smallest k each theorem guarantees yields an (ϵ, δ)-approximation of F.
+// Computing them requires full graph access (they depend on F and on the
+// exact T(u) profile), so they are analysis artifacts — the paper reports
+// them in Tables 18–22 and observes that empirically far fewer samples
+// suffice.
+type Bounds struct {
+	// NeighborSampleHH is the Theorem 4.1 bound.
+	NeighborSampleHH float64
+	// NeighborSampleHT is the Theorem 4.2 bound.
+	NeighborSampleHT float64
+	// NeighborExplorationHH is the Theorem 4.3 bound.
+	NeighborExplorationHH float64
+	// NeighborExplorationHT is the Theorem 4.4 bound.
+	NeighborExplorationHT float64
+	// NeighborExplorationRW is the Theorem 4.5 bound.
+	NeighborExplorationRW float64
+}
+
+// ComputeBounds evaluates Theorems 4.1–4.5 for the pair on g. It returns an
+// error when F = 0 (every bound divides by F) or the approximation
+// parameters are out of range.
+func ComputeBounds(g *graph.Graph, pair graph.LabelPair, approx estimate.Approx) (Bounds, error) {
+	var b Bounds
+	if err := approx.Validate(); err != nil {
+		return b, err
+	}
+	f := float64(exact.CountTargetEdges(g, pair))
+	if f == 0 {
+		return b, fmt.Errorf("core: bounds undefined for pair %v with F = 0", pair)
+	}
+	numEdges := float64(g.NumEdges())
+	numNodes := float64(g.NumNodes())
+	eps2 := approx.Eps * approx.Eps
+	delta := approx.Delta
+
+	// Theorem 4.1: k >= (Σ_X |E|·I(X) − F²) / (ϵ²·F²·δ).
+	// Σ_X |E|·I(X) = |E|·F, the second moment of the HH edge term.
+	b.NeighborSampleHH = math.Ceil((numEdges*f - f*f) / (eps2 * f * f * delta))
+
+	// Theorem 4.2: k >= max_e log((I(e)²+B)/B) / log(1/A(e)) with
+	// A = 1 − 1/|E| and B = δ·ϵ²·F²/|E|. Edges with I = 0 contribute 0, so
+	// the max is attained at any target edge.
+	{
+		bb := delta * eps2 * f * f / numEdges
+		a := 1 - 1/numEdges
+		b.NeighborSampleHT = math.Ceil(math.Log((1+bb)/bb) / math.Log(1/a))
+	}
+
+	tds := exact.TargetDegrees(g, pair)
+
+	// Theorem 4.3: k >= (Σ_u 2|E|·T(u)²/d(u) − 4F²) / (4·ϵ²·F²·δ).
+	{
+		var sum float64
+		for u, t := range tds {
+			if t == 0 {
+				continue
+			}
+			sum += 2 * numEdges * float64(t) * float64(t) / float64(g.Degree(graph.Node(u)))
+		}
+		v := (sum - 4*f*f) / (4 * eps2 * f * f * delta)
+		b.NeighborExplorationHH = ceilAtLeastOne(v)
+	}
+
+	// Theorem 4.4: k >= max_y log((T(y)²+B)/B) / log(1/A(y)) with
+	// A(y) = 1 − d(y)/2|E| and B = 4·δ·ϵ²·F²/|V|.
+	{
+		bb := 4 * delta * eps2 * f * f / numNodes
+		var worst float64
+		for u, t := range tds {
+			if t == 0 {
+				continue
+			}
+			piY := float64(g.Degree(graph.Node(u))) / (2 * numEdges)
+			need := math.Log((float64(t)*float64(t)+bb)/bb) / math.Log(1/(1-piY))
+			if need > worst {
+				worst = need
+			}
+		}
+		b.NeighborExplorationHT = math.Ceil(worst)
+	}
+
+	// Theorem 4.5: k >= max{ 18·(Σ_y T(y)²/π_y − 4F²)/(ϵ²·4F²·δ),
+	//                        18·(Σ_y 1/π_y − |V|²)/(ϵ²·|V|²·δ) }
+	// with π_y = d(y)/2|E|.
+	{
+		var sumT, sumInv float64
+		for u, t := range tds {
+			piY := float64(g.Degree(graph.Node(u))) / (2 * numEdges)
+			if piY > 0 {
+				sumInv += 1 / piY
+				sumT += float64(t) * float64(t) / piY
+			}
+		}
+		k1 := 18 * (sumT - 4*f*f) / (eps2 * 4 * f * f * delta)
+		k2 := 18 * (sumInv - numNodes*numNodes) / (eps2 * numNodes * numNodes * delta)
+		b.NeighborExplorationRW = math.Max(ceilAtLeastOne(k1), ceilAtLeastOne(k2))
+	}
+	return b, nil
+}
+
+// ceilAtLeastOne rounds v up, clamping below at 1: a variance term can be
+// analytically negative-or-zero (estimator already exact), in which case a
+// single sample trivially satisfies the guarantee.
+func ceilAtLeastOne(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return math.Ceil(v)
+}

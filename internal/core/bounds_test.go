@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func TestComputeBoundsValidation(t *testing.T) {
+	g := genderGraph(t, 31)
+	pair := graph.LabelPair{T1: 1, T2: 2}
+	if _, err := ComputeBounds(g, pair, estimate.Approx{Eps: 0, Delta: 0.1}); err == nil {
+		t.Error("want error for eps=0")
+	}
+	if _, err := ComputeBounds(g, graph.LabelPair{T1: 55, T2: 56}, estimate.Approx{Eps: 0.1, Delta: 0.1}); err == nil {
+		t.Error("want error for F=0")
+	}
+}
+
+func TestComputeBoundsPositive(t *testing.T) {
+	g := genderGraph(t, 32)
+	b, err := ComputeBounds(g, graph.LabelPair{T1: 1, T2: 2}, estimate.Approx{Eps: 0.1, Delta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"NS-HH": b.NeighborSampleHH,
+		"NS-HT": b.NeighborSampleHT,
+		"NE-HH": b.NeighborExplorationHH,
+		"NE-HT": b.NeighborExplorationHT,
+		"NE-RW": b.NeighborExplorationRW,
+	} {
+		if v < 1 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s bound = %g, want finite >= 1", name, v)
+		}
+	}
+}
+
+func TestBoundsTheorem41ClosedForm(t *testing.T) {
+	// Verify Theorem 4.1 against its closed form on a hand-built graph.
+	g := genderGraph(t, 33)
+	pair := graph.LabelPair{T1: 1, T2: 2}
+	approx := estimate.Approx{Eps: 0.2, Delta: 0.2}
+	b, err := ComputeBounds(g, pair, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := float64(exact.CountTargetEdges(g, pair))
+	e := float64(g.NumEdges())
+	want := math.Ceil((e*f - f*f) / (0.04 * f * f * 0.2))
+	if b.NeighborSampleHH != want {
+		t.Errorf("Theorem 4.1 bound = %g, want %g", b.NeighborSampleHH, want)
+	}
+}
+
+func TestBoundsShrinkWithLooserApprox(t *testing.T) {
+	g := genderGraph(t, 34)
+	pair := graph.LabelPair{T1: 1, T2: 2}
+	tight, err := ComputeBounds(g, pair, estimate.Approx{Eps: 0.05, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := ComputeBounds(g, pair, estimate.Approx{Eps: 0.3, Delta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.NeighborSampleHH >= tight.NeighborSampleHH {
+		t.Errorf("NS-HH bound did not shrink: %g -> %g", tight.NeighborSampleHH, loose.NeighborSampleHH)
+	}
+	if loose.NeighborExplorationHH >= tight.NeighborExplorationHH {
+		t.Errorf("NE-HH bound did not shrink: %g -> %g", tight.NeighborExplorationHH, loose.NeighborExplorationHH)
+	}
+	if loose.NeighborSampleHT >= tight.NeighborSampleHT {
+		t.Errorf("NS-HT bound did not shrink: %g -> %g", tight.NeighborSampleHT, loose.NeighborSampleHT)
+	}
+}
+
+func TestBoundsRareLabelsNeedMoreSamples(t *testing.T) {
+	// A rarer pair must demand more NeighborSample-HH samples: the bound is
+	// ~|E|/(F·eps²·delta), decreasing in F.
+	g := rareLabelGraph(t, 35)
+	census := exact.LabelPairCensus(g)
+	if len(census) < 2 {
+		t.Skip("not enough label pairs")
+	}
+	rare := census[0].Pair
+	common := census[len(census)-1].Pair
+	approx := estimate.Approx{Eps: 0.1, Delta: 0.1}
+	rb, err := ComputeBounds(g, rare, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := ComputeBounds(g, common, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.NeighborSampleHH <= cb.NeighborSampleHH {
+		t.Errorf("rare pair bound %g not above common pair bound %g",
+			rb.NeighborSampleHH, cb.NeighborSampleHH)
+	}
+}
+
+func TestBoundsNEHHBelowNSHHWhenExplorationPays(t *testing.T) {
+	// On the paper's Tables 18–22 the NeighborExploration-HH bound is well
+	// below the NeighborSample-HH bound for rare labels (exploration
+	// concentrates probability mass). Check that on the rare-label graph.
+	g := rareLabelGraph(t, 36)
+	census := exact.LabelPairCensus(g)
+	rare := census[0].Pair
+	b, err := ComputeBounds(g, rare, estimate.Approx{Eps: 0.1, Delta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NeighborExplorationHH >= b.NeighborSampleHH {
+		t.Errorf("NE-HH bound %g not below NS-HH bound %g for rare pair",
+			b.NeighborExplorationHH, b.NeighborSampleHH)
+	}
+}
+
+func TestCeilAtLeastOne(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-5, 1}, {0, 1}, {0.5, 1}, {1, 1}, {1.2, 2}, {7, 7},
+	}
+	for _, c := range cases {
+		if got := ceilAtLeastOne(c.in); got != c.want {
+			t.Errorf("ceilAtLeastOne(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBoundsEmpiricallySufficientForHH(t *testing.T) {
+	// The Chebyshev guarantee must hold: sampling k* edges yields an
+	// (eps, delta)-approx. Use a loose (0.5, 0.5) target to keep k* small,
+	// then verify the failure rate across repetitions stays below delta
+	// (with slack for simulation noise).
+	if testing.Short() {
+		t.Skip("empirical guarantee check is slow")
+	}
+	g := genderGraph(t, 37)
+	pair := graph.LabelPair{T1: 1, T2: 2}
+	approx := estimate.Approx{Eps: 0.5, Delta: 0.5}
+	b, err := ComputeBounds(g, pair, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := int(b.NeighborSampleHH)
+	truth := float64(exact.CountTargetEdges(g, pair))
+	fail := 0
+	const reps = 60
+	for i := 0; i < reps; i++ {
+		s := newSession(t, g)
+		res, err := NeighborSample(s, pair, k, DefaultOptions(150, newRng(int64(1000+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx.Holds(res.HH, truth) {
+			fail++
+		}
+	}
+	if rate := float64(fail) / reps; rate > approx.Delta+0.15 {
+		t.Errorf("failure rate %.2f exceeds delta %.2f (+slack)", rate, approx.Delta)
+	}
+}

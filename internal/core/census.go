@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/osn"
+)
+
+// PairEstimate is one row of an estimated label-pair census.
+type PairEstimate struct {
+	Pair graph.LabelPair
+	// Estimate is the estimated number of edges carrying the pair.
+	Estimate float64
+	// Hits is how many sampled edges carried the pair.
+	Hits int
+}
+
+// CensusResult is the outcome of EstimateCensus.
+type CensusResult struct {
+	// Pairs holds the estimated census, descending by estimate.
+	Pairs []PairEstimate
+	// Samples is the number of edges sampled.
+	Samples int
+	// APICalls is the number of charged API calls during sampling.
+	APICalls int64
+}
+
+// EstimateCensus estimates the counts of ALL label pairs simultaneously
+// from a single NeighborSample walk: every sampled edge is a uniform edge
+// sample, so each pair's count is estimated by |E|·hits(pair)/k — the
+// Hansen–Hurwitz estimator of Eq. 2 applied to every pair at once. Use it
+// to discover which label pairs are worth a dedicated estimation run when
+// no target pair is given a priori; rare pairs need a dedicated
+// NeighborExploration run to be pinned down (the paper's finding 4).
+//
+// An edge with multi-label endpoints contributes one hit to every label
+// pair it carries, matching exact.LabelPairCensus.
+func EstimateCensus(s *osn.Session, k int, opts Options) (CensusResult, error) {
+	var res CensusResult
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("core: EstimateCensus needs k > 0, got %d", k)
+	}
+	w, err := newBurnedInWalk(s, opts)
+	if err != nil {
+		return res, err
+	}
+
+	hits := make(map[graph.LabelPair]int)
+	seen := make(map[graph.LabelPair]struct{}, 8)
+	prev := w.Current()
+	maxIters := k
+	if opts.BudgetDriven {
+		maxIters = 50 * k
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		if opts.BudgetDriven && s.Calls() >= int64(k) {
+			break
+		}
+		cur, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("core: EstimateCensus step %d: %w", iter, err)
+		}
+		u, v := prev, cur
+		prev = cur
+		res.Samples++
+		clear(seen)
+		for _, a := range s.Labels(u) {
+			for _, b := range s.Labels(v) {
+				p := graph.LabelPair{T1: a, T2: b}.Canonical()
+				if _, dup := seen[p]; dup {
+					continue
+				}
+				seen[p] = struct{}{}
+				hits[p]++
+			}
+		}
+	}
+	if res.Samples == 0 {
+		return res, fmt.Errorf("core: EstimateCensus drew no samples")
+	}
+
+	numEdges := float64(s.NumEdges())
+	res.Pairs = make([]PairEstimate, 0, len(hits))
+	for p, h := range hits {
+		res.Pairs = append(res.Pairs, PairEstimate{
+			Pair:     p,
+			Estimate: numEdges * float64(h) / float64(res.Samples),
+			Hits:     h,
+		})
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i].Estimate != res.Pairs[j].Estimate {
+			return res.Pairs[i].Estimate > res.Pairs[j].Estimate
+		}
+		pi, pj := res.Pairs[i].Pair, res.Pairs[j].Pair
+		if pi.T1 != pj.T1 {
+			return pi.T1 < pj.T1
+		}
+		return pi.T2 < pj.T2
+	})
+	res.APICalls = s.Calls()
+	return res, nil
+}

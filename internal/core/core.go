@@ -1,0 +1,162 @@
+// Package core implements the paper's primary contribution: the
+// NeighborSample and NeighborExploration algorithms (Section 4) for
+// estimating F, the number of edges whose endpoints carry a given pair of
+// target labels, over a graph reachable only through neighbor-list API
+// calls.
+//
+// Both algorithms run a single simple random walk (the paper's optimized
+// implementation): burn-in erases the start bias, then the next k steps form
+// the sample. One walk feeds every estimator that the sampling process
+// admits simultaneously — HH and HT for NeighborSample; HH, HT and RW for
+// NeighborExploration — so experiments pay the API cost once per walk.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// CostModel sets how NeighborExploration's neighborhood exploration is
+// billed against the API budget. The paper's Algorithm 2 leaves this
+// implicit; real deployments differ in whether the friend-list response
+// already carries the friends' profile labels.
+type CostModel int
+
+const (
+	// ExploreFree charges nothing for exploration: the friend-list response
+	// carries each friend's labels (the literal reading of Algorithm 2,
+	// where a walk of k steps is k API calls).
+	ExploreFree CostModel = iota
+	// ExplorePerNode charges one extra API call the first time a node's
+	// neighborhood is explored (one profile-page fetch for the batch).
+	ExplorePerNode
+	// ExplorePerNeighbor charges one API call per not-yet-seen neighbor
+	// whose labels the exploration reads (a profile fetch per friend — the
+	// most expensive deployment).
+	ExplorePerNeighbor
+)
+
+// WalkKind selects the Markov chain driving the sampling processes.
+type WalkKind int
+
+const (
+	// WalkSimple is the paper's simple random walk.
+	WalkSimple WalkKind = iota
+	// WalkNonBacktracking is the non-backtracking walk of Lee et al. [14]
+	// (cited in the paper's related work as more efficient than the simple
+	// walk). Its stationary node distribution is still ∝ degree and its
+	// edge process is still uniform over edges, so every estimator in this
+	// package stays valid; the chain simply mixes faster.
+	WalkNonBacktracking
+)
+
+// Options configures one sampling run.
+type Options struct {
+	// BurnIn is the number of walk steps discarded before sampling begins —
+	// set it to (at least) the graph's mixing time, per Section 5.1.
+	BurnIn int
+	// ThinGap, when positive, retains only every ThinGap-th sample for the
+	// Horvitz–Thompson estimator, the independence heuristic of [11] with
+	// r = 2.5%·k. The paper's reported HT accuracy is only achievable using
+	// every sample (see EXPERIMENTS.md), so the default 0 means "use all";
+	// the ablation bench sweeps this knob.
+	ThinGap int
+	// Rng drives all random choices. Required.
+	Rng *rand.Rand
+	// Start, when non-negative, fixes the walk's start node; leave negative
+	// for a uniformly random start (burn-in erases the difference).
+	Start graph.Node
+	// Cost selects the exploration billing model for NeighborExploration;
+	// the zero value is ExploreFree.
+	Cost CostModel
+	// BudgetDriven, when true, interprets k as an API-call budget rather
+	// than a sample count: the walk keeps sampling until k calls have been
+	// charged (the paper's evaluation axis, "x%·|V| API calls"). When
+	// false, k is the number of samples, as in Algorithms 1 and 2.
+	BudgetDriven bool
+	// Walk selects the sampling chain; the zero value is the paper's
+	// simple random walk.
+	Walk WalkKind
+}
+
+// DefaultOptions returns Options with a random start and the given burn-in.
+func DefaultOptions(burnIn int, rng *rand.Rand) Options {
+	return Options{BurnIn: burnIn, Rng: rng, Start: -1}
+}
+
+func (o *Options) validate() error {
+	if o.Rng == nil {
+		return fmt.Errorf("core: Options.Rng is required")
+	}
+	if o.BurnIn < 0 {
+		return fmt.Errorf("core: negative burn-in %d", o.BurnIn)
+	}
+	if o.ThinGap < 0 {
+		return fmt.Errorf("core: negative thinning gap %d", o.ThinGap)
+	}
+	return nil
+}
+
+// startNode resolves the configured or random start node, rejecting
+// isolated nodes so the walk can always move.
+func startNode(s *osn.Session, o Options) (graph.Node, error) {
+	if o.Start >= 0 {
+		return o.Start, nil
+	}
+	for attempts := 0; attempts < 1000; attempts++ {
+		u := s.RandomNode(o.Rng)
+		d, err := s.Degree(u)
+		if err != nil {
+			return 0, err
+		}
+		if d > 0 {
+			return u, nil
+		}
+	}
+	return 0, fmt.Errorf("core: could not find a non-isolated start node")
+}
+
+// batchSE computes a batch-means standard error over per-sample estimator
+// terms, returning 0 when the sample is too small to batch reliably.
+func batchSE(terms []float64) float64 {
+	const batches = 20
+	if len(terms) < 2*batches {
+		return 0
+	}
+	se, err := stats.BatchMeansSE(terms, batches)
+	if err != nil {
+		return 0
+	}
+	return se
+}
+
+// newBurnedInWalk builds the configured walk over the session and runs
+// burn-in. Accounting is reset afterwards so reported API calls cover only
+// the sampling phase, matching how the paper charges sample size
+// ("the nodes or edges encountered in the random walk before the mixing
+// time are not included in the sample set").
+func newBurnedInWalk(s *osn.Session, o Options) (walk.Walker[graph.Node], error) {
+	start, err := startNode(s, o)
+	if err != nil {
+		return nil, err
+	}
+	var w walk.Walker[graph.Node]
+	switch o.Walk {
+	case WalkSimple:
+		w = walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, o.Rng)
+	case WalkNonBacktracking:
+		w = walk.NewNonBacktracking[graph.Node](walk.NodeSpace{S: s}, start, o.Rng)
+	default:
+		return nil, fmt.Errorf("core: unknown walk kind %d", o.Walk)
+	}
+	if err := walk.Burnin[graph.Node](w, o.BurnIn); err != nil {
+		return nil, fmt.Errorf("core: burn-in: %w", err)
+	}
+	s.ResetAccounting()
+	return w, nil
+}

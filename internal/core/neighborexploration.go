@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/osn"
+)
+
+// NeighborExplorationResult carries the outputs of one NeighborExploration
+// run (Algorithm 2 with the single-walk implementation of Section 4.2.2).
+type NeighborExplorationResult struct {
+	// HH is the Hansen–Hurwitz estimate of F (Eq. 11).
+	HH float64
+	// HHStdErr is a batch-means standard error for HH (see
+	// NeighborSampleResult.HHStdErr).
+	HHStdErr float64
+	// HT is the Horvitz–Thompson estimate of F (Eq. 13).
+	HT float64
+	// RW is the Re-weighted (importance sampling) estimate of F (Eq. 19).
+	RW float64
+	// Samples is the number of nodes sampled.
+	Samples int
+	// DistinctNodes is the number of distinct nodes feeding the HT
+	// estimator.
+	DistinctNodes int
+	// Explorations is how many sampled nodes carried a target label and had
+	// their neighborhoods explored (deduplicated per node).
+	Explorations int
+	// TargetEdgeMass is Σ T(u_i) over the sample — the total target-edge
+	// incidences observed.
+	TargetEdgeMass int64
+	// APICalls is the number of charged API calls in the sampling phase,
+	// including exploration surcharges per the cost model.
+	APICalls int64
+}
+
+// nodeSample is one retained walk position with its exploration outcome.
+type nodeSample struct {
+	u graph.Node
+	t int
+	d int
+}
+
+// NeighborExploration samples nodes via a single simple random walk; for
+// every sampled node carrying one of the target labels it explores the full
+// neighborhood and records T(u), the number of incident target edges. It
+// returns the HH, HT and RW estimates of F. Sampling probability of node u
+// per step is the stationary π(u) = d(u)/2|E| (Section 4.2).
+//
+// k is the number of samples, or the API-call budget when
+// opts.BudgetDriven is set; exploration is billed per opts.Cost.
+func NeighborExploration(s *osn.Session, pair graph.LabelPair, k int, opts Options) (NeighborExplorationResult, error) {
+	var res NeighborExplorationResult
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("core: NeighborExploration needs k > 0, got %d", k)
+	}
+	w, err := newBurnedInWalk(s, opts)
+	if err != nil {
+		return res, err
+	}
+
+	samples := make([]nodeSample, 0, k)
+	explored := make(map[graph.Node]bool)
+	maxIters := k
+	if opts.BudgetDriven {
+		maxIters = 50 * k
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		if opts.BudgetDriven && s.Calls() >= int64(k) {
+			break
+		}
+		u, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("core: NeighborExploration step %d: %w", iter, err)
+		}
+		d, err := s.Degree(u) // crawl-cache hit: the walk already fetched u
+		if err != nil {
+			return res, err
+		}
+		t, explores, err := targetDegree(s, u, pair)
+		if err != nil {
+			return res, err
+		}
+		if explores && !explored[u] {
+			explored[u] = true
+			res.Explorations++
+			// Bill the exploration per the cost model; the budget check at
+			// the top of the loop stops the walk once the surcharges have
+			// consumed the budget.
+			switch opts.Cost {
+			case ExplorePerNode:
+				err = s.ChargeFlat(1)
+			case ExplorePerNeighbor:
+				err = s.ChargeFlat(int64(d))
+			}
+			if err != nil {
+				return res, fmt.Errorf("core: NeighborExploration billing exploration of node %d: %w", u, err)
+			}
+		}
+		res.TargetEdgeMass += int64(t)
+		samples = append(samples, nodeSample{u: u, t: t, d: d})
+	}
+
+	numEdges := float64(s.NumEdges())
+	numNodes := float64(s.NumNodes())
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Node]()
+	rw := &estimate.Reweighted{}
+	retained := len(samples)
+	if opts.ThinGap > 1 {
+		retained = len(samples) / opts.ThinGap
+		if retained == 0 {
+			return res, fmt.Errorf("core: thinning gap %d leaves no samples out of %d", opts.ThinGap, len(samples))
+		}
+	}
+	hhTerms := make([]float64, 0, len(samples))
+	for i, sm := range samples {
+		res.Samples++
+		// HH (Eq. 11): average of |E|·T(u)/d(u); |E|/d(u) is the
+		// 1/(2·π(u)) factor with π(u) = d(u)/2|E|.
+		term := float64(sm.t) * numEdges / float64(sm.d)
+		hhTerms = append(hhTerms, term)
+		if err := hh.Add(term, 1); err != nil {
+			return res, err
+		}
+		// RW (Eq. 19): ratio of Σ T/d to 2·Σ 1/d, scaled by |V|.
+		if err := rw.Add(float64(sm.t), float64(sm.d)); err != nil {
+			return res, err
+		}
+		// HT (Eq. 13): distinct nodes, inclusion 1−(1−d(u)/2|E|)^m.
+		if opts.ThinGap <= 1 || i%opts.ThinGap == 0 {
+			incl := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), retained)
+			if err := ht.Add(sm.u, float64(sm.t), incl); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.HH = hh.Estimate()
+	res.HHStdErr = batchSE(hhTerms)
+	res.HT = ht.Estimate() / 2
+	res.RW = rw.Ratio() * numNodes / 2
+	res.DistinctNodes = ht.Distinct()
+	res.APICalls = s.Calls()
+	return res, nil
+}
+
+// targetDegree computes T(u) for the pair, exploring the neighborhood only
+// when u carries a target label (Algorithm 2, line 4): when u has neither
+// label no incident edge can be a target edge, so T(u) = 0 without any
+// exploration.
+func targetDegree(s *osn.Session, u graph.Node, pair graph.LabelPair) (int, bool, error) {
+	hasT1 := s.HasLabel(u, pair.T1)
+	hasT2 := s.HasLabel(u, pair.T2)
+	if !hasT1 && !hasT2 {
+		return 0, false, nil
+	}
+	ns, err := s.Neighbors(u)
+	if err != nil {
+		return 0, false, err
+	}
+	t := 0
+	for _, v := range ns {
+		if hasT1 && s.HasLabel(v, pair.T2) {
+			t++
+			continue
+		}
+		if hasT2 && s.HasLabel(v, pair.T1) {
+			t++
+		}
+	}
+	return t, true, nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// NeighborSampleResult carries the outputs of one NeighborSample run
+// (Algorithm 1 with the single-walk implementation of Section 4.1.2).
+type NeighborSampleResult struct {
+	// HH is the Hansen–Hurwitz estimate of F (Eq. 2).
+	HH float64
+	// HHStdErr is a batch-means standard error for HH, accounting for the
+	// serial correlation of walk samples. Zero when the sample is too small
+	// to batch (fewer than 40 draws). It lets a caller attach an error bar
+	// without knowing the ground truth.
+	HHStdErr float64
+	// HT is the Horvitz–Thompson estimate of F (Eq. 3).
+	HT float64
+	// Samples is the number of edges sampled.
+	Samples int
+	// DistinctEdges is the number of distinct edges feeding the HT
+	// estimator.
+	DistinctEdges int
+	// TargetHits is how many sampled edges were target edges.
+	TargetHits int
+	// APICalls is the number of charged API calls in the sampling phase.
+	APICalls int64
+}
+
+// edgeSample is one retained walk transition.
+type edgeSample struct {
+	e      graph.Edge
+	target bool
+}
+
+// NeighborSample samples edges via a single simple random walk and returns
+// the HH and HT estimates of F for the target pair. Each post-burn-in walk
+// step traverses one edge, and that edge is a uniform sample from E
+// (Section 4.1.2): the walk is at u with probability d(u)/2|E| and picks a
+// specific neighbor with probability 1/d(u), and the edge can be entered
+// from either side, so each edge has probability 2·(1/2|E|) = 1/|E|.
+//
+// k is the number of samples, or the API-call budget when
+// opts.BudgetDriven is set (the paper's evaluation axis).
+func NeighborSample(s *osn.Session, pair graph.LabelPair, k int, opts Options) (NeighborSampleResult, error) {
+	var res NeighborSampleResult
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("core: NeighborSample needs k > 0, got %d", k)
+	}
+	w, err := newBurnedInWalk(s, opts)
+	if err != nil {
+		return res, err
+	}
+
+	samples := make([]edgeSample, 0, k)
+	prev := w.Current()
+	// In budget-driven mode cache hits are free, so the walk may take more
+	// steps than k; the iteration cap prevents spinning once the whole
+	// graph is cached.
+	maxIters := k
+	if opts.BudgetDriven {
+		maxIters = 50 * k
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		if opts.BudgetDriven && s.Calls() >= int64(k) {
+			break
+		}
+		cur, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("core: NeighborSample step %d: %w", iter, err)
+		}
+		e := graph.Edge{U: prev, V: cur}.Canonical()
+		prev = cur
+		target := s.HasLabel(e.U, pair.T1) && s.HasLabel(e.V, pair.T2) ||
+			s.HasLabel(e.U, pair.T2) && s.HasLabel(e.V, pair.T1)
+		samples = append(samples, edgeSample{e: e, target: target})
+	}
+
+	numEdges := float64(s.NumEdges())
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Edge]()
+	retained := len(samples)
+	if opts.ThinGap > 1 {
+		retained = len(samples) / opts.ThinGap
+		if retained == 0 {
+			return res, fmt.Errorf("core: thinning gap %d leaves no samples out of %d", opts.ThinGap, len(samples))
+		}
+	}
+	incl := estimate.InclusionProbability(1/numEdges, retained)
+	hhTerms := make([]float64, 0, len(samples))
+	for i, sm := range samples {
+		res.Samples++
+		indicator := 0.0
+		if sm.target {
+			indicator = 1
+			res.TargetHits++
+		}
+		// HH term: I(X_i)/π(X_i) with π = 1/|E| (uniform edge sample).
+		term := indicator * numEdges
+		hhTerms = append(hhTerms, term)
+		if err := hh.Add(term, 1); err != nil {
+			return res, err
+		}
+		if opts.ThinGap <= 1 || i%opts.ThinGap == 0 {
+			if err := ht.Add(sm.e, indicator, incl); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.HH = hh.Estimate()
+	res.HHStdErr = batchSE(hhTerms)
+	res.HT = ht.Estimate()
+	res.DistinctEdges = ht.Distinct()
+	res.APICalls = s.Calls()
+	return res, nil
+}
+
+// NeighborSampleIndependent is the textbook Algorithm 1: k independent
+// random-walk restarts, each burning in separately before drawing one edge.
+// It exists to quantify (in the ablation bench) how much API cost the
+// paper's single-walk implementation saves; estimates are identical in
+// distribution. k is always a sample count here.
+func NeighborSampleIndependent(s *osn.Session, pair graph.LabelPair, k int, opts Options) (NeighborSampleResult, error) {
+	var res NeighborSampleResult
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("core: NeighborSampleIndependent needs k > 0, got %d", k)
+	}
+	numEdges := float64(s.NumEdges())
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Edge]()
+	incl := estimate.InclusionProbability(1/numEdges, k)
+	s.ResetAccounting()
+	for i := 0; i < k; i++ {
+		// Fresh walk with full burn-in every iteration; unlike the
+		// single-walk variant, the burn-in cost is charged, because paying
+		// it k times over is exactly what this variant exists to measure.
+		start, err := startNode(s, opts)
+		if err != nil {
+			return res, err
+		}
+		w := walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, opts.Rng)
+		if err := walk.Burnin[graph.Node](w, opts.BurnIn); err != nil {
+			return res, fmt.Errorf("core: NeighborSampleIndependent burn-in %d: %w", i, err)
+		}
+		u := w.Current()
+		v, err := w.Step() // one more step: uniform neighbor of u
+		if err != nil {
+			return res, fmt.Errorf("core: NeighborSampleIndependent draw %d: %w", i, err)
+		}
+		e := graph.Edge{U: u, V: v}.Canonical()
+		res.Samples++
+		indicator := 0.0
+		if s.HasLabel(e.U, pair.T1) && s.HasLabel(e.V, pair.T2) ||
+			s.HasLabel(e.U, pair.T2) && s.HasLabel(e.V, pair.T1) {
+			indicator = 1
+			res.TargetHits++
+		}
+		if err := hh.Add(indicator*numEdges, 1); err != nil {
+			return res, err
+		}
+		if err := ht.Add(e, indicator, incl); err != nil {
+			return res, err
+		}
+	}
+	res.HH = hh.Estimate()
+	res.HT = ht.Estimate()
+	res.DistinctEdges = ht.Distinct()
+	res.APICalls = s.Calls()
+	return res, nil
+}

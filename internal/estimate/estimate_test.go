@@ -1,0 +1,260 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHansenHurwitzExactOnUniform(t *testing.T) {
+	// Population {1..10}, total 55, uniform draws with p = 1/10: the
+	// estimator Σ(y/p)/k must be unbiased; with every unit drawn once it is
+	// exact.
+	hh := &HansenHurwitz{}
+	for y := 1; y <= 10; y++ {
+		if err := hh.Add(float64(y), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := hh.Estimate(); math.Abs(got-55) > 1e-9 {
+		t.Errorf("estimate = %g, want 55", got)
+	}
+	if hh.N() != 10 {
+		t.Errorf("N = %d, want 10", hh.N())
+	}
+}
+
+func TestHansenHurwitzUnbiasedUnderUnequalProbabilities(t *testing.T) {
+	// Population values y_i = i for i in 1..4, drawn with p ∝ i. The HH
+	// estimator must average to Σy = 10 over many draws.
+	values := []float64{1, 2, 3, 4}
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	rng := rand.New(rand.NewSource(1))
+	hh := &HansenHurwitz{}
+	for i := 0; i < 200000; i++ {
+		r := rng.Float64()
+		idx := 0
+		acc := probs[0]
+		for r > acc && idx < 3 {
+			idx++
+			acc += probs[idx]
+		}
+		if err := hh.Add(values[idx], probs[idx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := hh.Estimate(); math.Abs(got-10) > 0.1 {
+		t.Errorf("estimate = %g, want ~10", got)
+	}
+}
+
+func TestHansenHurwitzEmptyIsNaN(t *testing.T) {
+	hh := &HansenHurwitz{}
+	if !math.IsNaN(hh.Estimate()) {
+		t.Error("empty estimator should be NaN")
+	}
+}
+
+func TestHansenHurwitzRejectsBadProb(t *testing.T) {
+	hh := &HansenHurwitz{}
+	if err := hh.Add(1, 0); err == nil {
+		t.Error("want error for p=0")
+	}
+	if err := hh.Add(1, -0.5); err == nil {
+		t.Error("want error for negative p")
+	}
+}
+
+func TestHorvitzThompsonDeduplicates(t *testing.T) {
+	ht := NewHorvitzThompson[int]()
+	if err := ht.Add(1, 5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Add(1, 5, 0.5); err != nil { // duplicate unit
+		t.Fatal(err)
+	}
+	if err := ht.Add(2, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if ht.Distinct() != 2 {
+		t.Errorf("Distinct = %d, want 2", ht.Distinct())
+	}
+	if got := ht.Estimate(); math.Abs(got-16) > 1e-9 { // 5/0.5 + 3/0.5
+		t.Errorf("estimate = %g, want 16", got)
+	}
+}
+
+func TestHorvitzThompsonEmptyIsZero(t *testing.T) {
+	ht := NewHorvitzThompson[string]()
+	if ht.Estimate() != 0 {
+		t.Error("empty HT estimate should be 0")
+	}
+}
+
+func TestHorvitzThompsonRejectsBadInclusion(t *testing.T) {
+	ht := NewHorvitzThompson[int]()
+	if err := ht.Add(1, 1, 0); err == nil {
+		t.Error("want error for incl=0")
+	}
+	if err := ht.Add(1, 1, 1.5); err == nil {
+		t.Error("want error for incl>1")
+	}
+}
+
+func TestHorvitzThompsonUnbiasedOnBernoulliSampling(t *testing.T) {
+	// Each unit i in 1..20 independently enters the sample with p=0.3;
+	// estimator must average to the total 210.
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	const reps = 20000
+	for r := 0; r < reps; r++ {
+		ht := NewHorvitzThompson[int]()
+		for i := 1; i <= 20; i++ {
+			if rng.Float64() < 0.3 {
+				if err := ht.Add(i, float64(i), 0.3); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sum += ht.Estimate()
+	}
+	mean := sum / reps
+	if math.Abs(mean-210) > 2 {
+		t.Errorf("mean estimate %.2f, want ~210", mean)
+	}
+}
+
+func TestReweightedRatio(t *testing.T) {
+	rw := &Reweighted{}
+	if err := rw.Add(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Add(6, 2); err != nil {
+		t.Fatal(err)
+	}
+	// num = 2/1 + 6/2 = 5; den = 1 + 0.5 = 1.5; ratio = 10/3.
+	if got := rw.Ratio(); math.Abs(got-10.0/3) > 1e-12 {
+		t.Errorf("ratio = %g, want 10/3", got)
+	}
+	if rw.N() != 2 {
+		t.Errorf("N = %d, want 2", rw.N())
+	}
+}
+
+func TestReweightedEmptyIsNaN(t *testing.T) {
+	rw := &Reweighted{}
+	if !math.IsNaN(rw.Ratio()) {
+		t.Error("empty ratio should be NaN")
+	}
+}
+
+func TestReweightedRejectsBadWeight(t *testing.T) {
+	rw := &Reweighted{}
+	if err := rw.Add(1, 0); err == nil {
+		t.Error("want error for w=0")
+	}
+	if err := rw.Add(1, -1); err == nil {
+		t.Error("want error for negative w")
+	}
+}
+
+func TestReweightedCorrectsSamplingBias(t *testing.T) {
+	// Draw items with probability ∝ weight, estimate the plain mean of y
+	// via the self-normalized ratio: must match the unweighted mean.
+	values := []float64{10, 20, 30, 40}
+	weights := []float64{4, 3, 2, 1}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	rng := rand.New(rand.NewSource(3))
+	rw := &Reweighted{}
+	for i := 0; i < 300000; i++ {
+		r := rng.Float64() * total
+		idx := 0
+		acc := weights[0]
+		for r > acc && idx < 3 {
+			idx++
+			acc += weights[idx]
+		}
+		if err := rw.Add(values[idx], weights[idx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rw.Ratio(); math.Abs(got-25) > 0.3 {
+		t.Errorf("ratio = %g, want ~25 (unweighted mean)", got)
+	}
+}
+
+func TestInclusionProbability(t *testing.T) {
+	cases := []struct {
+		p    float64
+		k    int
+		want float64
+	}{
+		{0.5, 1, 0.5},
+		{0.5, 2, 0.75},
+		{1, 5, 1},
+		{0, 5, 0},
+		{0.1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := InclusionProbability(c.p, c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("InclusionProbability(%g,%d) = %g, want %g", c.p, c.k, got, c.want)
+		}
+	}
+}
+
+func TestInclusionProbabilityNumericalStability(t *testing.T) {
+	// Tiny p, large k: 1-(1-p)^k must not collapse to 0 or round badly.
+	got := InclusionProbability(1e-12, 1000)
+	want := 1e-9 // ≈ kp for kp << 1
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("got %g, want ~%g", got, want)
+	}
+}
+
+func TestInclusionProbabilityMonotoneProperty(t *testing.T) {
+	f := func(pRaw uint8, k1, k2 uint8) bool {
+		p := (float64(pRaw) + 1) / 300 // (0, 0.85]
+		a, b := int(k1%100)+1, int(k2%100)+1
+		if a > b {
+			a, b = b, a
+		}
+		return InclusionProbability(p, a) <= InclusionProbability(p, b)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxValidate(t *testing.T) {
+	if err := (Approx{Eps: 0.1, Delta: 0.1}).Validate(); err != nil {
+		t.Errorf("valid approx rejected: %v", err)
+	}
+	bad := []Approx{
+		{Eps: 0, Delta: 0.1},
+		{Eps: 1.5, Delta: 0.1},
+		{Eps: 0.1, Delta: 0},
+		{Eps: 0.1, Delta: 1},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("invalid approx %+v accepted", a)
+		}
+	}
+}
+
+func TestApproxHolds(t *testing.T) {
+	a := Approx{Eps: 0.1, Delta: 0.1}
+	if !a.Holds(105, 100) {
+		t.Error("105 within 10% of 100")
+	}
+	if a.Holds(115, 100) {
+		t.Error("115 not within 10% of 100")
+	}
+	if !a.Holds(-95, -100) {
+		t.Error("negative truth handling wrong")
+	}
+}

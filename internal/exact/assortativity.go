@@ -1,0 +1,93 @@
+package exact
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// DegreeAssortativity returns the Pearson correlation of the degrees at the
+// two ends of an edge (Newman's r): positive for social-network-like
+// assortative mixing, negative for hub-and-spoke structures. Used to
+// characterize how close a synthetic stand-in sits to the real dataset it
+// replaces. Returns 0 for graphs with no degree variation.
+func DegreeAssortativity(g *graph.Graph) float64 {
+	var n float64
+	var sumXY, sumX, sumY, sumX2, sumY2 float64
+	g.Edges(func(u, v graph.Node) bool {
+		// Count each edge in both orientations so the measure is symmetric.
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		for _, p := range [2][2]float64{{du, dv}, {dv, du}} {
+			x, y := p[0], p[1]
+			n++
+			sumXY += x * y
+			sumX += x
+			sumY += y
+			sumX2 += x * x
+			sumY2 += y * y
+		}
+		return true
+	})
+	if n == 0 {
+		return 0
+	}
+	cov := sumXY/n - (sumX/n)*(sumY/n)
+	varX := sumX2/n - (sumX/n)*(sumX/n)
+	varY := sumY2/n - (sumY/n)*(sumY/n)
+	if varX <= 0 || varY <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(varX*varY)
+}
+
+// LabelAssortativity returns the label homophily of g for single-label
+// nodes: the observed fraction of same-label edges minus the fraction
+// expected if labels were shuffled onto the degree sequence, normalized to
+// [-1, 1] (the categorical assortativity coefficient). Nodes with zero or
+// multiple labels contribute their first label; unlabeled nodes are
+// skipped.
+func LabelAssortativity(g *graph.Graph) float64 {
+	// e[ab] = fraction of edge endpoints (a at one end, b at the other).
+	type key struct{ a, b graph.Label }
+	e := make(map[key]float64)
+	aDist := make(map[graph.Label]float64)
+	var total float64
+	g.Edges(func(u, v graph.Node) bool {
+		lu, lv := firstLabel(g, u), firstLabel(g, v)
+		if lu < 0 || lv < 0 {
+			return true
+		}
+		e[key{lu, lv}]++
+		e[key{lv, lu}]++
+		aDist[lu]++
+		aDist[lv]++
+		total += 2
+		return true
+	})
+	if total == 0 {
+		return 0
+	}
+	var same, expected float64
+	for k, c := range e {
+		if k.a == k.b {
+			same += c / total
+		}
+	}
+	for _, c := range aDist {
+		p := c / total
+		expected += p * p
+	}
+	if expected >= 1 {
+		return 0
+	}
+	return (same - expected) / (1 - expected)
+}
+
+// firstLabel returns a node's first label or -1 when unlabeled.
+func firstLabel(g *graph.Graph, u graph.Node) graph.Label {
+	ls := g.Labels(u)
+	if len(ls) == 0 {
+		return -1
+	}
+	return ls[0]
+}

@@ -1,0 +1,162 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDegreeAssortativityStar(t *testing.T) {
+	// A star is maximally disassortative: every edge joins degree n-1 to
+	// degree 1, so r = -1... with only two degree values it comes out -1.
+	b := graph.NewBuilder(6)
+	for i := 1; i < 6; i++ {
+		if err := b.AddEdge(0, graph.Node(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := DegreeAssortativity(g); r > -0.99 {
+		t.Errorf("star assortativity = %.3f, want -1", r)
+	}
+}
+
+func TestDegreeAssortativityRegular(t *testing.T) {
+	// A cycle is regular: no degree variance, defined as 0.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		if err := b.AddEdge(graph.Node(i), graph.Node((i+1)%6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := DegreeAssortativity(g); r != 0 {
+		t.Errorf("regular graph assortativity = %.3f, want 0", r)
+	}
+}
+
+func TestDegreeAssortativityRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		g, err := gen.BarabasiAlbert(200+rng.Intn(200), 2+rng.Intn(3), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := DegreeAssortativity(g)
+		if r < -1-1e-9 || r > 1+1e-9 || math.IsNaN(r) {
+			t.Fatalf("assortativity %.3f out of [-1,1]", r)
+		}
+	}
+}
+
+func TestLabelAssortativityHomophilous(t *testing.T) {
+	// Two cliques with distinct labels, one bridge: strongly homophilous.
+	b := graph.NewBuilder(8)
+	for u := graph.Node(0); u < 4; u++ {
+		if err := b.SetLabels(u, 1); err != nil {
+			t.Fatal(err)
+		}
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for u := graph.Node(4); u < 8; u++ {
+		if err := b.SetLabels(u, 2); err != nil {
+			t.Fatal(err)
+		}
+		for v := u + 1; v < 8; v++ {
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.AddEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := LabelAssortativity(g); r < 0.7 {
+		t.Errorf("two-clique assortativity = %.3f, want > 0.7", r)
+	}
+}
+
+func TestLabelAssortativityHeterophilous(t *testing.T) {
+	// Complete bipartite K3,3 with labels = sides: r = -1.
+	b := graph.NewBuilder(6)
+	for u := graph.Node(0); u < 3; u++ {
+		if err := b.SetLabels(u, 1); err != nil {
+			t.Fatal(err)
+		}
+		for v := graph.Node(3); v < 6; v++ {
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for v := graph.Node(3); v < 6; v++ {
+		if err := b.SetLabels(v, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := LabelAssortativity(g); r > -0.99 {
+		t.Errorf("K3,3 assortativity = %.3f, want -1", r)
+	}
+}
+
+func TestLabelAssortativityRandomNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g0, err := gen.ErdosRenyi(2000, 6000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Apply(g0, &gen.GenderLabeler{PFemale: 0.5, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := LabelAssortativity(g); math.Abs(r) > 0.05 {
+		t.Errorf("random labels assortativity = %.3f, want ~0", r)
+	}
+}
+
+func TestLabelAssortativityUnlabeled(t *testing.T) {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := LabelAssortativity(g); r != 0 {
+		t.Errorf("unlabeled graph assortativity = %.3f, want 0", r)
+	}
+}
+
+func TestGenderStandInsAreAssortative(t *testing.T) {
+	// The ego-net gender stand-ins exist to create mixing heterogeneity:
+	// community-skewed genders must show positive label assortativity.
+	g, err := gen.Build(gen.Facebook, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := LabelAssortativity(g); r < 0.02 {
+		t.Errorf("facebook stand-in label assortativity = %.3f, want clearly positive", r)
+	}
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteSweepCSV writes a SweepResult as CSV — one row per algorithm, one
+// column per sample fraction — for external plotting tools.
+func WriteSweepCSV(w io.Writer, r *SweepResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"algorithm"}
+	for _, f := range r.Fraction {
+		header = append(header, strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: writing sweep CSV: %w", err)
+	}
+	for _, a := range AllAlgorithms() {
+		row, ok := r.NRMSE[a]
+		if !ok {
+			continue
+		}
+		record := []string{string(a)}
+		for _, v := range row {
+			record = append(record, strconv.FormatFloat(v, 'g', 6, 64))
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("experiment: writing sweep CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiment: writing sweep CSV: %w", err)
+	}
+	return nil
+}
+
+// WriteFrequencyCSV writes Figure 1/2 points as CSV — one row per label
+// pair sorted by relative count, one column per algorithm.
+func WriteFrequencyCSV(w io.Writer, points []FrequencyPoint, algs []Algorithm) error {
+	if len(algs) == 0 {
+		algs = ProposedAlgorithms()
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"pair", "count", "relative_count"}
+	for _, a := range algs {
+		header = append(header, string(a))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: writing frequency CSV: %w", err)
+	}
+	sorted := append([]FrequencyPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RelativeCount < sorted[j].RelativeCount })
+	for _, p := range sorted {
+		record := []string{
+			p.Pair.String(),
+			strconv.FormatInt(p.Count, 10),
+			strconv.FormatFloat(p.RelativeCount, 'g', 6, 64),
+		}
+		for _, a := range algs {
+			record = append(record, strconv.FormatFloat(p.NRMSE[a], 'g', 6, 64))
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("experiment: writing frequency CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiment: writing frequency CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestWriteSweepCSV(t *testing.T) {
+	g := genderGraph(t, 31)
+	res, err := RunSweep(SweepConfig{
+		Graph:      g,
+		Pair:       graph.LabelPair{T1: 1, T2: 2},
+		Fractions:  []float64{0.02, 0.05},
+		Reps:       3,
+		Algorithms: []Algorithm{NSHH, NEHH},
+		Params:     RunParams{BurnIn: 50},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 algorithms
+		t.Fatalf("got %d records, want 3", len(records))
+	}
+	if records[0][0] != "algorithm" || records[0][1] != "0.02" {
+		t.Errorf("header wrong: %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != 3 {
+			t.Errorf("record %v has %d fields, want 3", rec, len(rec))
+		}
+	}
+}
+
+func TestWriteFrequencyCSV(t *testing.T) {
+	points := []FrequencyPoint{
+		{
+			Pair: graph.LabelPair{T1: 1, T2: 2}, Count: 50, RelativeCount: 0.01,
+			NRMSE: map[Algorithm]float64{NSHH: 0.5, NEHH: 0.2},
+		},
+		{
+			Pair: graph.LabelPair{T1: 3, T2: 4}, Count: 5, RelativeCount: 0.001,
+			NRMSE: map[Algorithm]float64{NSHH: 2.0, NEHH: 0.9},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrequencyCSV(&buf, points, []Algorithm{NSHH, NEHH}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records, want 3", len(records))
+	}
+	// Sorted by relative count: the rarer pair first.
+	if records[1][0] != "(3,4)" {
+		t.Errorf("rows not sorted by frequency: %v", records[1])
+	}
+	if records[0][3] != "NeighborSample-HH" {
+		t.Errorf("header wrong: %v", records[0])
+	}
+}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// smallSuite is a fast suite configuration for tests: tiny graphs, few reps.
+func smallSuite() *Suite {
+	s := NewSuite(0.08, 11, 5)
+	s.Fractions = []float64{0.02, 0.05}
+	s.BurnIn = 100
+	return s
+}
+
+func TestSuiteGraphCaching(t *testing.T) {
+	s := smallSuite()
+	a, err := s.Graph(gen.Facebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Graph(gen.Facebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("graph not cached")
+	}
+}
+
+func TestSuitePairs(t *testing.T) {
+	s := smallSuite()
+	fb, err := s.Pairs(gen.Facebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != 1 || fb[0].T1 != 1 || fb[0].T2 != 2 {
+		t.Errorf("facebook pairs = %v, want [(1,2)]", fb)
+	}
+	pk, err := s.Pairs(gen.Pokec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pk) != 4 {
+		t.Errorf("pokec pairs = %d, want 4", len(pk))
+	}
+}
+
+func TestSuiteTable1(t *testing.T) {
+	s := smallSuite()
+	out, err := s.Table(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gen.StandIns() {
+		if !strings.Contains(out, string(name)) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestSuiteTable3(t *testing.T) {
+	s := smallSuite()
+	out, err := s.Table(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "region-") {
+		t.Errorf("Table 3 rendering wrong:\n%s", out)
+	}
+}
+
+func TestSuiteSweepTable(t *testing.T) {
+	s := smallSuite()
+	out, err := s.Table(4) // Facebook sweep
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 4: facebook") {
+		t.Errorf("caption wrong:\n%s", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "NeighborSample-HH") || !strings.Contains(out, "EX-GMD") {
+		t.Error("algorithm rows missing")
+	}
+}
+
+func TestSuiteBoundsTable(t *testing.T) {
+	s := smallSuite()
+	out, err := s.Table(18) // Facebook bounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 18") || !strings.Contains(out, "(0.1,0.1)") {
+		t.Errorf("bounds table wrong:\n%s", out)
+	}
+}
+
+func TestSuiteBestTable(t *testing.T) {
+	s := smallSuite()
+	out, err := s.Table(23) // Facebook + Google+ best
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 23") || !strings.Contains(out, "facebook") || !strings.Contains(out, "googleplus") {
+		t.Errorf("best table wrong:\n%s", out)
+	}
+}
+
+func TestSuiteTable2AndUnknown(t *testing.T) {
+	s := smallSuite()
+	out, err := s.Table(2)
+	if err != nil {
+		t.Fatalf("table 2: %v", err)
+	}
+	if !strings.Contains(out, "abbreviation") || !strings.Contains(out, "EX-GMD") {
+		t.Errorf("table 2 rendering wrong:\n%s", out)
+	}
+	if _, err := s.Table(99); err == nil {
+		t.Error("want error for table 99")
+	}
+}
+
+func TestSuiteMixingTable(t *testing.T) {
+	s := smallSuite()
+	s.BurnIn = 0 // force measurement
+	out, err := s.MixingTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gen.StandIns() {
+		if !strings.Contains(out, string(name)) {
+			t.Errorf("mixing table missing %s", name)
+		}
+	}
+}
+
+func TestSuiteFigure(t *testing.T) {
+	s := smallSuite()
+	s.Reps = 3
+	out, err := s.Figure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "orkut") {
+		t.Errorf("figure 1 wrong:\n%s", strings.SplitN(out, "\n", 2)[0])
+	}
+	if _, err := s.Figure(9); err == nil {
+		t.Error("want error for unknown figure")
+	}
+}
+
+func TestSuiteSweepCaching(t *testing.T) {
+	s := smallSuite()
+	pairs, err := s.Pairs(gen.Facebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Sweep(gen.Facebook, pairs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sweep(gen.Facebook, pairs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("sweep not cached")
+	}
+}
+
+func TestSuiteAblationReport(t *testing.T) {
+	s := smallSuite()
+	s.Reps = 5
+	out, err := s.AblationReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"single walk", "thinning", "fixed budget", "non-backtracking"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q:\n%s", want, out)
+		}
+	}
+}

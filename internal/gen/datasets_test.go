@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func TestStandInsListed(t *testing.T) {
+	names := StandIns()
+	if len(names) != 5 {
+		t.Fatalf("got %d stand-ins, want 5", len(names))
+	}
+	specs := Specs()
+	for _, n := range names {
+		if _, ok := specs[n]; !ok {
+			t.Errorf("stand-in %s missing from Specs", n)
+		}
+	}
+}
+
+func TestBuildUnknownStandIn(t *testing.T) {
+	if _, err := Build("twitter", 1, 1); err == nil {
+		t.Error("want error for unknown stand-in")
+	}
+}
+
+func TestBuildBadScale(t *testing.T) {
+	if _, err := Build(Facebook, 0, 1); err == nil {
+		t.Error("want error for zero scale")
+	}
+	if _, err := Build(Facebook, -1, 1); err == nil {
+		t.Error("want error for negative scale")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Facebook, 0.1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Facebook, 0.1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different graphs: %d/%d vs %d/%d",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	// Spot-check structure and labels node by node.
+	for u := graph.Node(0); int(u) < a.NumNodes(); u++ {
+		if a.Degree(u) != b.Degree(u) {
+			t.Fatalf("degree(%d) differs", u)
+		}
+		la, lb := a.Labels(u), b.Labels(u)
+		if len(la) != len(lb) {
+			t.Fatalf("labels(%d) differ in length", u)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("labels(%d) differ", u)
+			}
+		}
+	}
+}
+
+func TestBuildSeedsDiffer(t *testing.T) {
+	a, err := Build(Facebook, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Facebook, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() == b.NumEdges() {
+		// Same edge count is possible; require some label difference.
+		same := true
+		for u := graph.Node(0); int(u) < min(a.NumNodes(), b.NumNodes()); u++ {
+			la, lb := a.Labels(u), b.Labels(u)
+			if len(la) != len(lb) || (len(la) > 0 && la[0] != lb[0]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical stand-ins")
+		}
+	}
+}
+
+func TestAllStandInsBuildSmall(t *testing.T) {
+	for _, name := range StandIns() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			g, err := Build(name, 0.05, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !graph.IsConnected(g) {
+				t.Error("stand-in LCC not connected")
+			}
+			if g.NumNodes() < 50 {
+				t.Errorf("suspiciously small LCC: %d nodes", g.NumNodes())
+			}
+			// Every node must carry at least one label.
+			for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
+				if len(g.Labels(u)) == 0 {
+					t.Fatalf("node %d unlabeled", u)
+				}
+			}
+		})
+	}
+}
+
+func TestGenderStandInsTargetFraction(t *testing.T) {
+	// The (1,2) pair fraction is calibrated to the paper's Table 4–5
+	// captions: 42.4% on Facebook and 26.89% on Google+.
+	cases := []struct {
+		name StandIn
+		want float64
+		tol  float64
+	}{
+		// Tolerances cover the seed-to-seed variance of the bimodal
+		// community composition draw.
+		{Facebook, 0.424, 0.07},
+		{GooglePlus, 0.255, 0.07},
+	}
+	for _, c := range cases {
+		t.Run(string(c.name), func(t *testing.T) {
+			g, err := Build(c.name, 1.0, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := exact.CountTargetEdges(g, graph.LabelPair{T1: 1, T2: 2})
+			frac := float64(f) / float64(g.NumEdges())
+			if frac < c.want-c.tol || frac > c.want+c.tol {
+				t.Errorf("target fraction %.3f, want %.3f ± %.2f", frac, c.want, c.tol)
+			}
+		})
+	}
+}
+
+func TestPokecStandInFrequencySpectrum(t *testing.T) {
+	g, err := Build(Pokec, 0.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := exact.LabelPairCensus(g)
+	if len(census) < 20 {
+		t.Fatalf("census too small: %d pairs", len(census))
+	}
+	lo := census[0].Count
+	hi := census[len(census)-1].Count
+	if hi < lo*50 {
+		t.Errorf("frequency spread too narrow: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestZipfSizes(t *testing.T) {
+	sizes := zipfSizes(1000, 10, 1.1, nil)
+	if len(sizes) != 10 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	total := 0
+	for i, s := range sizes {
+		if s < 1 {
+			t.Fatalf("size[%d] = %d < 1", i, s)
+		}
+		if i > 0 && sizes[i-1] < s {
+			t.Fatalf("sizes not descending: %v", sizes)
+		}
+		total += s
+	}
+	if total != 1000 {
+		t.Errorf("total = %d, want 1000", total)
+	}
+	if sizes[0] < 5*sizes[9] {
+		t.Errorf("not Zipf-skewed: %v", sizes)
+	}
+}
+
+func TestZipfSizesMoreGroupsThanItems(t *testing.T) {
+	sizes := zipfSizes(5, 10, 1.1, nil)
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 5 {
+		t.Errorf("total = %d, want 5", total)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

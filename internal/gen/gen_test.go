@@ -1,0 +1,334 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestErdosRenyiBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := ErdosRenyi(100, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Errorf("NumNodes = %d, want 100", g.NumNodes())
+	}
+	if g.NumEdges() != 300 {
+		t.Errorf("NumEdges = %d, want 300", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestErdosRenyiCapsAtCompleteGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := ErdosRenyi(5, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 10 { // C(5,2)
+		t.Errorf("NumEdges = %d, want 10", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := ErdosRenyi(0, 5, rng); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := ErdosRenyi(5, -1, rng); err == nil {
+		t.Error("want error for m<0")
+	}
+}
+
+func TestBarabasiAlbertBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, m = 500, 4
+	g, err := BarabasiAlbert(n, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != n {
+		t.Errorf("NumNodes = %d, want %d", g.NumNodes(), n)
+	}
+	// Seed clique C(m+1,2) plus m per added node, bounded above (dedup can
+	// only remove).
+	wantMax := int64(m*(m+1)/2 + (n-m-1)*m)
+	if g.NumEdges() > wantMax || g.NumEdges() < wantMax/2 {
+		t.Errorf("NumEdges = %d, want in (%d, %d]", g.NumEdges(), wantMax/2, wantMax)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// BA graphs are connected by construction.
+	if !graph.IsConnected(g) {
+		t.Error("BA graph disconnected")
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := BarabasiAlbert(3000, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := 0
+	for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	meanDeg := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(maxDeg) < 8*meanDeg {
+		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", maxDeg, meanDeg)
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := BarabasiAlbert(5, 0, rng); err == nil {
+		t.Error("want error for mAttach=0")
+	}
+	if _, err := BarabasiAlbert(3, 3, rng); err == nil {
+		t.Error("want error for n<=mAttach")
+	}
+}
+
+func TestWattsStrogatzBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := WattsStrogatz(200, 6, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	// n·k/2 ring edges minus dedup losses.
+	if g.NumEdges() > 600 || g.NumEdges() < 500 {
+		t.Errorf("NumEdges = %d, want ~600", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestWattsStrogatzZeroBetaIsRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := WattsStrogatz(50, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.Node(0); int(u) < 50; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("ring lattice degree(%d) = %d, want 4", u, g.Degree(u))
+		}
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, err := WattsStrogatz(10, 3, 0.1, rng); err == nil {
+		t.Error("want error for odd k")
+	}
+	if _, err := WattsStrogatz(4, 4, 0.1, rng); err == nil {
+		t.Error("want error for n<=k")
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, rng); err == nil {
+		t.Error("want error for beta>1")
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	sizes := []int{100, 100}
+	g, community, err := SBM(sizes, 0.2, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 || len(community) != 200 {
+		t.Fatalf("sizes wrong: %d nodes, %d community entries", g.NumNodes(), len(community))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	var within, cross int
+	g.Edges(func(u, v graph.Node) bool {
+		if community[u] == community[v] {
+			within++
+		} else {
+			cross++
+		}
+		return true
+	})
+	// Expected within ≈ 2·C(100,2)·0.2 = 1980, cross ≈ 100·100·0.01 = 100.
+	if within < cross*5 {
+		t.Errorf("within=%d cross=%d: community structure too weak", within, cross)
+	}
+}
+
+func TestSBMEdgeCountMatchesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, _, err := SBM([]int{150, 150}, 0.1, 0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*0.1*float64(150*149/2) + 0.02*150*150
+	got := float64(g.NumEdges())
+	if got < want*0.85 || got > want*1.15 {
+		t.Errorf("edges = %.0f, want ~%.0f", got, want)
+	}
+}
+
+func TestSBMDensePInOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g, _, err := SBM([]int{10, 10}, 1.0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2*45 { // two complete K10s
+		t.Errorf("edges = %d, want 90", g.NumEdges())
+	}
+}
+
+func TestSBMErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	if _, _, err := SBM(nil, 0.1, 0.1, rng); err == nil {
+		t.Error("want error for no communities")
+	}
+	if _, _, err := SBM([]int{5, 0}, 0.1, 0.1, rng); err == nil {
+		t.Error("want error for zero-size community")
+	}
+	if _, _, err := SBM([]int{5}, 1.5, 0.1, rng); err == nil {
+		t.Error("want error for pIn>1")
+	}
+}
+
+func TestConfigurationModelApproximatesDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	degrees := make([]int, 400)
+	for i := range degrees {
+		degrees[i] = 4
+	}
+	g, err := ConfigurationModel(degrees, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Erased configuration model loses a few stubs; mean degree close to 4.
+	mean := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if mean < 3.5 || mean > 4.0 {
+		t.Errorf("mean degree %.2f, want ~4", mean)
+	}
+}
+
+func TestConfigurationModelErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	if _, err := ConfigurationModel(nil, rng); err == nil {
+		t.Error("want error for empty degree sequence")
+	}
+	if _, err := ConfigurationModel([]int{2, -1}, rng); err == nil {
+		t.Error("want error for negative degree")
+	}
+}
+
+func TestConfigurationModelOddStubSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	// Degree sum 3 is odd; builder must still succeed by dropping a stub.
+	g, err := ConfigurationModel([]int{1, 1, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestPowerLawDegreesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ds, err := PowerLawDegrees(5000, 3, 100, 2.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 5000 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	low, high := 0, 0
+	for _, d := range ds {
+		if d < 3 || d > 100 {
+			t.Fatalf("degree %d out of [3,100]", d)
+		}
+		if d == 3 {
+			low++
+		}
+		if d > 50 {
+			high++
+		}
+	}
+	if low < high {
+		t.Errorf("power law not decreasing: %d at min vs %d above 50", low, high)
+	}
+}
+
+func TestPowerLawDegreesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	if _, err := PowerLawDegrees(0, 1, 10, 2, rng); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := PowerLawDegrees(10, 5, 3, 2, rng); err == nil {
+		t.Error("want error for max<min")
+	}
+	if _, err := PowerLawDegrees(10, 1, 10, 1, rng); err == nil {
+		t.Error("want error for gamma<=1")
+	}
+}
+
+// TestGeneratorsProduceValidGraphsProperty: every generator's output passes
+// Validate for random parameters.
+func TestGeneratorsProduceValidGraphsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		er, err := ErdosRenyi(n, n*2, rng)
+		if err != nil || er.Validate() != nil {
+			return false
+		}
+		ba, err := BarabasiAlbert(n, 1+rng.Intn(4), rng)
+		if err != nil || ba.Validate() != nil {
+			return false
+		}
+		ws, err := WattsStrogatz(n, 4, rng.Float64(), rng)
+		if err != nil || ws.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairFromIndexEnumeratesAllPairs(t *testing.T) {
+	const s = 10
+	seen := make(map[[2]int]bool)
+	for i := int64(0); i < s*(s-1)/2; i++ {
+		u, v := pairFromIndex(i, s)
+		if u < 0 || v <= u || v >= s {
+			t.Fatalf("pairFromIndex(%d) = (%d,%d) invalid", i, u, v)
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			t.Fatalf("pair (%d,%d) repeated", u, v)
+		}
+		seen[key] = true
+	}
+	if len(seen) != s*(s-1)/2 {
+		t.Errorf("enumerated %d pairs, want %d", len(seen), s*(s-1)/2)
+	}
+}

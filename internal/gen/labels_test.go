@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func testGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	g, err := BarabasiAlbert(n, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenderLabelerSplit(t *testing.T) {
+	g := testGraph(t, 2000)
+	labeled, err := Apply(g, &GenderLabeler{PFemale: 0.3, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var female, male int
+	for u := graph.Node(0); int(u) < labeled.NumNodes(); u++ {
+		ls := labeled.Labels(u)
+		if len(ls) != 1 {
+			t.Fatalf("node %d has %d labels, want 1", u, len(ls))
+		}
+		switch ls[0] {
+		case 1:
+			female++
+		case 2:
+			male++
+		default:
+			t.Fatalf("unexpected label %d", ls[0])
+		}
+	}
+	gotP := float64(female) / float64(female+male)
+	if math.Abs(gotP-0.3) > 0.05 {
+		t.Errorf("female fraction %.3f, want ~0.30", gotP)
+	}
+}
+
+func TestApplyPreservesStructure(t *testing.T) {
+	g := testGraph(t, 300)
+	labeled, err := Apply(g, DegreeBucketLabeler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labeled.NumNodes() != g.NumNodes() || labeled.NumEdges() != g.NumEdges() {
+		t.Fatalf("structure changed: %d/%d vs %d/%d",
+			labeled.NumNodes(), labeled.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
+		if labeled.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree of %d changed", u)
+		}
+	}
+}
+
+func TestZipfLocationLabelerSkew(t *testing.T) {
+	g := testGraph(t, 3000)
+	zl, err := NewZipfLocationLabeler(50, 1.2, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := Apply(g, zl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[graph.Label]int)
+	for u := graph.Node(0); int(u) < labeled.NumNodes(); u++ {
+		ls := labeled.Labels(u)
+		if len(ls) != 1 || ls[0] < 1 || ls[0] > 50 {
+			t.Fatalf("node %d labels %v out of range", u, ls)
+		}
+		counts[ls[0]]++
+	}
+	if counts[1] <= counts[50]*3 {
+		t.Errorf("label 1 count %d not dominant over label 50 count %d", counts[1], counts[50])
+	}
+}
+
+func TestZipfLocationLabelerErrors(t *testing.T) {
+	if _, err := NewZipfLocationLabeler(0, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for zero locations")
+	}
+}
+
+func TestCommunityLocationLabelerFollowsCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, community, err := SBM([]int{50, 50}, 0.3, 0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := Apply(g, &CommunityLocationLabeler{
+		Community: community,
+		PNoise:    0,
+		NumLabels: 2,
+		Rng:       rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.Node(0); int(u) < labeled.NumNodes(); u++ {
+		want := graph.Label(community[u] + 1)
+		if !labeled.HasLabel(u, want) {
+			t.Fatalf("node %d missing community label %d", u, want)
+		}
+	}
+}
+
+func TestCommunityLocationLabelerNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, community, err := SBM([]int{200, 200}, 0.2, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := Apply(g, &CommunityLocationLabeler{
+		Community: community,
+		PNoise:    0.5,
+		NumLabels: 2,
+		Rng:       rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches := 0
+	for u := graph.Node(0); int(u) < labeled.NumNodes(); u++ {
+		if !labeled.HasLabel(u, graph.Label(community[u]+1)) {
+			mismatches++
+		}
+	}
+	// Half relabeled uniformly over 2 labels: ~25% end up different.
+	if mismatches < 50 || mismatches > 150 {
+		t.Errorf("mismatches = %d, want ~100", mismatches)
+	}
+}
+
+func TestDegreeBucketLabeler(t *testing.T) {
+	g := testGraph(t, 500)
+	labeled, err := Apply(g, DegreeBucketLabeler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.Node(0); int(u) < labeled.NumNodes(); u++ {
+		want := graph.Label(stats.LogBucket(g.Degree(u)))
+		if !labeled.HasLabel(u, want) {
+			t.Fatalf("node %d (degree %d) missing bucket label %d", u, g.Degree(u), want)
+		}
+	}
+}
+
+func TestExactDegreeLabeler(t *testing.T) {
+	g := testGraph(t, 200)
+	labeled, err := Apply(g, ExactDegreeLabeler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.Node(0); int(u) < labeled.NumNodes(); u++ {
+		if !labeled.HasLabel(u, graph.Label(g.Degree(u))) {
+			t.Fatalf("node %d missing exact-degree label", u)
+		}
+	}
+}
+
+func TestMultiLabelerConcatenates(t *testing.T) {
+	g := testGraph(t, 200)
+	ml := MultiLabeler{
+		&GenderLabeler{PFemale: 0.5, Rng: rand.New(rand.NewSource(5))},
+		offsetLabeler{DegreeBucketLabeler{}, 100},
+	}
+	labeled, err := Apply(g, ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.Node(0); int(u) < labeled.NumNodes(); u++ {
+		ls := labeled.Labels(u)
+		if len(ls) != 2 {
+			t.Fatalf("node %d has %d labels, want 2 (gender + offset bucket)", u, len(ls))
+		}
+	}
+}
+
+// offsetLabeler shifts another labeler's output into a disjoint label space,
+// the pattern MultiLabeler callers use to avoid collisions.
+type offsetLabeler struct {
+	inner  Labeler
+	offset graph.Label
+}
+
+func (o offsetLabeler) Label(g *graph.Graph, u graph.Node) []graph.Label {
+	ls := o.inner.Label(g, u)
+	out := make([]graph.Label, len(ls))
+	for i, l := range ls {
+		out[i] = l + o.offset
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and labels and produces an immutable Graph.
+// Mirroring the paper's preprocessing (Section 5.1), Build removes edge
+// directions, self-loops and multi-edges.
+type Builder struct {
+	n      int
+	edges  []Edge
+	labels map[Node][]Label
+}
+
+// NewBuilder returns a builder for a graph over n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		n:      n,
+		labels: make(map[Node][]Label),
+	}
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge records an undirected edge. Self-loops and duplicates are accepted
+// here and removed at Build time, matching the dataset cleanup in the paper.
+func (b *Builder) AddEdge(u, v Node) error {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v}.Canonical())
+	return nil
+}
+
+// AddLabel attaches label l to node u. Duplicate labels are deduplicated at
+// Build time.
+func (b *Builder) AddLabel(u Node, l Label) error {
+	if u < 0 || int(u) >= b.n {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", u, b.n)
+	}
+	b.labels[u] = append(b.labels[u], l)
+	return nil
+}
+
+// SetLabels replaces the label set of node u.
+func (b *Builder) SetLabels(u Node, ls ...Label) error {
+	if u < 0 || int(u) >= b.n {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", u, b.n)
+	}
+	b.labels[u] = append([]Label(nil), ls...)
+	return nil
+}
+
+// Build produces the immutable CSR graph: directions dropped, self-loops and
+// multi-edges removed, adjacency and label lists sorted.
+func (b *Builder) Build() (*Graph, error) {
+	// Sort and deduplicate canonical edges; drop self-loops.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	dedup := b.edges[:0]
+	var prev Edge
+	havePrev := false
+	for _, e := range b.edges {
+		if e.U == e.V {
+			continue // self-loop
+		}
+		if havePrev && e == prev {
+			continue // multi-edge
+		}
+		dedup = append(dedup, e)
+		prev, havePrev = e, true
+	}
+
+	g := &Graph{numEdges: int64(len(dedup))}
+	g.off = make([]int64, b.n+1)
+	for _, e := range dedup {
+		g.off[e.U+1]++
+		g.off[e.V+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		g.off[i] += g.off[i-1]
+	}
+	g.adj = make([]Node, 2*len(dedup))
+	cursor := make([]int64, b.n)
+	for _, e := range dedup {
+		g.adj[g.off[e.U]+cursor[e.U]] = e.V
+		cursor[e.U]++
+		g.adj[g.off[e.V]+cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	for u := 0; u < b.n; u++ {
+		ns := g.adj[g.off[u]:g.off[u+1]]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+
+	// Labels: sort + dedupe per node, then pack into CSR.
+	g.labelOff = make([]int32, b.n+1)
+	total := 0
+	cleaned := make(map[Node][]Label, len(b.labels))
+	for u, ls := range b.labels {
+		sorted := append([]Label(nil), ls...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		out := sorted[:0]
+		for i, l := range sorted {
+			if i > 0 && sorted[i-1] == l {
+				continue
+			}
+			out = append(out, l)
+		}
+		cleaned[u] = out
+		total += len(out)
+	}
+	g.labelVal = make([]Label, 0, total)
+	for u := 0; u < b.n; u++ {
+		g.labelOff[u] = int32(len(g.labelVal))
+		g.labelVal = append(g.labelVal, cleaned[Node(u)]...)
+	}
+	g.labelOff[b.n] = int32(len(g.labelVal))
+	return g, nil
+}

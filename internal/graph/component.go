@@ -1,0 +1,103 @@
+package graph
+
+// LargestComponent extracts the largest connected component of g as a new
+// graph with compacted node IDs, mirroring the paper's preprocessing
+// ("We use the largest connected component for each network", Section 5.1).
+// The second return value maps new node IDs back to IDs in g.
+func LargestComponent(g *Graph) (*Graph, []Node) {
+	n := g.NumNodes()
+	if n == 0 {
+		return &Graph{}, nil
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var (
+		bestID   int32
+		bestSize int
+		queue    []Node
+	)
+	next := int32(0)
+	for s := Node(0); int(s) < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := next
+		next++
+		size := 0
+		queue = append(queue[:0], s)
+		comp[s] = id
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, v := range g.Neighbors(u) {
+				if comp[v] == -1 {
+					comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+		if size > bestSize {
+			bestSize, bestID = size, id
+		}
+	}
+
+	// Compact IDs for the winning component.
+	oldToNew := make([]int32, n)
+	newToOld := make([]Node, 0, bestSize)
+	for u := 0; u < n; u++ {
+		if comp[u] == bestID {
+			oldToNew[u] = int32(len(newToOld))
+			newToOld = append(newToOld, Node(u))
+		} else {
+			oldToNew[u] = -1
+		}
+	}
+
+	b := NewBuilder(bestSize)
+	for _, old := range newToOld {
+		nu := Node(oldToNew[old])
+		for _, l := range g.Labels(old) {
+			// Error impossible: nu is in range by construction.
+			_ = b.AddLabel(nu, l)
+		}
+		for _, v := range g.Neighbors(old) {
+			if v > old { // each edge once
+				_ = b.AddEdge(nu, Node(oldToNew[v]))
+			}
+		}
+	}
+	lcc, err := b.Build()
+	if err != nil {
+		// Build only fails on out-of-range IDs, which cannot happen here.
+		panic("graph: internal error building largest component: " + err.Error())
+	}
+	return lcc, newToOld
+}
+
+// IsConnected reports whether g is a single connected component. Empty
+// graphs are considered connected.
+func IsConnected(g *Graph) bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := []Node{0}
+	seen[0] = true
+	count := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		count++
+		for _, v := range g.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == n
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLargestComponentPicksBiggest(t *testing.T) {
+	// Two components: a 3-node path (0-1-2) and a 2-node edge (3-4).
+	b := NewBuilder(5)
+	for _, e := range [][2]Node{{0, 1}, {1, 2}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.SetLabels(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc, mapping := LargestComponent(g)
+	if lcc.NumNodes() != 3 {
+		t.Fatalf("LCC has %d nodes, want 3", lcc.NumNodes())
+	}
+	if lcc.NumEdges() != 2 {
+		t.Fatalf("LCC has %d edges, want 2", lcc.NumEdges())
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("mapping length %d, want 3", len(mapping))
+	}
+	// Labels must travel with the node.
+	foundLabel := false
+	for u := Node(0); int(u) < lcc.NumNodes(); u++ {
+		if lcc.HasLabel(u, 9) {
+			foundLabel = true
+			if mapping[u] != 1 {
+				t.Errorf("labeled node maps to %d, want 1", mapping[u])
+			}
+		}
+	}
+	if !foundLabel {
+		t.Error("label 9 lost during LCC extraction")
+	}
+	if err := lcc.Validate(); err != nil {
+		t.Errorf("LCC invalid: %v", err)
+	}
+}
+
+func TestLargestComponentOfConnectedGraphIsIdentitySize(t *testing.T) {
+	b := NewBuilder(4)
+	for _, e := range [][2]Node{{0, 1}, {1, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc, _ := LargestComponent(g)
+	if lcc.NumNodes() != 4 || lcc.NumEdges() != 3 {
+		t.Errorf("LCC = %d nodes %d edges, want 4/3", lcc.NumNodes(), lcc.NumEdges())
+	}
+}
+
+func TestLargestComponentEmptyGraph(t *testing.T) {
+	lcc, mapping := LargestComponent(&Graph{})
+	if lcc.NumNodes() != 0 || mapping != nil {
+		t.Error("LCC of empty graph should be empty")
+	}
+}
+
+func TestLargestComponentIsolatedNodes(t *testing.T) {
+	// Nodes 2, 3 isolated; LCC is the single edge 0-1.
+	b := NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc, _ := LargestComponent(g)
+	if lcc.NumNodes() != 2 || lcc.NumEdges() != 1 {
+		t.Errorf("LCC = %d nodes %d edges, want 2/1", lcc.NumNodes(), lcc.NumEdges())
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConnected(g) {
+		t.Error("graph with isolated node reported connected")
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnected(g2) {
+		t.Error("path graph reported disconnected")
+	}
+	if !IsConnected(&Graph{}) {
+		t.Error("empty graph should count as connected")
+	}
+}
+
+// TestLCCConnectedProperty: the extracted LCC is always connected and valid.
+func TestLCCConnectedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ { // sparse: expect several components
+			if err := b.AddEdge(Node(rng.Intn(n)), Node(rng.Intn(n))); err != nil {
+				return false
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		lcc, mapping := LargestComponent(g)
+		if lcc.NumNodes() == 0 {
+			return g.NumEdges() == 0 || g.NumNodes() == 0
+		}
+		if !IsConnected(lcc) {
+			return false
+		}
+		if err := lcc.Validate(); err != nil {
+			return false
+		}
+		// Mapping preserves degrees.
+		for u := Node(0); int(u) < lcc.NumNodes(); u++ {
+			if lcc.Degree(u) != g.Degree(mapping[u]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

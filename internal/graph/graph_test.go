@@ -1,0 +1,385 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildTriangleWithTail builds the 4-node graph 0-1-2-0, 2-3 used across
+// tests.
+func buildTriangleWithTail(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	for _, e := range [][2]Node{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasicCounts(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	if g.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	wantDeg := []int{2, 2, 3, 1}
+	for u, want := range wantDeg {
+		if got := g.Degree(Node(u)); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestBuilderRemovesSelfLoops(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1 (self-loop must be dropped)", g.NumEdges())
+	}
+}
+
+func TestBuilderDeduplicatesMultiEdges(t *testing.T) {
+	b := NewBuilder(2)
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(1, 0); err != nil { // reversed direction too
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Errorf("degrees = %d,%d, want 1,1", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Error("AddEdge(0,3) on 3-node builder: want error")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Error("AddEdge(-1,0): want error")
+	}
+	if err := b.AddLabel(5, 1); err == nil {
+		t.Error("AddLabel(5,...): want error")
+	}
+	if err := b.SetLabels(-2, 1); err == nil {
+		t.Error("SetLabels(-2,...): want error")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := &Graph{}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Error("zero-value graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("zero-value graph invalid: %v", err)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	cases := []struct {
+		u, v Node
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, true}, {2, 3, true},
+		{0, 3, false}, {1, 3, false}, {3, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestNeighborsSortedAndComplete(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	ns := g.Neighbors(2)
+	if len(ns) != 3 || ns[0] != 0 || ns[1] != 1 || ns[2] != 3 {
+		t.Errorf("Neighbors(2) = %v, want [0 1 3]", ns)
+	}
+	for i := 0; i < 3; i++ {
+		if got := g.Neighbor(2, i); got != ns[i] {
+			t.Errorf("Neighbor(2,%d) = %d, want %d", i, got, ns[i])
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetLabels(0, 5, 3, 5, 3); err != nil { // duplicates on purpose
+		t.Fatal(err)
+	}
+	if err := b.AddLabel(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls := g.Labels(0); len(ls) != 2 || ls[0] != 3 || ls[1] != 5 {
+		t.Errorf("Labels(0) = %v, want [3 5]", ls)
+	}
+	if !g.HasLabel(0, 3) || !g.HasLabel(0, 5) || g.HasLabel(0, 7) {
+		t.Error("HasLabel(0, ...) wrong")
+	}
+	if !g.HasLabel(1, 7) {
+		t.Error("HasLabel(1,7) = false")
+	}
+	if len(g.Labels(2)) != 0 {
+		t.Errorf("Labels(2) = %v, want empty", g.Labels(2))
+	}
+}
+
+func TestEdgeMatchesAndTargetDegree(t *testing.T) {
+	// 0(a) - 1(b) - 2(a,b) - 3(no labels), triangle 0-1-2 plus tail 2-3.
+	b := NewBuilder(4)
+	for _, e := range [][2]Node{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const a, bb Label = 1, 2
+	if err := b.SetLabels(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetLabels(1, bb); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetLabels(2, a, bb); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := LabelPair{T1: a, T2: bb}
+	// Target edges: (0,1) a-b, (1,2) b-(a,b), (0,2) a-(a,b). Not (2,3).
+	if !g.EdgeMatches(0, 1, pair) || !g.EdgeMatches(1, 2, pair) || !g.EdgeMatches(0, 2, pair) {
+		t.Error("expected target edges not matched")
+	}
+	if g.EdgeMatches(2, 3, pair) {
+		t.Error("(2,3) wrongly matched")
+	}
+	wantT := []int{2, 2, 2, 0}
+	for u, want := range wantT {
+		if got := g.TargetDegree(Node(u), pair); got != want {
+			t.Errorf("TargetDegree(%d) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestTargetDegreeSameLabelPair(t *testing.T) {
+	// Pair (a,a): edge counts iff both endpoints have a.
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetLabels(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetLabels(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := LabelPair{T1: 1, T2: 1}
+	if got := g.TargetDegree(0, pair); got != 1 {
+		t.Errorf("TargetDegree(0) = %d, want 1", got)
+	}
+	if got := g.TargetDegree(1, pair); got != 1 {
+		t.Errorf("TargetDegree(1) = %d, want 1 (edge to 2 must not count)", got)
+	}
+	if got := g.TargetDegree(2, pair); got != 0 {
+		t.Errorf("TargetDegree(2) = %d, want 0", got)
+	}
+}
+
+func TestEdgesIterationVisitsEachOnce(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	seen := make(map[Edge]int)
+	g.Edges(func(u, v Node) bool {
+		if u >= v {
+			t.Errorf("Edges yielded non-canonical pair (%d,%d)", u, v)
+		}
+		seen[Edge{U: u, V: v}]++
+		return true
+	})
+	if len(seen) != 4 {
+		t.Errorf("visited %d distinct edges, want 4", len(seen))
+	}
+	for e, n := range seen {
+		if n != 1 {
+			t.Errorf("edge %v visited %d times", e, n)
+		}
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	calls := 0
+	g.Edges(func(u, v Node) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop: %d calls, want 1", calls)
+	}
+}
+
+func TestEdgeAtCoversAllDirectedEdges(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	counts := make(map[Edge]int)
+	for i := int64(0); i < 2*g.NumEdges(); i++ {
+		u, v := g.EdgeAt(i)
+		if !g.HasEdge(u, v) {
+			t.Fatalf("EdgeAt(%d) = (%d,%d), not an edge", i, u, v)
+		}
+		counts[Edge{U: u, V: v}.Canonical()]++
+	}
+	for e, n := range counts {
+		if n != 2 {
+			t.Errorf("edge %v seen %d times across directed slots, want 2", e, n)
+		}
+	}
+}
+
+func TestCanonicalForms(t *testing.T) {
+	if e := (Edge{U: 3, V: 1}).Canonical(); e.U != 1 || e.V != 3 {
+		t.Errorf("Edge.Canonical = %v", e)
+	}
+	if e := (Edge{U: 1, V: 3}).Canonical(); e.U != 1 || e.V != 3 {
+		t.Errorf("Edge.Canonical changed ordered pair: %v", e)
+	}
+	if p := (LabelPair{T1: 9, T2: 2}).Canonical(); p.T1 != 2 || p.T2 != 9 {
+		t.Errorf("LabelPair.Canonical = %v", p)
+	}
+	if s := (LabelPair{T1: 1, T2: 2}).String(); s != "(1,2)" {
+		t.Errorf("LabelPair.String = %q", s)
+	}
+}
+
+func TestValidateAcceptsBuilderOutput(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// TestRandomGraphInvariants is the package's main property test: any graph
+// produced by the Builder from random input satisfies Validate, and the
+// degree sum equals 2|E|.
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			u := Node(rng.Intn(n))
+			v := Node(rng.Intn(n))
+			if err := b.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < n/2; i++ {
+			if err := b.AddLabel(Node(rng.Intn(n)), Label(rng.Intn(5))); err != nil {
+				return false
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			t.Logf("Validate failed for seed %d: %v", seed, err)
+			return false
+		}
+		var degSum int64
+		for u := 0; u < n; u++ {
+			degSum += int64(g.Degree(Node(u)))
+		}
+		return degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTargetDegreeHandshakeProperty checks Σ_u T(u) = 2F on random labeled
+// graphs — the identity Theorem 4.3's estimator rests on.
+func TestTargetDegreeHandshakeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			if err := b.AddEdge(Node(rng.Intn(n)), Node(rng.Intn(n))); err != nil {
+				return false
+			}
+		}
+		for u := 0; u < n; u++ {
+			if err := b.SetLabels(Node(u), Label(1+rng.Intn(3))); err != nil {
+				return false
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pair := LabelPair{T1: 1, T2: 2}
+		var f2, tsum int64
+		g.Edges(func(u, v Node) bool {
+			if g.EdgeMatches(u, v, pair) {
+				f2++
+			}
+			return true
+		})
+		for u := 0; u < n; u++ {
+			tsum += int64(g.TargetDegree(Node(u), pair))
+		}
+		return tsum == 2*f2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"testing"
+)
+
+// labeledFixture: triangle 0-1-2 plus tail 2-3; labels 0,1,2 -> 7; 3 -> 8.
+func labeledFixture(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	for _, e := range [][2]Node{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range []Node{0, 1, 2} {
+		if err := b.SetLabels(u, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.SetLabels(3, 8); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInducedByLabel(t *testing.T) {
+	g := labeledFixture(t)
+	sub, mapping := InducedByLabel(g, 7)
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced subgraph %d/%d, want 3/3 (the triangle)", sub.NumNodes(), sub.NumEdges())
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("mapping length %d", len(mapping))
+	}
+	for u := Node(0); int(u) < sub.NumNodes(); u++ {
+		if !sub.HasLabel(u, 7) {
+			t.Errorf("node %d lost its label", u)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestInducedByAbsentLabel(t *testing.T) {
+	g := labeledFixture(t)
+	sub, mapping := InducedByLabel(g, 99)
+	if sub.NumNodes() != 0 || len(mapping) != 0 {
+		t.Errorf("absent label produced %d nodes", sub.NumNodes())
+	}
+}
+
+func TestInducedSubgraphPredicate(t *testing.T) {
+	g := labeledFixture(t)
+	// Keep even node IDs: 0 and 2 (connected by an edge).
+	sub, mapping := InducedSubgraph(g, func(u Node) bool { return u%2 == 0 })
+	if sub.NumNodes() != 2 || sub.NumEdges() != 1 {
+		t.Fatalf("induced = %d/%d, want 2/1", sub.NumNodes(), sub.NumEdges())
+	}
+	if mapping[0] != 0 || mapping[1] != 2 {
+		t.Errorf("mapping = %v, want [0 2]", mapping)
+	}
+}
+
+func TestInducedSubgraphDegreesBounded(t *testing.T) {
+	g := labeledFixture(t)
+	sub, mapping := InducedSubgraph(g, func(u Node) bool { return u != 3 })
+	for u := Node(0); int(u) < sub.NumNodes(); u++ {
+		if sub.Degree(u) > g.Degree(mapping[u]) {
+			t.Errorf("induced degree exceeds original for node %d", u)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package motif extends the paper's estimator framework to the future-work
+// direction its conclusion names: "estimate some other types of graph
+// properties such as numbers of wedges and triangles refined by users'
+// labels in OSNs". Both estimators reuse the core sampling machinery —
+// restricted API access, single burned-in walk, Hansen–Hurwitz weighting —
+// and are validated against the exact counters in internal/exact.
+package motif
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// Options mirrors core.Options for the motif estimators.
+type Options struct {
+	// BurnIn is the number of walk steps discarded before sampling.
+	BurnIn int
+	// Rng drives all random choices. Required.
+	Rng *rand.Rand
+	// Start, when non-negative, fixes the walk's start node.
+	Start graph.Node
+}
+
+func (o *Options) validate() error {
+	if o.Rng == nil {
+		return fmt.Errorf("motif: Options.Rng is required")
+	}
+	if o.BurnIn < 0 {
+		return fmt.Errorf("motif: negative burn-in %d", o.BurnIn)
+	}
+	return nil
+}
+
+// Result reports one motif estimation run.
+type Result struct {
+	// Estimate is the estimated motif count.
+	Estimate float64
+	// Samples is the number of walk samples used.
+	Samples int
+	// APICalls is the number of charged API calls during sampling.
+	APICalls int64
+}
+
+// startWalk builds a burned-in simple walk (shared by both estimators).
+func startWalk(s *osn.Session, o Options) (*walk.Simple[graph.Node], error) {
+	start := o.Start
+	if start < 0 {
+		for attempts := 0; ; attempts++ {
+			start = s.RandomNode(o.Rng)
+			d, err := s.Degree(start)
+			if err != nil {
+				return nil, err
+			}
+			if d > 0 {
+				break
+			}
+			if attempts > 1000 {
+				return nil, fmt.Errorf("motif: no non-isolated start node found")
+			}
+		}
+	}
+	w := walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, o.Rng)
+	if err := walk.Burnin[graph.Node](w, o.BurnIn); err != nil {
+		return nil, fmt.Errorf("motif: burn-in: %w", err)
+	}
+	s.ResetAccounting()
+	return w, nil
+}
+
+// LabeledWedges estimates the number of wedges (paths of length two) whose
+// BOTH edges are target edges for the pair: Σ_u C(T(u), 2), the quantity
+// exact.CountLabeledWedges computes by full traversal. It samples k nodes
+// by random walk and Hansen–Hurwitz-weights the per-node wedge count
+// C(T(u), 2) by the stationary probability d(u)/2|E|.
+func LabeledWedges(s *osn.Session, pair graph.LabelPair, k int, opts Options) (Result, error) {
+	var res Result
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("motif: LabeledWedges needs k > 0, got %d", k)
+	}
+	w, err := startWalk(s, opts)
+	if err != nil {
+		return res, err
+	}
+	numEdges := float64(s.NumEdges())
+	hh := &estimate.HansenHurwitz{}
+	for i := 0; i < k; i++ {
+		u, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("motif: LabeledWedges step %d: %w", i, err)
+		}
+		res.Samples++
+		d, err := s.Degree(u)
+		if err != nil {
+			return res, err
+		}
+		t, err := targetDegree(s, u, pair)
+		if err != nil {
+			return res, err
+		}
+		wedges := float64(t) * float64(t-1) / 2
+		// HH term: value / π(u) with π(u) = d(u)/2|E|.
+		if err := hh.Add(wedges*2*numEdges/float64(d), 1); err != nil {
+			return res, err
+		}
+	}
+	res.Estimate = hh.Estimate()
+	res.APICalls = s.Calls()
+	return res, nil
+}
+
+// LabeledTriangles estimates the number of triangles containing at least
+// one target edge — exact.CountLabeledTriangles by sampling. It samples k
+// edges via the walk (each a uniform edge sample, as in NeighborSample);
+// for a sampled target edge (u, v) it intersects the two neighbor lists and
+// credits each triangle 1/t where t is the triangle's number of target
+// edges, so triangles with several target edges are not over-counted.
+func LabeledTriangles(s *osn.Session, pair graph.LabelPair, k int, opts Options) (Result, error) {
+	var res Result
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("motif: LabeledTriangles needs k > 0, got %d", k)
+	}
+	w, err := startWalk(s, opts)
+	if err != nil {
+		return res, err
+	}
+	numEdges := float64(s.NumEdges())
+	hh := &estimate.HansenHurwitz{}
+	prev := w.Current()
+	for i := 0; i < k; i++ {
+		cur, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("motif: LabeledTriangles step %d: %w", i, err)
+		}
+		u, v := prev, cur
+		prev = cur
+		res.Samples++
+		value := 0.0
+		if isTarget(s, u, v, pair) {
+			value, err = triangleCredit(s, u, v, pair)
+			if err != nil {
+				return res, err
+			}
+		}
+		// Sampled edge is uniform over E: π = 1/|E|.
+		if err := hh.Add(value*numEdges, 1); err != nil {
+			return res, err
+		}
+	}
+	res.Estimate = hh.Estimate()
+	res.APICalls = s.Calls()
+	return res, nil
+}
+
+// triangleCredit returns Σ_{w ∈ N(u)∩N(v)} 1/t(u,v,w), where t counts the
+// target edges of the triangle (at least 1 since (u,v) is one).
+func triangleCredit(s *osn.Session, u, v graph.Node, pair graph.LabelPair) (float64, error) {
+	nu, err := s.Neighbors(u)
+	if err != nil {
+		return 0, err
+	}
+	nv, err := s.Neighbors(v)
+	if err != nil {
+		return 0, err
+	}
+	var credit float64
+	i, j := 0, 0
+	for i < len(nu) && j < len(nv) {
+		switch {
+		case nu[i] < nv[j]:
+			i++
+		case nu[i] > nv[j]:
+			j++
+		default:
+			w := nu[i]
+			t := 1 // (u,v) is a target edge by precondition
+			if isTarget(s, u, w, pair) {
+				t++
+			}
+			if isTarget(s, v, w, pair) {
+				t++
+			}
+			credit += 1 / float64(t)
+			i++
+			j++
+		}
+	}
+	return credit, nil
+}
+
+func isTarget(s *osn.Session, u, v graph.Node, pair graph.LabelPair) bool {
+	return s.HasLabel(u, pair.T1) && s.HasLabel(v, pair.T2) ||
+		s.HasLabel(u, pair.T2) && s.HasLabel(v, pair.T1)
+}
+
+// targetDegree computes T(u), exploring only when u carries a target label.
+func targetDegree(s *osn.Session, u graph.Node, pair graph.LabelPair) (int, error) {
+	hasT1 := s.HasLabel(u, pair.T1)
+	hasT2 := s.HasLabel(u, pair.T2)
+	if !hasT1 && !hasT2 {
+		return 0, nil
+	}
+	ns, err := s.Neighbors(u)
+	if err != nil {
+		return 0, err
+	}
+	t := 0
+	for _, v := range ns {
+		if hasT1 && s.HasLabel(v, pair.T2) {
+			t++
+			continue
+		}
+		if hasT2 && s.HasLabel(v, pair.T1) {
+			t++
+		}
+	}
+	return t, nil
+}

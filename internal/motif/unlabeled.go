@@ -1,0 +1,182 @@
+package motif
+
+import (
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/osn"
+)
+
+// Wedges estimates the total wedge count Σ_u d(u)(d(u)−1)/2 by node
+// sampling: the per-node wedge count is Hansen–Hurwitz-weighted by the
+// stationary probability. This is the structural (label-free) counterpart
+// of LabeledWedges and part of the Hardiman–Katzir [11] substrate the paper
+// builds on.
+func Wedges(s *osn.Session, k int, opts Options) (Result, error) {
+	var res Result
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("motif: Wedges needs k > 0, got %d", k)
+	}
+	w, err := startWalk(s, opts)
+	if err != nil {
+		return res, err
+	}
+	numEdges := float64(s.NumEdges())
+	hh := &estimate.HansenHurwitz{}
+	for i := 0; i < k; i++ {
+		u, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("motif: Wedges step %d: %w", i, err)
+		}
+		res.Samples++
+		d, err := s.Degree(u)
+		if err != nil {
+			return res, err
+		}
+		wedges := float64(d) * float64(d-1) / 2
+		if err := hh.Add(wedges*2*numEdges/float64(d), 1); err != nil {
+			return res, err
+		}
+	}
+	res.Estimate = hh.Estimate()
+	res.APICalls = s.Calls()
+	return res, nil
+}
+
+// Triangles estimates the total triangle count by edge sampling: each
+// sampled (uniform) edge contributes |N(u) ∩ N(v)| / 3, since every
+// triangle is charged once per its three edges.
+func Triangles(s *osn.Session, k int, opts Options) (Result, error) {
+	var res Result
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("motif: Triangles needs k > 0, got %d", k)
+	}
+	w, err := startWalk(s, opts)
+	if err != nil {
+		return res, err
+	}
+	numEdges := float64(s.NumEdges())
+	hh := &estimate.HansenHurwitz{}
+	prev := w.Current()
+	for i := 0; i < k; i++ {
+		cur, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("motif: Triangles step %d: %w", i, err)
+		}
+		u, v := prev, cur
+		prev = cur
+		res.Samples++
+		common, err := commonNeighbors(s, u, v)
+		if err != nil {
+			return res, err
+		}
+		if err := hh.Add(float64(common)/3*numEdges, 1); err != nil {
+			return res, err
+		}
+	}
+	res.Estimate = hh.Estimate()
+	res.APICalls = s.Calls()
+	return res, nil
+}
+
+// ClusteringResult reports a global clustering coefficient estimate.
+type ClusteringResult struct {
+	// Coefficient is the estimated global clustering coefficient
+	// 3·triangles / wedges.
+	Coefficient float64
+	// Triangles and Wedges are the underlying estimates.
+	Triangles float64
+	Wedges    float64
+	// Samples is the number of walk samples used (shared by both parts).
+	Samples int
+	// APICalls is the number of charged API calls during sampling.
+	APICalls int64
+}
+
+// GlobalClustering estimates the global clustering coefficient
+// c = 3·T / W from a single walk of k steps: every transition feeds the
+// triangle estimator (it is a uniform edge sample) and every visited node
+// feeds the wedge estimator — the one-walk-two-estimators trick of
+// Hardiman & Katzir [11].
+func GlobalClustering(s *osn.Session, k int, opts Options) (ClusteringResult, error) {
+	var res ClusteringResult
+	if err := opts.validate(); err != nil {
+		return res, err
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("motif: GlobalClustering needs k > 0, got %d", k)
+	}
+	w, err := startWalk(s, opts)
+	if err != nil {
+		return res, err
+	}
+	numEdges := float64(s.NumEdges())
+	triHH := &estimate.HansenHurwitz{}
+	wedgeHH := &estimate.HansenHurwitz{}
+	prev := w.Current()
+	for i := 0; i < k; i++ {
+		cur, err := w.Step()
+		if err != nil {
+			return res, fmt.Errorf("motif: GlobalClustering step %d: %w", i, err)
+		}
+		u, v := prev, cur
+		prev = cur
+		res.Samples++
+		common, err := commonNeighbors(s, u, v)
+		if err != nil {
+			return res, err
+		}
+		if err := triHH.Add(float64(common)/3*numEdges, 1); err != nil {
+			return res, err
+		}
+		d, err := s.Degree(v)
+		if err != nil {
+			return res, err
+		}
+		wedges := float64(d) * float64(d-1) / 2
+		if err := wedgeHH.Add(wedges*2*numEdges/float64(d), 1); err != nil {
+			return res, err
+		}
+	}
+	res.Triangles = triHH.Estimate()
+	res.Wedges = wedgeHH.Estimate()
+	if res.Wedges > 0 {
+		res.Coefficient = 3 * res.Triangles / res.Wedges
+	}
+	res.APICalls = s.Calls()
+	return res, nil
+}
+
+// commonNeighbors counts |N(u) ∩ N(v)| by merging the sorted lists.
+func commonNeighbors(s *osn.Session, u, v graph.Node) (int, error) {
+	nu, err := s.Neighbors(u)
+	if err != nil {
+		return 0, err
+	}
+	nv, err := s.Neighbors(v)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	i, j := 0, 0
+	for i < len(nu) && j < len(nv) {
+		switch {
+		case nu[i] < nv[j]:
+			i++
+		case nu[i] > nv[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,117 @@
+package motif
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/stats"
+)
+
+func TestWedgesUnbiased(t *testing.T) {
+	g := denseLabeledGraph(t, 11)
+	truth := float64(exact.CountWedges(g))
+	const reps = 100
+	ests := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		s := newSession(t, g)
+		res, err := Wedges(s, 300, Options{BurnIn: 150, Rng: rand.New(rand.NewSource(int64(i))), Start: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, res.Estimate)
+	}
+	if bias := stats.RelativeBias(ests, truth); math.Abs(bias) > 0.05 {
+		t.Errorf("wedge bias %.3f (truth %.0f, mean %.0f)", bias, truth, stats.Mean(ests))
+	}
+}
+
+func TestTrianglesUnbiased(t *testing.T) {
+	g := denseLabeledGraph(t, 12)
+	truth := float64(exact.CountTriangles(g))
+	if truth == 0 {
+		t.Fatal("test graph has no triangles")
+	}
+	const reps = 100
+	ests := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		s := newSession(t, g)
+		res, err := Triangles(s, 300, Options{BurnIn: 150, Rng: rand.New(rand.NewSource(int64(i))), Start: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, res.Estimate)
+	}
+	if bias := stats.RelativeBias(ests, truth); math.Abs(bias) > 0.08 {
+		t.Errorf("triangle bias %.3f (truth %.0f, mean %.0f)", bias, truth, stats.Mean(ests))
+	}
+}
+
+func TestGlobalClusteringAccuracy(t *testing.T) {
+	g := denseLabeledGraph(t, 13)
+	truth := 3 * float64(exact.CountTriangles(g)) / float64(exact.CountWedges(g))
+	const reps = 60
+	ests := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		s := newSession(t, g)
+		res, err := GlobalClustering(s, 400, Options{BurnIn: 150, Rng: rand.New(rand.NewSource(int64(i))), Start: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coefficient < 0 || res.Coefficient > 1.5 {
+			t.Fatalf("coefficient %g out of plausible range", res.Coefficient)
+		}
+		ests = append(ests, res.Coefficient)
+	}
+	mean := stats.Mean(ests)
+	// The ratio estimator has a small finite-sample bias; 10% is plenty.
+	if math.Abs(mean-truth)/truth > 0.10 {
+		t.Errorf("clustering mean %.4f, truth %.4f", mean, truth)
+	}
+}
+
+func TestUnlabeledValidation(t *testing.T) {
+	g := denseLabeledGraph(t, 14)
+	s := newSession(t, g)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Wedges(s, 0, Options{BurnIn: 10, Rng: rng, Start: -1}); err == nil {
+		t.Error("Wedges: want error for k=0")
+	}
+	if _, err := Triangles(s, 0, Options{BurnIn: 10, Rng: rng, Start: -1}); err == nil {
+		t.Error("Triangles: want error for k=0")
+	}
+	if _, err := GlobalClustering(s, 0, Options{BurnIn: 10, Rng: rng, Start: -1}); err == nil {
+		t.Error("GlobalClustering: want error for k=0")
+	}
+	if _, err := Wedges(s, 10, Options{BurnIn: 10, Start: -1}); err == nil {
+		t.Error("Wedges: want error for nil Rng")
+	}
+}
+
+func TestTrianglesZeroOnTriangleFreeGraph(t *testing.T) {
+	// A cycle of length 5 has no triangles.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(graph.Node(i), graph.Node((i+1)%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Triangles(s, 100, Options{BurnIn: 20, Rng: rand.New(rand.NewSource(2)), Start: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 {
+		t.Errorf("triangle estimate %g on triangle-free graph, want 0", res.Estimate)
+	}
+}

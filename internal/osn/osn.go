@@ -1,0 +1,207 @@
+// Package osn simulates the restricted access model of the paper
+// (Section 3): the graph can only be reached through API calls that return
+// the friend list of a given user, while |V| and |E| are known a priori.
+// A Session wraps a fully materialized graph, meters every API call, can
+// enforce a call budget, and can inject transient failures — the conditions
+// a crawler faces against a production OSN.
+//
+// Accounting model. The paper measures cost in API calls and reports sample
+// sizes as percentages of |V| API calls. A Session charges one call per
+// Neighbors (or Degree) query; repeated queries for a node already fetched
+// are served from the session cache and, by default, not charged — the
+// behaviour of any real crawler that memoizes responses. Set
+// Config.ChargeDuplicates to charge every query, which is the paper's
+// plainest reading. Label lookups are free: a friend list response in real
+// OSN APIs carries profile snippets of the friends.
+package osn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ErrBudgetExhausted is returned once the configured API-call budget is
+// spent. Algorithms surface it so experiments stop at exactly the budgeted
+// cost.
+var ErrBudgetExhausted = errors.New("osn: API call budget exhausted")
+
+// ErrTransient is the injected API failure. Retryable.
+var ErrTransient = errors.New("osn: transient API failure")
+
+// Config controls the access model of a Session.
+type Config struct {
+	// Budget is the maximum number of charged API calls; 0 means unlimited.
+	Budget int64
+	// ChargeDuplicates charges repeated queries for the same node instead of
+	// serving them from the crawl cache for free.
+	ChargeDuplicates bool
+	// FailureRate is the probability in [0, 1) that a charged call fails
+	// with ErrTransient after being charged (the request was sent).
+	FailureRate float64
+	// FailureRng drives failure injection; required iff FailureRate > 0.
+	FailureRng *rand.Rand
+	// MaxRetries is how many times a transient failure is retried before
+	// being surfaced. Every attempt is charged — real APIs bill the request
+	// whether or not the response arrives intact.
+	MaxRetries int
+}
+
+// Session is a metered handle to a hidden graph. It is not safe for
+// concurrent use; experiments run one session per goroutine.
+type Session struct {
+	g   *graph.Graph
+	cfg Config
+
+	calls   int64
+	fetched []bool
+	unique  int64
+}
+
+// NewSession wraps g in the restricted access model.
+func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	if cfg.FailureRate < 0 || cfg.FailureRate >= 1 {
+		return nil, fmt.Errorf("osn: failure rate must be in [0,1), got %g", cfg.FailureRate)
+	}
+	if cfg.FailureRate > 0 && cfg.FailureRng == nil {
+		return nil, fmt.Errorf("osn: FailureRng required when FailureRate > 0")
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("osn: negative budget %d", cfg.Budget)
+	}
+	return &Session{
+		g:       g,
+		cfg:     cfg,
+		fetched: make([]bool, g.NumNodes()),
+	}, nil
+}
+
+// NumNodes returns |V| — prior knowledge per the paper's assumption (2).
+func (s *Session) NumNodes() int { return s.g.NumNodes() }
+
+// NumEdges returns |E| — prior knowledge per the paper's assumption (2).
+func (s *Session) NumEdges() int64 { return s.g.NumEdges() }
+
+// charge meters one API call against node u and performs failure injection.
+// A failed call is billed (the request went out) but does NOT populate the
+// crawl cache — the response never arrived — so retries are real, billed
+// requests.
+func (s *Session) charge(u graph.Node) error {
+	if !s.cfg.ChargeDuplicates && s.fetched[u] {
+		return nil // crawl-cache hit: free
+	}
+	if s.cfg.Budget > 0 && s.calls >= s.cfg.Budget {
+		return ErrBudgetExhausted
+	}
+	s.calls++
+	if s.cfg.FailureRate > 0 && s.cfg.FailureRng.Float64() < s.cfg.FailureRate {
+		return fmt.Errorf("fetching neighbors of node %d: %w", u, ErrTransient)
+	}
+	if !s.fetched[u] {
+		s.fetched[u] = true
+		s.unique++
+	}
+	return nil
+}
+
+// chargeRetry meters a call, retrying injected transient failures up to
+// MaxRetries times. Every attempt is charged.
+func (s *Session) chargeRetry(u graph.Node) error {
+	for attempt := 0; ; attempt++ {
+		err := s.charge(u)
+		if err == nil || !errors.Is(err, ErrTransient) || attempt >= s.cfg.MaxRetries {
+			return err
+		}
+	}
+}
+
+// Neighbors returns the friend list of u, charging one API call. The
+// returned slice is shared and must not be modified.
+func (s *Session) Neighbors(u graph.Node) ([]graph.Node, error) {
+	if err := s.checkNode(u); err != nil {
+		return nil, err
+	}
+	if err := s.chargeRetry(u); err != nil {
+		return nil, err
+	}
+	return s.g.Neighbors(u), nil
+}
+
+// Degree returns d(u). It is metered identically to Neighbors: real APIs
+// expose the friend count on the same endpoint as the friend list.
+func (s *Session) Degree(u graph.Node) (int, error) {
+	if err := s.checkNode(u); err != nil {
+		return 0, err
+	}
+	if err := s.chargeRetry(u); err != nil {
+		return 0, err
+	}
+	return s.g.Degree(u), nil
+}
+
+// ChargeFlat bills n additional API calls not tied to a neighbor-list fetch
+// — the profile reads a NeighborExploration surcharge models (see
+// core.CostModel). It respects the budget: once exhausted, further flat
+// charges fail.
+func (s *Session) ChargeFlat(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if s.cfg.Budget > 0 && s.calls >= s.cfg.Budget {
+		return ErrBudgetExhausted
+	}
+	s.calls += n
+	return nil
+}
+
+// Labels returns the label set of u (profile fields). Label reads are free;
+// see the package comment for the accounting argument.
+func (s *Session) Labels(u graph.Node) []graph.Label { return s.g.Labels(u) }
+
+// HasLabel reports whether u carries label l, free of charge.
+func (s *Session) HasLabel(u graph.Node, l graph.Label) bool { return s.g.HasLabel(u, l) }
+
+// RandomNode returns a uniformly random node ID to start a walk from.
+// Uniform node sampling is NOT generally available on a real OSN; walks only
+// use it for the initial position, whose influence the burn-in erases, so
+// simulating it is harmless.
+func (s *Session) RandomNode(rng *rand.Rand) graph.Node {
+	return graph.Node(rng.Intn(s.g.NumNodes()))
+}
+
+// Calls returns the number of charged API calls so far.
+func (s *Session) Calls() int64 { return s.calls }
+
+// UniqueNodes returns how many distinct nodes have been queried.
+func (s *Session) UniqueNodes() int64 { return s.unique }
+
+// Remaining returns the remaining budget, or -1 when unlimited.
+func (s *Session) Remaining() int64 {
+	if s.cfg.Budget == 0 {
+		return -1
+	}
+	r := s.cfg.Budget - s.calls
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// ResetAccounting zeroes the call counter and crawl cache, e.g. after
+// burn-in when only the sampling phase should be billed.
+func (s *Session) ResetAccounting() {
+	s.calls = 0
+	s.unique = 0
+	for i := range s.fetched {
+		s.fetched[i] = false
+	}
+}
+
+func (s *Session) checkNode(u graph.Node) error {
+	if u < 0 || int(u) >= s.g.NumNodes() {
+		return fmt.Errorf("osn: node %d out of range [0,%d)", u, s.g.NumNodes())
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package sizeest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// DegreeBucket is one row of an estimated degree distribution.
+type DegreeBucket struct {
+	Degree   int
+	Fraction float64
+}
+
+// DegreeDistribution estimates the node degree distribution
+// P(d(u) = d) by random walk — the problem of Gjoka et al. [7], the first
+// related-work citation of the paper and the origin of the re-weighting
+// trick Eq. 19 builds on. The walk samples nodes ∝ degree; re-weighting
+// each sample by 1/d removes the bias:
+//
+//	P̂(d) = Σ_i 1{d_i = d}/d_i  /  Σ_i 1/d_i.
+//
+// Returned buckets are sorted by degree and sum to 1.
+func DegreeDistribution(s *osn.Session, k int, opts Options) ([]DegreeBucket, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("sizeest: Options.Rng is required")
+	}
+	if opts.BurnIn < 0 {
+		return nil, fmt.Errorf("sizeest: negative burn-in %d", opts.BurnIn)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("sizeest: need k > 0 samples, got %d", k)
+	}
+	start := opts.Start
+	if start < 0 {
+		for attempts := 0; ; attempts++ {
+			start = s.RandomNode(opts.Rng)
+			d, err := s.Degree(start)
+			if err != nil {
+				return nil, err
+			}
+			if d > 0 {
+				break
+			}
+			if attempts > 1000 {
+				return nil, fmt.Errorf("sizeest: no non-isolated start node found")
+			}
+		}
+	}
+	w := walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, opts.Rng)
+	if err := walk.Burnin[graph.Node](w, opts.BurnIn); err != nil {
+		return nil, fmt.Errorf("sizeest: burn-in: %w", err)
+	}
+	s.ResetAccounting()
+
+	// One reweighted accumulator per degree value, all sharing the same
+	// denominator Σ1/d.
+	numer := make(map[int]float64)
+	var denom float64
+	for i := 0; i < k; i++ {
+		u, err := w.Step()
+		if err != nil {
+			return nil, fmt.Errorf("sizeest: degree distribution step %d: %w", i, err)
+		}
+		d, err := s.Degree(u)
+		if err != nil {
+			return nil, err
+		}
+		numer[d] += 1 / float64(d)
+		denom += 1 / float64(d)
+	}
+	if denom == 0 {
+		return nil, fmt.Errorf("sizeest: no usable samples")
+	}
+	out := make([]DegreeBucket, 0, len(numer))
+	for d, n := range numer {
+		out = append(out, DegreeBucket{Degree: d, Fraction: n / denom})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out, nil
+}
+
+// MeanDegree estimates the mean degree 2|E|/|V| from a walk using the
+// harmonic-mean identity E_π[1/d]⁻¹ = 2|E|/|V|: the reciprocal of the
+// average inverse degree along the walk. It needs neither |V| nor |E|.
+func MeanDegree(s *osn.Session, k int, opts Options) (float64, error) {
+	dist, err := DegreeDistribution(s, k, opts)
+	if err != nil {
+		return 0, err
+	}
+	// Mean over the unbiased distribution.
+	var mean float64
+	for _, b := range dist {
+		mean += float64(b.Degree) * b.Fraction
+	}
+	return mean, nil
+}

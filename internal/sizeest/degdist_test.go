@@ -1,0 +1,117 @@
+package sizeest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func TestDegreeDistributionValidation(t *testing.T) {
+	g := testGraph(t, 100, 11)
+	s := newSession(t, g)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := DegreeDistribution(s, 0, Options{BurnIn: 10, Rng: rng, Start: -1}); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := DegreeDistribution(s, 100, Options{BurnIn: 10, Start: -1}); err == nil {
+		t.Error("want error for nil Rng")
+	}
+}
+
+func TestDegreeDistributionSumsToOne(t *testing.T) {
+	g := testGraph(t, 500, 12)
+	s := newSession(t, g)
+	dist, err := DegreeDistribution(s, 400, Options{BurnIn: 200, Rng: rand.New(rand.NewSource(2)), Start: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	prev := -1
+	for _, b := range dist {
+		if b.Degree <= prev {
+			t.Fatalf("buckets not sorted at degree %d", b.Degree)
+		}
+		prev = b.Degree
+		if b.Fraction < 0 {
+			t.Fatalf("negative fraction for degree %d", b.Degree)
+		}
+		sum += b.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %g, want 1", sum)
+	}
+}
+
+func TestDegreeDistributionUnbiased(t *testing.T) {
+	g := testGraph(t, 1500, 13)
+	truthHist := exact.DegreeHistogram(g)
+	// Average the estimated P(d = minDeg) across repetitions. BA(m=4)
+	// pins the minimum degree at 4 with a large share of nodes.
+	const targetDeg = 4
+	truth := float64(truthHist.Count(targetDeg)) / float64(g.NumNodes())
+	if truth < 0.1 {
+		t.Fatalf("test premise broken: P(d=4) = %.3f", truth)
+	}
+	var sum float64
+	const reps = 40
+	for i := 0; i < reps; i++ {
+		s := newSession(t, g)
+		dist, err := DegreeDistribution(s, 500, Options{BurnIn: 200, Rng: rand.New(rand.NewSource(int64(i))), Start: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range dist {
+			if b.Degree == targetDeg {
+				sum += b.Fraction
+			}
+		}
+	}
+	got := sum / reps
+	if math.Abs(got-truth)/truth > 0.10 {
+		t.Errorf("P(d=%d) estimate %.4f, truth %.4f", targetDeg, got, truth)
+	}
+}
+
+func TestMeanDegreeEstimate(t *testing.T) {
+	g := testGraph(t, 1000, 14)
+	truth := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	var sum float64
+	const reps = 30
+	for i := 0; i < reps; i++ {
+		s := newSession(t, g)
+		m, err := MeanDegree(s, 400, Options{BurnIn: 200, Rng: rand.New(rand.NewSource(int64(100 + i))), Start: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += m
+	}
+	got := sum / reps
+	if math.Abs(got-truth)/truth > 0.10 {
+		t.Errorf("mean degree estimate %.2f, truth %.2f", got, truth)
+	}
+}
+
+func TestDegreeDistributionOnRegularGraph(t *testing.T) {
+	// A cycle: every node has degree 2, the distribution is a point mass.
+	b := graph.NewBuilder(50)
+	for i := 0; i < 50; i++ {
+		if err := b.AddEdge(graph.Node(i), graph.Node((i+1)%50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, g)
+	dist, err := DegreeDistribution(s, 100, Options{BurnIn: 50, Rng: rand.New(rand.NewSource(3)), Start: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 1 || dist[0].Degree != 2 || math.Abs(dist[0].Fraction-1) > 1e-9 {
+		t.Errorf("regular graph distribution = %v, want point mass at 2", dist)
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IntHistogram counts occurrences of integer-valued observations. It backs
+// the degree histograms used for degree-bucket labels and the dataset
+// statistics table.
+type IntHistogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int64)}
+}
+
+// Add records one observation of value v.
+func (h *IntHistogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// AddN records n observations of value v.
+func (h *IntHistogram) AddN(v int, n int64) {
+	h.counts[v] += n
+	h.total += n
+}
+
+// Count returns the number of observations of value v.
+func (h *IntHistogram) Count(v int) int64 { return h.counts[v] }
+
+// Total returns the total number of observations.
+func (h *IntHistogram) Total() int64 { return h.total }
+
+// Values returns the distinct observed values in ascending order.
+func (h *IntHistogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Mean returns the mean observed value.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Max returns the largest observed value, or 0 if empty.
+func (h *IntHistogram) Max() int {
+	max := 0
+	first := true
+	for v := range h.counts {
+		if first || v > max {
+			max = v
+			first = false
+		}
+	}
+	return max
+}
+
+// String renders the histogram compactly, capped at 20 rows.
+func (h *IntHistogram) String() string {
+	var b strings.Builder
+	vs := h.Values()
+	limit := len(vs)
+	if limit > 20 {
+		limit = 20
+	}
+	for _, v := range vs[:limit] {
+		fmt.Fprintf(&b, "%d:%d ", v, h.counts[v])
+	}
+	if len(vs) > limit {
+		fmt.Fprintf(&b, "... (%d more)", len(vs)-limit)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// LogBucket maps a positive value to a base-2 logarithmic bucket index:
+// 0 for value 1, 1 for 2-3, 2 for 4-7, and so on. It is how degree-bucket
+// labels are derived for the Orkut and Livejournal stand-ins, matching the
+// paper's use of node degree as the label when profiles are unavailable.
+func LogBucket(v int) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}

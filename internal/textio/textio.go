@@ -1,0 +1,196 @@
+// Package textio reads and writes graphs in the SNAP-style text formats the
+// paper's datasets ship in, so real Facebook/Pokec/Orkut files can be
+// dropped in as replacements for the synthetic stand-ins.
+//
+// Edge list format: one "u v" pair per line, whitespace separated; lines
+// starting with '#' or '%' are comments. Node IDs are non-negative integers
+// and need not be contiguous — they are compacted on load.
+//
+// Label file format: one "u l1 l2 ..." record per line assigning integer
+// labels to node u (original, pre-compaction IDs).
+package textio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// rawEdge is an edge in original (file) ID space.
+type rawEdge struct{ u, v int64 }
+
+// ReadEdgeList parses an edge list and returns the graph plus the mapping
+// from compacted node IDs back to original file IDs.
+func ReadEdgeList(r io.Reader) (*graph.Graph, []int64, error) {
+	g, orig, _, err := readEdgeListInternal(r)
+	return g, orig, err
+}
+
+func readEdgeListInternal(r io.Reader) (*graph.Graph, []int64, map[int64]graph.Node, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var edges []rawEdge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, nil, fmt.Errorf("textio: line %d: want at least two fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("textio: line %d: bad node id %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("textio: line %d: bad node id %q: %w", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, nil, fmt.Errorf("textio: line %d: negative node id", lineNo)
+		}
+		edges = append(edges, rawEdge{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, nil, fmt.Errorf("textio: reading edge list: %w", err)
+	}
+
+	// Compact IDs deterministically (sorted original IDs).
+	idSet := make(map[int64]struct{}, 2*len(edges))
+	for _, e := range edges {
+		idSet[e.u] = struct{}{}
+		idSet[e.v] = struct{}{}
+	}
+	orig := make([]int64, 0, len(idSet))
+	for id := range idSet {
+		orig = append(orig, id)
+	}
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	toNew := make(map[int64]graph.Node, len(orig))
+	for i, id := range orig {
+		toNew[id] = graph.Node(i)
+	}
+
+	b := graph.NewBuilder(len(orig))
+	for _, e := range edges {
+		if err := b.AddEdge(toNew[e.u], toNew[e.v]); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, orig, toNew, nil
+}
+
+// ReadLabeledGraph parses an edge list and a label file together, returning
+// a labeled graph. Labels referencing unknown node IDs are an error.
+func ReadLabeledGraph(edges io.Reader, labels io.Reader) (*graph.Graph, []int64, error) {
+	g, orig, toNew, err := readEdgeListInternal(edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Rebuild with labels attached.
+	b := graph.NewBuilder(g.NumNodes())
+	g.Edges(func(u, v graph.Node) bool {
+		_ = b.AddEdge(u, v)
+		return true
+	})
+	sc := bufio.NewScanner(labels)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("textio: labels line %d: want node id and at least one label", lineNo)
+		}
+		id, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("textio: labels line %d: bad node id %q: %w", lineNo, fields[0], err)
+		}
+		u, ok := toNew[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("textio: labels line %d: node %d not present in edge list", lineNo, id)
+		}
+		for _, f := range fields[1:] {
+			l, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("textio: labels line %d: bad label %q: %w", lineNo, f, err)
+			}
+			if err := b.AddLabel(u, graph.Label(l)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("textio: reading labels: %w", err)
+	}
+	lg, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return lg, orig, nil
+}
+
+// WriteEdgeList writes g as an edge list with a statistics header comment.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# undirected graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	var failed error
+	g.Edges(func(u, v graph.Node) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			failed = err
+			return false
+		}
+		return true
+	})
+	if failed != nil {
+		return fmt.Errorf("textio: writing edge list: %w", failed)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("textio: writing edge list: %w", err)
+	}
+	return nil
+}
+
+// WriteLabels writes the label sets of g, one "node labels..." record per
+// labeled node.
+func WriteLabels(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# node labels: node id followed by its labels\n")
+	for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
+		ls := g.Labels(u)
+		if len(ls) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d", u); err != nil {
+			return fmt.Errorf("textio: writing labels: %w", err)
+		}
+		for _, l := range ls {
+			if _, err := fmt.Fprintf(bw, " %d", l); err != nil {
+				return fmt.Errorf("textio: writing labels: %w", err)
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return fmt.Errorf("textio: writing labels: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("textio: writing labels: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package textio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := strings.NewReader(`# a comment
+% another comment
+0 1
+1 2
+2 0
+
+10 11
+`)
+	g, orig, err := ReadEdgeList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Errorf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	// IDs compacted in sorted order: 0,1,2,10,11.
+	want := []int64{0, 1, 2, 10, 11}
+	for i, w := range want {
+		if orig[i] != w {
+			t.Errorf("orig[%d] = %d, want %d", i, orig[i], w)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestReadEdgeListNonContiguousIDs(t *testing.T) {
+	in := strings.NewReader("1000000 2000000\n2000000 3000000\n")
+	g, orig, err := ReadEdgeList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("got %d/%d, want 3/2", g.NumNodes(), g.NumEdges())
+	}
+	if orig[0] != 1000000 {
+		t.Errorf("orig[0] = %d", orig[0])
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"one field", "5\n"},
+		{"non-numeric", "a b\n"},
+		{"negative", "-1 2\n"},
+		{"second field bad", "1 x\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := ReadEdgeList(strings.NewReader(c.input)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestReadLabeledGraph(t *testing.T) {
+	edges := strings.NewReader("0 1\n1 2\n")
+	labels := strings.NewReader(`# labels
+0 1
+1 2
+2 1 2
+`)
+	g, _, err := ReadLabeledGraph(edges, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasLabel(0, 1) || !g.HasLabel(1, 2) || !g.HasLabel(2, 1) || !g.HasLabel(2, 2) {
+		t.Error("labels not attached correctly")
+	}
+}
+
+func TestReadLabeledGraphUnknownNode(t *testing.T) {
+	edges := strings.NewReader("0 1\n")
+	labels := strings.NewReader("7 1\n")
+	if _, _, err := ReadLabeledGraph(edges, labels); err == nil {
+		t.Error("want error for label on unknown node")
+	}
+}
+
+func TestReadLabeledGraphBadLabel(t *testing.T) {
+	edges := strings.NewReader("0 1\n")
+	labels := strings.NewReader("0 xyz\n")
+	if _, _, err := ReadLabeledGraph(edges, labels); err == nil {
+		t.Error("want error for non-numeric label")
+	}
+	labels2 := strings.NewReader("0\n")
+	edges2 := strings.NewReader("0 1\n")
+	if _, _, err := ReadLabeledGraph(edges2, labels2); err == nil {
+		t.Error("want error for label line with no labels")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g0, err := gen.BarabasiAlbert(300, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Apply(g0, &gen.GenderLabeler{PFemale: 0.4, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var eb, lb bytes.Buffer
+	if err := WriteEdgeList(&eb, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLabels(&lb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadLabeledGraph(bytes.NewReader(eb.Bytes()), bytes.NewReader(lb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("structure changed: %d/%d -> %d/%d",
+			g.NumNodes(), g.NumEdges(), back.NumNodes(), back.NumEdges())
+	}
+	for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
+		if back.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree(%d) changed", u)
+		}
+		a, b := g.Labels(u), back.Labels(u)
+		if len(a) != len(b) {
+			t.Fatalf("labels(%d) changed", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("labels(%d) changed", u)
+			}
+		}
+	}
+}
+
+func TestWriteEdgeListHasHeader(t *testing.T) {
+	b := graph.NewBuilder(2)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "#") {
+		t.Error("missing header comment")
+	}
+	if !strings.Contains(out, "0 1") {
+		t.Error("missing edge line")
+	}
+}
+
+func TestWriteLabelsSkipsUnlabeled(t *testing.T) {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetLabels(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + one labeled node.
+	if len(lines) != 2 {
+		t.Errorf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "1 9") {
+		t.Errorf("label record wrong: %q", lines[1])
+	}
+}

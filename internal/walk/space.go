@@ -1,0 +1,85 @@
+// Package walk implements the random-walk engine: simple, non-backtracking,
+// Metropolis–Hastings, maximum-degree, rejection-controlled MH and general
+// maximum-degree walkers, plus exact and sampled mixing-time computation by
+// total-variation distance (paper Section 5.1, Eq. 23).
+//
+// Walkers are generic over the state space, so the same implementations run
+// directly on an OSN session (states are users) and on the implicit line
+// graph (states are edges) that the baseline adaptations of Li et al. [16]
+// require.
+package walk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/osn"
+)
+
+// Space is the abstract state space a walker moves over. Implementations
+// translate these calls into metered OSN API calls.
+type Space[N comparable] interface {
+	// Degree returns the number of neighbors of n.
+	Degree(n N) (int, error)
+	// Neighbor returns the i-th neighbor of n, 0 <= i < Degree(n).
+	Neighbor(n N, i int) (N, error)
+}
+
+// randomNeighbor draws a uniform neighbor of n, returning the neighbor and
+// the degree of n.
+func randomNeighbor[N comparable](sp Space[N], n N, rng *rand.Rand) (N, int, error) {
+	var zero N
+	d, err := sp.Degree(n)
+	if err != nil {
+		return zero, 0, err
+	}
+	if d == 0 {
+		return zero, 0, fmt.Errorf("walk: state %v has no neighbors", n)
+	}
+	v, err := sp.Neighbor(n, rng.Intn(d))
+	if err != nil {
+		return zero, 0, err
+	}
+	return v, d, nil
+}
+
+// NodeSpace adapts an osn.Session to the Space interface with users as
+// states. The session's crawl cache makes the Degree-then-Neighbor pattern
+// cost one API call per distinct user.
+type NodeSpace struct {
+	S *osn.Session
+}
+
+// Degree implements Space.
+func (ns NodeSpace) Degree(u graph.Node) (int, error) { return ns.S.Degree(u) }
+
+// Neighbor implements Space.
+func (ns NodeSpace) Neighbor(u graph.Node, i int) (graph.Node, error) {
+	adj, err := ns.S.Neighbors(u)
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= len(adj) {
+		return 0, fmt.Errorf("walk: neighbor index %d out of range for node %d (degree %d)", i, u, len(adj))
+	}
+	return adj[i], nil
+}
+
+// GraphSpace adapts a fully accessible graph.Graph to the Space interface,
+// used by tests and by mixing-time computation where the access restriction
+// is irrelevant.
+type GraphSpace struct {
+	G *graph.Graph
+}
+
+// Degree implements Space.
+func (gs GraphSpace) Degree(u graph.Node) (int, error) { return gs.G.Degree(u), nil }
+
+// Neighbor implements Space.
+func (gs GraphSpace) Neighbor(u graph.Node, i int) (graph.Node, error) {
+	if i < 0 || i >= gs.G.Degree(u) {
+		return 0, fmt.Errorf("walk: neighbor index %d out of range for node %d", i, u)
+	}
+	return gs.G.Neighbor(u, i), nil
+}

@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/osn"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// MotifKind selects the label-refined motif to estimate — the paper's
+// future-work direction ("numbers of wedges and triangles refined by
+// users' labels"), implemented in this library as an extension.
+type MotifKind string
+
+const (
+	// LabeledWedges counts wedges whose both edges are target edges.
+	LabeledWedges MotifKind = "labeled-wedges"
+	// LabeledTriangles counts triangles containing at least one target edge.
+	LabeledTriangles MotifKind = "labeled-triangles"
+)
+
+// EstimateLabeledMotif estimates the chosen label-refined motif count for
+// the pair via random walk, under the same restricted access model as
+// EstimateTargetEdges. Budget semantics match EstimateOptions.
+func EstimateLabeledMotif(g *Graph, pair LabelPair, kind MotifKind, opts EstimateOptions) (Result, error) {
+	var res Result
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		return res, fmt.Errorf("repro: graph has no edges to sample")
+	}
+	k := opts.Samples
+	if k <= 0 {
+		budget := opts.Budget
+		if budget <= 0 {
+			budget = 0.05
+		}
+		k = int(math.Round(budget * float64(g.NumNodes())))
+		if k < 1 {
+			k = 1
+		}
+	}
+	burn := opts.BurnIn
+	if burn <= 0 {
+		mixed, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
+			MaxSteps:   5000,
+			StartNodes: walk.DefaultMixingStarts(g, 4),
+		})
+		if err != nil {
+			return res, err
+		}
+		burn = mixed.Steps
+		if burn < 10 {
+			burn = 10
+		}
+	}
+	res.BurnIn = burn
+	res.Samples = k
+	res.Method = Method(kind)
+
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		return res, err
+	}
+	mopts := motif.Options{
+		BurnIn: burn,
+		Rng:    stats.NewSeedSequence(opts.Seed).NextRand(),
+		Start:  graph.Node(-1),
+	}
+	var r motif.Result
+	switch kind {
+	case LabeledWedges:
+		r, err = motif.LabeledWedges(s, pair, k, mopts)
+	case LabeledTriangles:
+		r, err = motif.LabeledTriangles(s, pair, k, mopts)
+	default:
+		return res, fmt.Errorf("repro: unknown motif kind %q", kind)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Estimate = r.Estimate
+	res.Samples = r.Samples
+	res.APICalls = r.APICalls
+	return res, nil
+}
+
+// CountLabeledMotifExact computes the exact motif count by full traversal,
+// for validation.
+func CountLabeledMotifExact(g *Graph, pair LabelPair, kind MotifKind) (int64, error) {
+	switch kind {
+	case LabeledWedges:
+		return exact.CountLabeledWedges(g, pair), nil
+	case LabeledTriangles:
+		return exact.CountLabeledTriangles(g, pair), nil
+	}
+	return 0, fmt.Errorf("repro: unknown motif kind %q", kind)
+}

@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestEstimateLabeledMotifWedges(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.25, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := LabelPair{T1: 1, T2: 2}
+	truth, err := CountLabeledMotifExact(g, pair, LabeledWedges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == 0 {
+		t.Fatal("no labeled wedges in stand-in")
+	}
+	const reps = 60
+	ests := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		res, err := EstimateLabeledMotif(g, pair, LabeledWedges, EstimateOptions{
+			Budget: 0.3, BurnIn: 200, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, res.Estimate)
+	}
+	if bias := stats.RelativeBias(ests, float64(truth)); math.Abs(bias) > 0.15 {
+		t.Errorf("labeled-wedge facade bias %.3f (truth %d, mean %.0f)",
+			bias, truth, stats.Mean(ests))
+	}
+}
+
+func TestEstimateLabeledMotifTriangles(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.25, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := LabelPair{T1: 1, T2: 2}
+	truth, err := CountLabeledMotifExact(g, pair, LabeledTriangles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == 0 {
+		t.Fatal("no labeled triangles in stand-in")
+	}
+	const reps = 60
+	ests := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		res, err := EstimateLabeledMotif(g, pair, LabeledTriangles, EstimateOptions{
+			Budget: 0.3, BurnIn: 200, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, res.Estimate)
+	}
+	if bias := stats.RelativeBias(ests, float64(truth)); math.Abs(bias) > 0.15 {
+		t.Errorf("labeled-triangle facade bias %.3f (truth %d, mean %.0f)",
+			bias, truth, stats.Mean(ests))
+	}
+}
+
+func TestEstimateLabeledMotifValidation(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.1, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateLabeledMotif(g, LabelPair{T1: 1, T2: 2}, MotifKind("bogus"), EstimateOptions{BurnIn: 10}); err == nil {
+		t.Error("want error for unknown motif kind")
+	}
+	empty, err := NewBuilder(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateLabeledMotif(empty, LabelPair{T1: 1, T2: 2}, LabeledWedges, EstimateOptions{}); err == nil {
+		t.Error("want error for edgeless graph")
+	}
+	if _, err := CountLabeledMotifExact(g, LabelPair{T1: 1, T2: 2}, MotifKind("bogus")); err == nil {
+		t.Error("want error for unknown motif kind in exact count")
+	}
+}

@@ -1,0 +1,190 @@
+// Package repro is a Go reproduction of "Counting Edges with Target Labels
+// in Online Social Networks via Random Walk" (Wu, Long, Fu & Chen, EDBT
+// 2018). It estimates F, the number of edges whose endpoints carry a given
+// pair of target labels, over a graph reachable only through
+// neighbors-of-node API calls.
+//
+// The package exposes the paper's two algorithms (NeighborSample and
+// NeighborExploration) with their five estimators, the five baseline
+// adaptations used in the paper's evaluation, the theoretical sample-size
+// bounds of Theorems 4.1–4.5, synthetic OSN generators standing in for the
+// paper's datasets, and the experiment harness that regenerates every table
+// and figure of the evaluation.
+//
+// Quick start:
+//
+//	g, _ := repro.GenerateStandIn("pokec", 1.0, 42)
+//	res, _ := repro.EstimateTargetEdges(g, repro.LabelPair{T1: 2, T2: 51}, repro.EstimateOptions{
+//		Budget: 0.05, // API calls as a fraction of |V|
+//		Seed:   1,
+//	})
+//	fmt.Printf("estimated %d target edges with %d API calls\n", int64(res.Estimate), res.APICalls)
+package repro
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/sizeest"
+	"repro/internal/stats"
+	"repro/internal/textio"
+	"repro/internal/walk"
+)
+
+// Re-exported fundamental types. Downstream code uses these aliases; the
+// internal packages stay implementation detail.
+type (
+	// Graph is an immutable labeled undirected graph in CSR form.
+	Graph = graph.Graph
+	// Node identifies a node (dense integers in [0, NumNodes)).
+	Node = graph.Node
+	// Label is an integer node label.
+	Label = graph.Label
+	// LabelPair is an unordered pair of target labels — the query.
+	LabelPair = graph.LabelPair
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Builder accumulates edges and labels into a Graph.
+	Builder = graph.Builder
+	// Session is a metered restricted-access handle to a graph.
+	Session = osn.Session
+	// SessionConfig controls budgets and failure injection of a Session.
+	SessionConfig = osn.Config
+)
+
+// NewBuilder returns a graph builder over n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// NewSession wraps g in the restricted access model of the paper: only
+// neighbor-list API calls, with |V| and |E| as prior knowledge.
+func NewSession(g *Graph, cfg SessionConfig) (*Session, error) { return osn.NewSession(g, cfg) }
+
+// GenerateStandIn builds one of the five synthetic stand-ins for the
+// paper's datasets: "facebook", "googleplus", "pokec", "orkut" or
+// "livejournal". Scale 1.0 is the laptop-feasible default size;
+// deterministic in seed.
+func GenerateStandIn(name string, scale float64, seed int64) (*Graph, error) {
+	return gen.Build(gen.StandIn(name), scale, seed)
+}
+
+// StandInNames lists the available stand-in datasets.
+func StandInNames() []string {
+	names := make([]string, 0, 5)
+	for _, s := range gen.StandIns() {
+		names = append(names, string(s))
+	}
+	return names
+}
+
+// LoadGraph reads a SNAP-style edge list plus an optional label file
+// (empty labelPath means unlabeled) and returns the graph's largest
+// connected component, matching the paper's preprocessing.
+func LoadGraph(edgePath, labelPath string) (*Graph, error) {
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, fmt.Errorf("repro: opening edge list: %w", err)
+	}
+	defer ef.Close()
+	var g *Graph
+	if labelPath == "" {
+		g, _, err = textio.ReadEdgeList(ef)
+	} else {
+		var lf *os.File
+		lf, err = os.Open(labelPath)
+		if err != nil {
+			return nil, fmt.Errorf("repro: opening label file: %w", err)
+		}
+		defer lf.Close()
+		g, _, err = textio.ReadLabeledGraph(ef, lf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	lcc, _ := graph.LargestComponent(g)
+	return lcc, nil
+}
+
+// CountTargetEdgesExact computes the ground-truth F by full traversal —
+// available here because the library holds the whole graph; a real crawler
+// cannot do this, which is the paper's point.
+func CountTargetEdgesExact(g *Graph, pair LabelPair) int64 {
+	return exact.CountTargetEdges(g, pair)
+}
+
+// MixingTime computes the simple-random-walk mixing time T(eps) of g per
+// the paper's Eq. 23, maximized over a small representative set of start
+// nodes (see walk.DefaultMixingStarts).
+func MixingTime(g *Graph, eps float64) (int, error) {
+	res, err := walk.MixingTime(g, eps, walk.MixingOptions{
+		MaxSteps:   20000,
+		StartNodes: walk.DefaultMixingStarts(g, 4),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !res.Converged {
+		return res.Steps, fmt.Errorf("repro: walk did not mix within %d steps (TV=%.3g); graph may be bipartite", res.Steps, res.FinalTV)
+	}
+	return res.Steps, nil
+}
+
+// Bounds re-exports the Theorem 4.1–4.5 sample-size bounds.
+type Bounds = core.Bounds
+
+// TheoreticalBounds evaluates Theorems 4.1–4.5: the sample sizes at which
+// each estimator is guaranteed to be an (eps, delta)-approximation of F.
+func TheoreticalBounds(g *Graph, pair LabelPair, eps, delta float64) (Bounds, error) {
+	return core.ComputeBounds(g, pair, estimate.Approx{Eps: eps, Delta: delta})
+}
+
+// Derive returns a child seed bound to (seed, tag); use it to split one
+// experiment seed into independent streams.
+func Derive(seed int64, tag string) int64 { return stats.Derive(seed, tag) }
+
+// EstimateGraphSize estimates |V| and |E| by random walk (Katzir et al.
+// collision counting plus inverse-degree weighting) — the substrate behind
+// the paper's assumption (2) for OSNs whose sizes are not published. budget
+// is the sample count as a fraction of the true |V| (only used to size the
+// walk; the estimator itself never reads |V|).
+func EstimateGraphSize(g *Graph, budget float64, seed int64) (nodes, edges float64, err error) {
+	if budget <= 0 {
+		budget = 0.1
+	}
+	k := int(budget * float64(g.NumNodes()))
+	if k < 50 {
+		k = 50
+	}
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		return 0, 0, err
+	}
+	burn, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
+		MaxSteps:   5000,
+		StartNodes: walk.DefaultMixingStarts(g, 4),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return sizeest.EstimateWithPriors(s, k, sizeest.Options{
+		BurnIn: burn.Steps + 10,
+		Rng:    stats.NewSeedSequence(seed).NextRand(),
+		Start:  graph.Node(-1),
+	})
+}
+
+// Baseline names re-exported for callers that want to run the EX-*
+// adaptations directly.
+const (
+	BaselineRW   = string(baseline.RW)
+	BaselineMHRW = string(baseline.MHRW)
+	BaselineMDRW = string(baseline.MDRW)
+	BaselineRCMH = string(baseline.RCMH)
+	BaselineGMD  = string(baseline.GMD)
+)
