@@ -28,6 +28,7 @@ func main() {
 		budget  = flag.Float64("budget", 0.05, "walk samples as a fraction of |V|")
 		top     = flag.Int("top", 20, "how many pairs to print")
 		seed    = flag.Int64("seed", 1, "random seed")
+		walkers = flag.Int("walkers", 0, "concurrent walkers splitting the census walk (0/1 = serial)")
 		exactF  = flag.Bool("exact", true, "also print the exact counts for comparison")
 	)
 	flag.Parse()
@@ -52,7 +53,11 @@ func main() {
 	}
 	fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumNodes(), g.NumEdges())
 
-	pairs, err := repro.DiscoverLabelPairs(g, *budget, *seed)
+	pairs, err := repro.DiscoverLabelPairsOpts(g, repro.CensusOptions{
+		Budget:  *budget,
+		Seed:    *seed,
+		Walkers: *walkers,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "census:", err)
 		os.Exit(1)

@@ -31,6 +31,7 @@ func main() {
 		samples = flag.Int("samples", 0, "absolute sample count (overrides -budget)")
 		burnin  = flag.Int("burnin", 0, "walk burn-in steps (0 = measure mixing time)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		walkers = flag.Int("walkers", 0, "concurrent walkers inside the estimate (0/1 = serial)")
 		exactF  = flag.Bool("exact", true, "also compute the exact count for comparison")
 	)
 	flag.Parse()
@@ -63,14 +64,19 @@ func main() {
 		Samples: *samples,
 		BurnIn:  *burnin,
 		Seed:    *seed,
+		Walkers: *walkers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgecount:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("pair %v: estimate F̂ = %.1f\n", pair, res.Estimate)
-	fmt.Printf("method=%s samples=%d burnin=%d api_calls=%d\n",
-		res.Method, res.Samples, res.BurnIn, res.APICalls)
+	fmt.Printf("method=%s samples=%d burnin=%d api_calls=%d walkers=%d\n",
+		res.Method, res.Samples, res.BurnIn, res.APICalls, res.Walkers)
+	if res.CI.Valid() {
+		fmt.Printf("%.0f%% CI [%.1f, %.1f] (stderr %.1f from %d walkers)\n",
+			res.CI.Level*100, res.CI.Low, res.CI.High, res.CI.StdErr, res.CI.Walkers)
+	}
 	if *exactF {
 		truth := repro.CountTargetEdgesExact(g, pair)
 		relErr := math.NaN()

@@ -34,7 +34,8 @@ func main() {
 		reps    = flag.Int("reps", 50, "independent simulations per NRMSE cell (paper: 200)")
 		scale   = flag.Float64("scale", 0.5, "stand-in scale factor (1.0 = default sizes)")
 		seed    = flag.Int64("seed", 2018, "root random seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "parallel workers across repetitions (0 = GOMAXPROCS)")
+		walkers = flag.Int("walkers", 0, "concurrent walkers inside each estimate (0/1 = serial)")
 		burnin  = flag.Int("burnin", 0, "fixed burn-in steps (0 = measure mixing time per graph)")
 		csvdir  = flag.String("csvdir", "", "also write sweep/figure data as CSV files into this directory")
 	)
@@ -49,6 +50,7 @@ func main() {
 
 	suite := experiment.NewSuite(*scale, *seed, *reps)
 	suite.Workers = *workers
+	suite.Walkers = *walkers
 	suite.BurnIn = *burnin
 
 	emit := func(what string, f func() (string, error)) {

@@ -1,12 +1,14 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/estimate"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/osn"
@@ -63,7 +65,21 @@ type EstimateOptions struct {
 	Alpha float64
 	// Delta is the EX-GMD control parameter (default 0.5).
 	Delta float64
+	// Walkers is the number of concurrent walkers sampling inside the
+	// estimate, all metered against one shared session. 0 or 1 runs the
+	// original serial path (bit-identical for a fixed Seed); W >= 2 splits
+	// the budget into per-walker shares, scales across cores, and reports a
+	// variance-based confidence interval in Result.CI. Results are
+	// reproducible for a fixed (Seed, Walkers) regardless of scheduling.
+	Walkers int
+	// Ctx cancels an estimate in flight (every walk loop checks it); nil
+	// means context.Background().
+	Ctx context.Context
 }
+
+// CI is a variance-based confidence interval computed from the per-walker
+// estimates of a multi-walker run (alias of the internal estimator type).
+type CI = estimate.CI
 
 // Result reports one estimation run.
 type Result struct {
@@ -74,11 +90,26 @@ type Result struct {
 	Method Method
 	// Samples is the number of walk samples used.
 	Samples int
-	// APICalls is the number of charged API calls during sampling.
+	// APICalls is the number of charged API calls during sampling. For a
+	// multi-walker run this sums the per-walker bills (each walker pays for
+	// its own calls; the shared response cache may make actual upstream
+	// fetches fewer).
 	APICalls int64
 	// BurnIn is the burn-in that was applied.
 	BurnIn int
+	// Walkers is the concurrent walker count the estimate ran with.
+	Walkers int
+	// CI is a variance-based interval from the spread of the per-walker
+	// estimates (centered on their mean; the pooled Estimate can fall
+	// slightly outside it — see estimate.CI). Valid() is false on serial
+	// (Walkers <= 1) runs, which have a single walker and therefore no
+	// between-walker variance to measure.
+	CI CI
 }
+
+// EstimateResult is an alias for Result, the outcome of
+// EstimateTargetEdges.
+type EstimateResult = Result
 
 // EstimateTargetEdges estimates the number of target edges of g for pair
 // using only restricted API access internally. It is the library's
@@ -140,7 +171,14 @@ func EstimateTargetEdges(g *Graph, pair LabelPair, opts EstimateOptions) (Result
 	}
 	res.Method = method
 
-	copts := core.Options{BurnIn: burn, Rng: rng, Start: -1}
+	copts := core.Options{
+		BurnIn:  burn,
+		Rng:     rng,
+		Start:   -1,
+		Walkers: opts.Walkers,
+		Seed:    stats.Derive(opts.Seed, "multiwalk"),
+		Ctx:     opts.Ctx,
+	}
 	switch method {
 	case NeighborSampleHH, NeighborSampleHT:
 		r, err := core.NeighborSample(s, pair, k, copts)
@@ -148,10 +186,13 @@ func EstimateTargetEdges(g *Graph, pair LabelPair, opts EstimateOptions) (Result
 			return res, err
 		}
 		res.APICalls = r.APICalls
+		res.Walkers = r.Walkers
 		if method == NeighborSampleHH {
 			res.Estimate = r.HH
+			res.CI = r.HHCI
 		} else {
 			res.Estimate = r.HT
+			res.CI = r.HTCI
 		}
 	case NeighborExplorationHH, NeighborExplorationHT, NeighborExplorationRW:
 		r, err := core.NeighborExploration(s, pair, k, copts)
@@ -159,13 +200,17 @@ func EstimateTargetEdges(g *Graph, pair LabelPair, opts EstimateOptions) (Result
 			return res, err
 		}
 		res.APICalls = r.APICalls
+		res.Walkers = r.Walkers
 		switch method {
 		case NeighborExplorationHH:
 			res.Estimate = r.HH
+			res.CI = r.HHCI
 		case NeighborExplorationHT:
 			res.Estimate = r.HT
+			res.CI = r.HTCI
 		default:
 			res.Estimate = r.RW
+			res.CI = r.RWCI
 		}
 	case BaselineMethodRW, BaselineMethodMHRW, BaselineMethodMDRW, BaselineMethodRCMH, BaselineMethodGMD:
 		alpha := opts.Alpha
@@ -183,12 +228,17 @@ func EstimateTargetEdges(g *Graph, pair LabelPair, opts EstimateOptions) (Result
 			Alpha:      alpha,
 			Delta:      delta,
 			MaxDegreeG: exact.MaxDegree(g),
+			Walkers:    opts.Walkers,
+			Seed:       stats.Derive(opts.Seed, "multiwalk/baseline"),
+			Ctx:        opts.Ctx,
 		})
 		if err != nil {
 			return res, err
 		}
 		res.APICalls = r.APICalls
+		res.Walkers = r.Walkers
 		res.Estimate = r.Estimate
+		res.CI = r.CI
 	default:
 		return res, fmt.Errorf("repro: unknown method %q (want one of %v)", method, Methods())
 	}
@@ -205,9 +255,29 @@ type PairEstimate = core.PairEstimate
 // walk never hit are absent (they are exactly the rare pairs that need a
 // dedicated NeighborExploration run).
 func DiscoverLabelPairs(g *Graph, budget float64, seed int64) ([]PairEstimate, error) {
+	return DiscoverLabelPairsOpts(g, CensusOptions{Budget: budget, Seed: seed})
+}
+
+// CensusOptions configures DiscoverLabelPairsOpts.
+type CensusOptions struct {
+	// Budget is the sample size as a fraction of |V|; 0 means 5%.
+	Budget float64
+	// Seed drives all randomness.
+	Seed int64
+	// Walkers is the number of concurrent walkers splitting the census walk
+	// (see EstimateOptions.Walkers); 0 or 1 runs one serial walk.
+	Walkers int
+	// Ctx cancels the census in flight; nil means context.Background().
+	Ctx context.Context
+}
+
+// DiscoverLabelPairsOpts is DiscoverLabelPairs with multi-walker and
+// cancellation control.
+func DiscoverLabelPairsOpts(g *Graph, opts CensusOptions) ([]PairEstimate, error) {
 	if g.NumNodes() == 0 || g.NumEdges() == 0 {
 		return nil, fmt.Errorf("repro: graph has no edges to sample")
 	}
+	budget := opts.Budget
 	if budget <= 0 {
 		budget = 0.05
 	}
@@ -231,9 +301,12 @@ func DiscoverLabelPairs(g *Graph, budget float64, seed int64) ([]PairEstimate, e
 		burn = 10
 	}
 	res, err := core.EstimateCensus(s, k, core.Options{
-		BurnIn: burn,
-		Rng:    stats.NewSeedSequence(seed).NextRand(),
-		Start:  -1,
+		BurnIn:  burn,
+		Rng:     stats.NewSeedSequence(opts.Seed).NextRand(),
+		Start:   -1,
+		Walkers: opts.Walkers,
+		Seed:    stats.Derive(opts.Seed, "census/multiwalk"),
+		Ctx:     opts.Ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -11,6 +11,8 @@
 package baseline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -56,6 +58,15 @@ type Options struct {
 	// the proposed algorithms (a line-graph transition touches two
 	// endpoints' neighbor lists).
 	BudgetDriven bool
+	// Walkers is the number of concurrent line-graph walkers inside one
+	// estimate, sharing the session's budget and response cache. 0 or 1
+	// runs the serial path; W >= 2 requires Seed.
+	Walkers int
+	// Seed roots the per-walker RNG streams when Walkers >= 2 (see
+	// core.Options.Seed).
+	Seed int64
+	// Ctx cancels a run in flight; nil means context.Background().
+	Ctx context.Context
 }
 
 // Result is the outcome of one baseline run.
@@ -66,8 +77,14 @@ type Result struct {
 	Samples int
 	// TargetHits is how many retained states were target edges.
 	TargetHits int
-	// APICalls is the number of charged API calls during sampling.
+	// APICalls is the number of charged API calls during sampling (summed
+	// per-walker bills for a multi-walker run).
 	APICalls int64
+	// Walkers is how many concurrent walkers produced the estimate.
+	Walkers int
+	// CI is a variance-based confidence interval over the per-walker
+	// estimates; zero (Valid() == false) on serial runs.
+	CI estimate.CI
 }
 
 // Estimate runs the chosen baseline for k line-graph walk steps and returns
@@ -83,17 +100,21 @@ func Estimate(s *osn.Session, pair graph.LabelPair, method Method, k int, opts O
 	if opts.BurnIn < 0 {
 		return res, fmt.Errorf("baseline: negative burn-in %d", opts.BurnIn)
 	}
+	if opts.Walkers > 1 {
+		return estimateParallel(s, pair, method, k, opts)
+	}
 
+	ctx := opts.ctx()
 	view := linegraph.View{S: s}
 	start, err := view.RandomEdge(opts.Rng)
 	if err != nil {
 		return res, err
 	}
-	w, err := newWalker(view, start, method, opts)
+	w, err := newWalker(view, start, method, opts, opts.Rng)
 	if err != nil {
 		return res, err
 	}
-	if err := walk.Burnin[graph.Edge](w, opts.BurnIn); err != nil {
+	if err := walk.BurninCtx[graph.Edge](ctx, w, opts.BurnIn); err != nil {
 		return res, fmt.Errorf("baseline: %s burn-in: %w", method, err)
 	}
 	s.ResetAccounting()
@@ -104,6 +125,9 @@ func Estimate(s *osn.Session, pair graph.LabelPair, method Method, k int, opts O
 		maxIters = 50 * k
 	}
 	for i := 0; i < maxIters; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if opts.BudgetDriven && s.Calls() >= int64(k) {
 			break
 		}
@@ -127,24 +151,137 @@ func Estimate(s *osn.Session, pair graph.LabelPair, method Method, k int, opts O
 	}
 	res.Estimate = rw.Ratio() * float64(s.NumEdges())
 	res.APICalls = s.Calls()
+	res.Walkers = 1
 	return res, nil
 }
 
-// newWalker builds the line-graph walker for the method.
-func newWalker(view linegraph.View, start graph.Edge, method Method, opts Options) (walk.Walker[graph.Edge], error) {
+// walkerTally is one line-graph walker's contribution to a parallel
+// baseline estimate.
+type walkerTally struct {
+	rw         estimate.Reweighted
+	samples    int
+	targetHits int
+}
+
+// estimateParallel runs the chosen baseline with W concurrent line-graph
+// walkers over one shared session, mirroring the multi-walker engine of the
+// core algorithms: per-walker RNG streams and budget shares make the merged
+// estimate deterministic for a fixed seed, and the per-walker ratios yield
+// a variance-based confidence interval.
+func estimateParallel(s *osn.Session, pair graph.LabelPair, method Method, k int, opts Options) (Result, error) {
+	var res Result
+	W := opts.Walkers
+	if W > k {
+		W = k
+	}
+	tallies := make([]walkerTally, W)
+
+	cfg := walk.FleetConfig[graph.Edge]{
+		Session:      s,
+		Ctx:          opts.Ctx,
+		Seed:         opts.Seed,
+		Walkers:      W,
+		K:            k,
+		BudgetDriven: opts.BudgetDriven,
+		BurnIn:       opts.BurnIn,
+		NewWalker: func(r *walk.FleetRun[graph.Edge]) (walk.Walker[graph.Edge], error) {
+			view := linegraph.View{S: r.Meter}
+			start, err := view.RandomEdge(r.Rng)
+			if err != nil {
+				return nil, err
+			}
+			return newWalker(view, start, method, opts, r.Rng)
+		},
+		Sample: func(r *walk.FleetRun[graph.Edge]) error {
+			view := linegraph.View{S: r.Meter}
+			tally := &tallies[r.ID]
+			maxIters := r.MaxIters()
+			for i := 0; i < maxIters; i++ {
+				if err := r.Ctx.Err(); err != nil {
+					return err
+				}
+				if r.Done(tally.samples) {
+					break
+				}
+				e, err := r.W.Step()
+				if err != nil {
+					if errors.Is(err, osn.ErrBudgetExhausted) {
+						break
+					}
+					return fmt.Errorf("baseline: %s step %d: %w", method, i, err)
+				}
+				// Resolve both fallible calls before touching the tally, so a
+				// budget-exhausted retraction never leaves Samples/TargetHits
+				// inconsistent with the draws actually fed to the estimator.
+				weight, err := r.W.StationaryWeight(e)
+				if err != nil {
+					if errors.Is(err, osn.ErrBudgetExhausted) {
+						break
+					}
+					return err
+				}
+				tally.samples++
+				indicator := 0.0
+				if view.IsTarget(e, pair) {
+					indicator = 1
+					tally.targetHits++
+				}
+				if err := tally.rw.Add(indicator, weight); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	calls, err := walk.RunFleet(cfg)
+	if err != nil {
+		return res, err
+	}
+
+	numEdges := float64(s.NumEdges())
+	pooled := &estimate.Reweighted{}
+	perEst := make([]float64, 0, W)
+	for i := range tallies {
+		t := &tallies[i]
+		res.Samples += t.samples
+		res.TargetHits += t.targetHits
+		pooled.Merge(&t.rw)
+		if t.samples > 0 {
+			perEst = append(perEst, t.rw.Ratio()*numEdges)
+		}
+	}
+	res.Estimate = pooled.Ratio() * numEdges
+	res.CI = estimate.CIFromEstimates(perEst, 0.95)
+	for _, c := range calls {
+		res.APICalls += c
+	}
+	res.Walkers = W
+	return res, nil
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (o *Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// newWalker builds the line-graph walker for the method, driven by rng.
+func newWalker(view linegraph.View, start graph.Edge, method Method, opts Options, rng *rand.Rand) (walk.Walker[graph.Edge], error) {
 	var sp walk.Space[graph.Edge] = view
 	switch method {
 	case RW:
-		return walk.NewSimple[graph.Edge](sp, start, opts.Rng), nil
+		return walk.NewSimple[graph.Edge](sp, start, rng), nil
 	case MHRW:
-		return walk.NewMetropolisHastings[graph.Edge](sp, start, opts.Rng), nil
+		return walk.NewMetropolisHastings[graph.Edge](sp, start, rng), nil
 	case MDRW:
 		if opts.MaxDegreeG <= 0 {
 			return nil, fmt.Errorf("baseline: MDRW requires MaxDegreeG > 0")
 		}
-		return walk.NewMaxDegree[graph.Edge](sp, start, linegraph.MaxDegree(opts.MaxDegreeG), opts.Rng)
+		return walk.NewMaxDegree[graph.Edge](sp, start, linegraph.MaxDegree(opts.MaxDegreeG), rng)
 	case RCMH:
-		return walk.NewRejectionControlledMH[graph.Edge](sp, start, opts.Alpha, opts.Rng)
+		return walk.NewRejectionControlledMH[graph.Edge](sp, start, opts.Alpha, rng)
 	case GMD:
 		if opts.MaxDegreeG <= 0 {
 			return nil, fmt.Errorf("baseline: GMD requires MaxDegreeG > 0")
@@ -152,7 +289,7 @@ func newWalker(view linegraph.View, start graph.Edge, method Method, opts Option
 		if opts.Delta == 0 {
 			return nil, fmt.Errorf("baseline: GMD requires Delta in (0,1]")
 		}
-		return walk.NewGeneralMaxDegree[graph.Edge](sp, start, linegraph.MaxDegree(opts.MaxDegreeG), opts.Delta, opts.Rng)
+		return walk.NewGeneralMaxDegree[graph.Edge](sp, start, linegraph.MaxDegree(opts.MaxDegreeG), opts.Delta, rng)
 	default:
 		return nil, fmt.Errorf("baseline: unknown method %q (want one of %v)", method, Methods())
 	}

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/osn"
+)
+
+func parallelSession(t testing.TB) (*osn.Session, *graph.Graph) {
+	t.Helper()
+	g, err := gen.Build(gen.Facebook, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestEstimateParallelDeterministicAndAccurate(t *testing.T) {
+	s, g := parallelSession(t)
+	pair := graph.LabelPair{T1: 1, T2: 2}
+	truth := float64(exact.CountTargetEdges(g, pair))
+	opts := Options{
+		BurnIn:     150,
+		Rng:        rand.New(rand.NewSource(1)),
+		Alpha:      0.15,
+		Delta:      0.5,
+		MaxDegreeG: exact.MaxDegree(g),
+		Walkers:    4,
+		Seed:       17,
+	}
+	run := func() Result {
+		s2, _ := parallelSession(t)
+		r, err := Estimate(s2, pair, RW, 400, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	_ = s
+	a, b := run(), run()
+	if math.Float64bits(a.Estimate) != math.Float64bits(b.Estimate) ||
+		a.Samples != b.Samples || a.APICalls != b.APICalls {
+		t.Errorf("multi-walker baseline runs differ:\n%+v\n%+v", a, b)
+	}
+	if a.Walkers != 4 {
+		t.Errorf("Walkers = %d, want 4", a.Walkers)
+	}
+	if !a.CI.Valid() {
+		t.Errorf("CI not populated: %+v", a.CI)
+	}
+	if a.Estimate < truth/4 || a.Estimate > truth*4 {
+		t.Errorf("estimate %.0f outside 4x of truth %.0f", a.Estimate, truth)
+	}
+}
+
+func TestEstimateParallelAllMethods(t *testing.T) {
+	pair := graph.LabelPair{T1: 1, T2: 2}
+	for _, m := range Methods() {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			s, g := parallelSession(t)
+			r, err := Estimate(s, pair, m, 300, Options{
+				BurnIn:       100,
+				Rng:          rand.New(rand.NewSource(2)),
+				Alpha:        0.15,
+				Delta:        0.5,
+				MaxDegreeG:   exact.MaxDegree(g),
+				BudgetDriven: true,
+				Walkers:      3,
+				Seed:         5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Walkers != 3 || r.Samples == 0 {
+				t.Errorf("bad result: %+v", r)
+			}
+			// Soft serial-style budgets: at most one line-graph
+			// transition's cost (two endpoint fetches) of overshoot per
+			// walker.
+			if r.APICalls > 300+int64(3*r.Walkers) {
+				t.Errorf("APICalls = %d exceeds budget 300 beyond per-walker overshoot", r.APICalls)
+			}
+		})
+	}
+}
+
+func TestEstimateParallelCancellation(t *testing.T) {
+	s, g := parallelSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Estimate(s, graph.LabelPair{T1: 1, T2: 2}, RW, 100, Options{
+		BurnIn:     100,
+		Rng:        rand.New(rand.NewSource(3)),
+		MaxDegreeG: exact.MaxDegree(g),
+		Walkers:    3,
+		Seed:       5,
+		Ctx:        ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/osn"
@@ -23,8 +22,11 @@ type CensusResult struct {
 	Pairs []PairEstimate
 	// Samples is the number of edges sampled.
 	Samples int
-	// APICalls is the number of charged API calls during sampling.
+	// APICalls is the number of charged API calls during sampling (summed
+	// per-walker bills for a multi-walker run).
 	APICalls int64
+	// Walkers is how many concurrent walkers produced the census.
+	Walkers int
 }
 
 // EstimateCensus estimates the counts of ALL label pairs simultaneously
@@ -45,11 +47,15 @@ func EstimateCensus(s *osn.Session, k int, opts Options) (CensusResult, error) {
 	if k <= 0 {
 		return res, fmt.Errorf("core: EstimateCensus needs k > 0, got %d", k)
 	}
+	if opts.Walkers > 1 {
+		return estimateCensusParallel(s, k, opts)
+	}
 	w, err := newBurnedInWalk(s, opts)
 	if err != nil {
 		return res, err
 	}
 
+	ctx := opts.ctx()
 	hits := make(map[graph.LabelPair]int)
 	seen := make(map[graph.LabelPair]struct{}, 8)
 	prev := w.Current()
@@ -58,6 +64,9 @@ func EstimateCensus(s *osn.Session, k int, opts Options) (CensusResult, error) {
 		maxIters = 50 * k
 	}
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if opts.BudgetDriven && s.Calls() >= int64(k) {
 			break
 		}
@@ -93,16 +102,8 @@ func EstimateCensus(s *osn.Session, k int, opts Options) (CensusResult, error) {
 			Hits:     h,
 		})
 	}
-	sort.Slice(res.Pairs, func(i, j int) bool {
-		if res.Pairs[i].Estimate != res.Pairs[j].Estimate {
-			return res.Pairs[i].Estimate > res.Pairs[j].Estimate
-		}
-		pi, pj := res.Pairs[i].Pair, res.Pairs[j].Pair
-		if pi.T1 != pj.T1 {
-			return pi.T1 < pj.T1
-		}
-		return pi.T2 < pj.T2
-	})
+	sortPairEstimates(res.Pairs)
 	res.APICalls = s.Calls()
+	res.Walkers = 1
 	return res, nil
 }

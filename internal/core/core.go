@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -82,6 +83,29 @@ type Options struct {
 	// Walk selects the sampling chain; the zero value is the paper's
 	// simple random walk.
 	Walk WalkKind
+	// Walkers is the number of concurrent walkers sampling inside ONE
+	// estimate, all metered against the same shared session. 0 or 1 runs
+	// the original serial path (bit-identical for a fixed Rng); W >= 2
+	// splits the budget (or sample count) into per-walker quotas and merges
+	// the per-walker estimates, reporting a variance-based confidence
+	// interval alongside. Requires Seed for the per-walker RNG streams.
+	Walkers int
+	// Seed roots the per-walker RNG streams when Walkers >= 2: walker i
+	// draws from stats.Derive(Seed, "walker/i"), so multi-walker results
+	// are reproducible regardless of goroutine scheduling (given
+	// FailureRate == 0; see osn.Config.FailureRng).
+	Seed int64
+	// Ctx cancels a run in flight: every sampling loop and burn-in checks
+	// it. nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (o *Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions returns Options with a random start and the given burn-in.
@@ -99,17 +123,21 @@ func (o *Options) validate() error {
 	if o.ThinGap < 0 {
 		return fmt.Errorf("core: negative thinning gap %d", o.ThinGap)
 	}
+	if o.Walkers < 0 {
+		return fmt.Errorf("core: negative walker count %d", o.Walkers)
+	}
 	return nil
 }
 
 // startNode resolves the configured or random start node, rejecting
-// isolated nodes so the walk can always move.
-func startNode(s *osn.Session, o Options) (graph.Node, error) {
-	if o.Start >= 0 {
-		return o.Start, nil
+// isolated nodes so the walk can always move. rng is the stream of the
+// walker being started.
+func startNode(s osn.API, start graph.Node, rng *rand.Rand) (graph.Node, error) {
+	if start >= 0 {
+		return start, nil
 	}
 	for attempts := 0; attempts < 1000; attempts++ {
-		u := s.RandomNode(o.Rng)
+		u := s.RandomNode(rng)
 		d, err := s.Degree(u)
 		if err != nil {
 			return 0, err
@@ -135,26 +163,33 @@ func batchSE(terms []float64) float64 {
 	return se
 }
 
+// newWalk builds the configured walk kind over any access handle.
+func newWalk(s osn.API, o Options, start graph.Node, rng *rand.Rand) (walk.Walker[graph.Node], error) {
+	switch o.Walk {
+	case WalkSimple:
+		return walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, rng), nil
+	case WalkNonBacktracking:
+		return walk.NewNonBacktracking[graph.Node](walk.NodeSpace{S: s}, start, rng), nil
+	default:
+		return nil, fmt.Errorf("core: unknown walk kind %d", o.Walk)
+	}
+}
+
 // newBurnedInWalk builds the configured walk over the session and runs
 // burn-in. Accounting is reset afterwards so reported API calls cover only
 // the sampling phase, matching how the paper charges sample size
 // ("the nodes or edges encountered in the random walk before the mixing
 // time are not included in the sample set").
 func newBurnedInWalk(s *osn.Session, o Options) (walk.Walker[graph.Node], error) {
-	start, err := startNode(s, o)
+	start, err := startNode(s, o.Start, o.Rng)
 	if err != nil {
 		return nil, err
 	}
-	var w walk.Walker[graph.Node]
-	switch o.Walk {
-	case WalkSimple:
-		w = walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, o.Rng)
-	case WalkNonBacktracking:
-		w = walk.NewNonBacktracking[graph.Node](walk.NodeSpace{S: s}, start, o.Rng)
-	default:
-		return nil, fmt.Errorf("core: unknown walk kind %d", o.Walk)
+	w, err := newWalk(s, o, start, o.Rng)
+	if err != nil {
+		return nil, err
 	}
-	if err := walk.Burnin[graph.Node](w, o.BurnIn); err != nil {
+	if err := walk.BurninCtx[graph.Node](o.ctx(), w, o.BurnIn); err != nil {
 		return nil, fmt.Errorf("core: burn-in: %w", err)
 	}
 	s.ResetAccounting()

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// CI is the variance-based confidence interval attached to multi-walker
+// results (alias of estimate.CI).
+type CI = estimate.CI
+
+// ciLevel is the nominal coverage of the reported intervals.
+const ciLevel = 0.95
+
+// clampWalkers bounds the fleet size so every walker gets a positive share
+// of k.
+func clampWalkers(walkers, k int) int {
+	if walkers > k {
+		walkers = k
+	}
+	if walkers < 1 {
+		walkers = 1
+	}
+	return walkers
+}
+
+// nodeFleetConfig assembles the walk.FleetConfig shared by the node-walk
+// algorithms: start-node selection and chain construction against the
+// walker's meter.
+func nodeFleetConfig(s *osn.Session, k int, o Options, W int, sample func(r *walk.FleetRun[graph.Node]) error) walk.FleetConfig[graph.Node] {
+	return walk.FleetConfig[graph.Node]{
+		Session:      s,
+		Ctx:          o.Ctx,
+		Seed:         o.Seed,
+		Walkers:      W,
+		K:            k,
+		BudgetDriven: o.BudgetDriven,
+		BurnIn:       o.BurnIn,
+		NewWalker: func(r *walk.FleetRun[graph.Node]) (walk.Walker[graph.Node], error) {
+			start, err := startNode(r.Meter, o.Start, r.Rng)
+			if err != nil {
+				return nil, err
+			}
+			return newWalk(r.Meter, o, start, r.Rng)
+		},
+		Sample: sample,
+	}
+}
+
+// stopWalker reports whether a sampling-step error is a normal per-walker
+// stop (its budget share ran out) rather than a failure.
+func stopWalker(err error) bool { return errors.Is(err, osn.ErrBudgetExhausted) }
+
+// neighborSampleParallel is NeighborSample with W concurrent walkers over
+// one shared session. Each walker runs the identical serial sampling loop
+// against its private RNG stream and budget share; the per-walker samples
+// are merged in walker order, so the pooled HH/HT estimates are
+// deterministic for a fixed seed regardless of scheduling. Per-walker
+// estimates additionally yield variance-based confidence intervals.
+func neighborSampleParallel(s *osn.Session, pair graph.LabelPair, k int, opts Options) (NeighborSampleResult, error) {
+	var res NeighborSampleResult
+	W := clampWalkers(opts.Walkers, k)
+	perSamples := make([][]edgeSample, W)
+
+	cfg := nodeFleetConfig(s, k, opts, W, func(r *walk.FleetRun[graph.Node]) error {
+		samples := make([]edgeSample, 0, r.Quota)
+		prev := r.W.Current()
+		maxIters := r.MaxIters()
+		for iter := 0; iter < maxIters; iter++ {
+			if err := r.Ctx.Err(); err != nil {
+				return err
+			}
+			if r.Done(len(samples)) {
+				break
+			}
+			cur, err := r.W.Step()
+			if err != nil {
+				if stopWalker(err) {
+					break
+				}
+				return err
+			}
+			e := graph.Edge{U: prev, V: cur}.Canonical()
+			prev = cur
+			target := r.Meter.HasLabel(e.U, pair.T1) && r.Meter.HasLabel(e.V, pair.T2) ||
+				r.Meter.HasLabel(e.U, pair.T2) && r.Meter.HasLabel(e.V, pair.T1)
+			samples = append(samples, edgeSample{e: e, target: target})
+		}
+		perSamples[r.ID] = samples
+		return nil
+	})
+	calls, err := walk.RunFleet(cfg)
+	if err != nil {
+		return res, err
+	}
+
+	numEdges := float64(s.NumEdges())
+	retained := 0
+	for _, samples := range perSamples {
+		retained += retainedCount(len(samples), opts.ThinGap)
+	}
+	if retained == 0 {
+		return res, errNoRetained(opts.ThinGap, totalLen(perSamples))
+	}
+	incl := estimate.InclusionProbability(1/numEdges, retained)
+
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Edge]()
+	perHH := make([]float64, 0, W)
+	perHT := make([]float64, 0, W)
+	for _, samples := range perSamples {
+		whh := &estimate.HansenHurwitz{}
+		wht := estimate.NewHorvitzThompson[graph.Edge]()
+		wincl := estimate.InclusionProbability(1/numEdges, retainedCount(len(samples), opts.ThinGap))
+		for i, sm := range samples {
+			res.Samples++
+			indicator := 0.0
+			if sm.target {
+				indicator = 1
+				res.TargetHits++
+			}
+			term := indicator * numEdges
+			if err := hh.Add(term, 1); err != nil {
+				return res, err
+			}
+			if err := whh.Add(term, 1); err != nil {
+				return res, err
+			}
+			if opts.ThinGap <= 1 || i%opts.ThinGap == 0 {
+				if err := ht.Add(sm.e, indicator, incl); err != nil {
+					return res, err
+				}
+				if err := wht.Add(sm.e, indicator, wincl); err != nil {
+					return res, err
+				}
+			}
+		}
+		if len(samples) > 0 {
+			perHH = append(perHH, whh.Estimate())
+			perHT = append(perHT, wht.Estimate())
+		}
+	}
+	res.HH = hh.Estimate()
+	res.HT = ht.Estimate()
+	res.HHCI = estimate.CIFromEstimates(perHH, ciLevel)
+	res.HTCI = estimate.CIFromEstimates(perHT, ciLevel)
+	res.HHStdErr = res.HHCI.StdErr
+	res.DistinctEdges = ht.Distinct()
+	res.APICalls = sum64(calls)
+	res.Walkers = W
+	return res, nil
+}
+
+// neighborExplorationParallel is NeighborExploration with W concurrent
+// walkers over one shared session; see neighborSampleParallel for the
+// merging and determinism contract. Exploration dedup is per-walker (each
+// crawler pays for its own profile reads), so Explorations may count a node
+// explored by two walkers twice — consistent with the per-walker billing.
+func neighborExplorationParallel(s *osn.Session, pair graph.LabelPair, k int, opts Options) (NeighborExplorationResult, error) {
+	var res NeighborExplorationResult
+	W := clampWalkers(opts.Walkers, k)
+	perSamples := make([][]nodeSample, W)
+	perExplorations := make([]int, W)
+
+	cfg := nodeFleetConfig(s, k, opts, W, func(r *walk.FleetRun[graph.Node]) error {
+		samples := make([]nodeSample, 0, r.Quota)
+		explored := make(map[graph.Node]bool)
+		maxIters := r.MaxIters()
+		for iter := 0; iter < maxIters; iter++ {
+			if err := r.Ctx.Err(); err != nil {
+				return err
+			}
+			if r.Done(len(samples)) {
+				break
+			}
+			u, err := r.W.Step()
+			if err != nil {
+				if stopWalker(err) {
+					break
+				}
+				return err
+			}
+			d, err := r.Meter.Degree(u) // crawl-cache hit: the walk already fetched u
+			if err != nil {
+				if stopWalker(err) {
+					break
+				}
+				return err
+			}
+			t, explores, err := targetDegree(r.Meter, u, pair)
+			if err != nil {
+				if stopWalker(err) {
+					break
+				}
+				return err
+			}
+			if explores && !explored[u] {
+				explored[u] = true
+				perExplorations[r.ID]++
+				switch opts.Cost {
+				case ExplorePerNode:
+					err = r.Meter.ChargeFlat(1)
+				case ExplorePerNeighbor:
+					err = r.Meter.ChargeFlat(int64(d))
+				}
+				if err != nil {
+					if stopWalker(err) {
+						break
+					}
+					return err
+				}
+			}
+			samples = append(samples, nodeSample{u: u, t: t, d: d})
+		}
+		perSamples[r.ID] = samples
+		return nil
+	})
+	calls, err := walk.RunFleet(cfg)
+	if err != nil {
+		return res, err
+	}
+
+	numEdges := float64(s.NumEdges())
+	numNodes := float64(s.NumNodes())
+	retained := 0
+	for _, samples := range perSamples {
+		retained += retainedCount(len(samples), opts.ThinGap)
+	}
+	if retained == 0 {
+		return res, errNoRetained(opts.ThinGap, totalLen2(perSamples))
+	}
+
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Node]()
+	rw := &estimate.Reweighted{}
+	perHH := make([]float64, 0, W)
+	perHT := make([]float64, 0, W)
+	perRW := make([]float64, 0, W)
+	for _, samples := range perSamples {
+		whh := &estimate.HansenHurwitz{}
+		wht := estimate.NewHorvitzThompson[graph.Node]()
+		wrw := &estimate.Reweighted{}
+		wret := retainedCount(len(samples), opts.ThinGap)
+		for i, sm := range samples {
+			res.Samples++
+			res.TargetEdgeMass += int64(sm.t)
+			term := float64(sm.t) * numEdges / float64(sm.d)
+			if err := hh.Add(term, 1); err != nil {
+				return res, err
+			}
+			if err := whh.Add(term, 1); err != nil {
+				return res, err
+			}
+			if err := wrw.Add(float64(sm.t), float64(sm.d)); err != nil {
+				return res, err
+			}
+			if opts.ThinGap <= 1 || i%opts.ThinGap == 0 {
+				incl := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), retained)
+				if err := ht.Add(sm.u, float64(sm.t), incl); err != nil {
+					return res, err
+				}
+				winc := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), wret)
+				if err := wht.Add(sm.u, float64(sm.t), winc); err != nil {
+					return res, err
+				}
+			}
+		}
+		rw.Merge(wrw)
+		if len(samples) > 0 {
+			perHH = append(perHH, whh.Estimate())
+			perHT = append(perHT, wht.Estimate()/2)
+			perRW = append(perRW, wrw.Ratio()*numNodes/2)
+		}
+	}
+	for _, e := range perExplorations {
+		res.Explorations += e
+	}
+	res.HH = hh.Estimate()
+	res.HT = ht.Estimate() / 2
+	res.RW = rw.Ratio() * numNodes / 2
+	res.HHCI = estimate.CIFromEstimates(perHH, ciLevel)
+	res.HTCI = estimate.CIFromEstimates(perHT, ciLevel)
+	res.RWCI = estimate.CIFromEstimates(perRW, ciLevel)
+	res.HHStdErr = res.HHCI.StdErr
+	res.DistinctNodes = ht.Distinct()
+	res.APICalls = sum64(calls)
+	res.Walkers = W
+	return res, nil
+}
+
+// estimateCensusParallel is EstimateCensus with W concurrent walkers: the
+// per-walker pair-hit maps are summed, so the pooled census is the same
+// HH estimator over the union of all walkers' edge samples.
+func estimateCensusParallel(s *osn.Session, k int, opts Options) (CensusResult, error) {
+	var res CensusResult
+	W := clampWalkers(opts.Walkers, k)
+	perHits := make([]map[graph.LabelPair]int, W)
+	perCount := make([]int, W)
+
+	cfg := nodeFleetConfig(s, k, opts, W, func(r *walk.FleetRun[graph.Node]) error {
+		hits := make(map[graph.LabelPair]int)
+		seen := make(map[graph.LabelPair]struct{}, 8)
+		count := 0
+		prev := r.W.Current()
+		maxIters := r.MaxIters()
+		for iter := 0; iter < maxIters; iter++ {
+			if err := r.Ctx.Err(); err != nil {
+				return err
+			}
+			if r.Done(count) {
+				break
+			}
+			cur, err := r.W.Step()
+			if err != nil {
+				if stopWalker(err) {
+					break
+				}
+				return err
+			}
+			u, v := prev, cur
+			prev = cur
+			count++
+			clear(seen)
+			for _, a := range r.Meter.Labels(u) {
+				for _, b := range r.Meter.Labels(v) {
+					p := graph.LabelPair{T1: a, T2: b}.Canonical()
+					if _, dup := seen[p]; dup {
+						continue
+					}
+					seen[p] = struct{}{}
+					hits[p]++
+				}
+			}
+		}
+		perHits[r.ID] = hits
+		perCount[r.ID] = count
+		return nil
+	})
+	calls, err := walk.RunFleet(cfg)
+	if err != nil {
+		return res, err
+	}
+
+	hits := make(map[graph.LabelPair]int)
+	for i, wh := range perHits {
+		res.Samples += perCount[i]
+		for p, h := range wh {
+			hits[p] += h
+		}
+	}
+	if res.Samples == 0 {
+		return res, errCensusEmpty()
+	}
+	numEdges := float64(s.NumEdges())
+	res.Pairs = make([]PairEstimate, 0, len(hits))
+	for p, h := range hits {
+		res.Pairs = append(res.Pairs, PairEstimate{
+			Pair:     p,
+			Estimate: numEdges * float64(h) / float64(res.Samples),
+			Hits:     h,
+		})
+	}
+	sortPairEstimates(res.Pairs)
+	res.APICalls = sum64(calls)
+	res.Walkers = W
+	return res, nil
+}
+
+// sortPairEstimates orders a census descending by estimate, breaking ties
+// by pair for determinism.
+func sortPairEstimates(pairs []PairEstimate) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Estimate != pairs[j].Estimate {
+			return pairs[i].Estimate > pairs[j].Estimate
+		}
+		pi, pj := pairs[i].Pair, pairs[j].Pair
+		if pi.T1 != pj.T1 {
+			return pi.T1 < pj.T1
+		}
+		return pi.T2 < pj.T2
+	})
+}
+
+// retainedCount mirrors the serial thinning arithmetic: how many of n
+// samples feed the HT estimator at the given gap.
+func retainedCount(n, gap int) int {
+	if gap > 1 {
+		return n / gap
+	}
+	return n
+}
+
+func totalLen(s [][]edgeSample) int {
+	n := 0
+	for _, x := range s {
+		n += len(x)
+	}
+	return n
+}
+
+func totalLen2(s [][]nodeSample) int {
+	n := 0
+	for _, x := range s {
+		n += len(x)
+	}
+	return n
+}
+
+func sum64(xs []int64) int64 {
+	var n int64
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+func errNoRetained(gap, n int) error {
+	return fmt.Errorf("core: thinning gap %d leaves no samples out of %d", gap, n)
+}
+
+func errCensusEmpty() error { return fmt.Errorf("core: EstimateCensus drew no samples") }

@@ -13,7 +13,8 @@ import (
 type NeighborExplorationResult struct {
 	// HH is the Hansen–Hurwitz estimate of F (Eq. 11).
 	HH float64
-	// HHStdErr is a batch-means standard error for HH (see
+	// HHStdErr is a standard error for HH: batch-means on the serial path,
+	// between-walker on multi-walker runs (see
 	// NeighborSampleResult.HHStdErr).
 	HHStdErr float64
 	// HT is the Horvitz–Thompson estimate of F (Eq. 13).
@@ -32,8 +33,17 @@ type NeighborExplorationResult struct {
 	// incidences observed.
 	TargetEdgeMass int64
 	// APICalls is the number of charged API calls in the sampling phase,
-	// including exploration surcharges per the cost model.
+	// including exploration surcharges per the cost model. For a
+	// multi-walker run this is the sum of the per-walker bills.
 	APICalls int64
+	// Walkers is how many concurrent walkers produced the sample (1 for the
+	// serial path).
+	Walkers int
+	// HHCI, HTCI and RWCI are variance-based confidence intervals computed
+	// from the per-walker estimates. Zero (Valid() == false) on serial runs.
+	HHCI CI
+	HTCI CI
+	RWCI CI
 }
 
 // nodeSample is one retained walk position with its exploration outcome.
@@ -59,11 +69,15 @@ func NeighborExploration(s *osn.Session, pair graph.LabelPair, k int, opts Optio
 	if k <= 0 {
 		return res, fmt.Errorf("core: NeighborExploration needs k > 0, got %d", k)
 	}
+	if opts.Walkers > 1 {
+		return neighborExplorationParallel(s, pair, k, opts)
+	}
 	w, err := newBurnedInWalk(s, opts)
 	if err != nil {
 		return res, err
 	}
 
+	ctx := opts.ctx()
 	samples := make([]nodeSample, 0, k)
 	explored := make(map[graph.Node]bool)
 	maxIters := k
@@ -71,6 +85,9 @@ func NeighborExploration(s *osn.Session, pair graph.LabelPair, k int, opts Optio
 		maxIters = 50 * k
 	}
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if opts.BudgetDriven && s.Calls() >= int64(k) {
 			break
 		}
@@ -146,6 +163,7 @@ func NeighborExploration(s *osn.Session, pair graph.LabelPair, k int, opts Optio
 	res.RW = rw.Ratio() * numNodes / 2
 	res.DistinctNodes = ht.Distinct()
 	res.APICalls = s.Calls()
+	res.Walkers = 1
 	return res, nil
 }
 
@@ -153,7 +171,7 @@ func NeighborExploration(s *osn.Session, pair graph.LabelPair, k int, opts Optio
 // when u carries a target label (Algorithm 2, line 4): when u has neither
 // label no incident edge can be a target edge, so T(u) = 0 without any
 // exploration.
-func targetDegree(s *osn.Session, u graph.Node, pair graph.LabelPair) (int, bool, error) {
+func targetDegree(s osn.API, u graph.Node, pair graph.LabelPair) (int, bool, error) {
 	hasT1 := s.HasLabel(u, pair.T1)
 	hasT2 := s.HasLabel(u, pair.T2)
 	if !hasT1 && !hasT2 {

@@ -14,10 +14,12 @@ import (
 type NeighborSampleResult struct {
 	// HH is the Hansen–Hurwitz estimate of F (Eq. 2).
 	HH float64
-	// HHStdErr is a batch-means standard error for HH, accounting for the
-	// serial correlation of walk samples. Zero when the sample is too small
-	// to batch (fewer than 40 draws). It lets a caller attach an error bar
-	// without knowing the ground truth.
+	// HHStdErr is a standard error for HH, letting a caller attach an
+	// error bar without knowing the ground truth. On the serial path it is
+	// a batch-means SE accounting for the serial correlation of walk
+	// samples (zero when the sample is too small to batch, fewer than 40
+	// draws); on a multi-walker run it is the between-walker SE
+	// (HHCI.StdErr), a noisier statistic at small walker counts.
 	HHStdErr float64
 	// HT is the Horvitz–Thompson estimate of F (Eq. 3).
 	HT float64
@@ -29,7 +31,16 @@ type NeighborSampleResult struct {
 	// TargetHits is how many sampled edges were target edges.
 	TargetHits int
 	// APICalls is the number of charged API calls in the sampling phase.
+	// For a multi-walker run this is the sum of the per-walker bills (see
+	// osn.Meter for why that is the deterministic quantity).
 	APICalls int64
+	// Walkers is how many concurrent walkers produced the sample (1 for the
+	// serial path).
+	Walkers int
+	// HHCI and HTCI are variance-based confidence intervals computed from
+	// the per-walker estimates. Zero (Valid() == false) on serial runs.
+	HHCI CI
+	HTCI CI
 }
 
 // edgeSample is one retained walk transition.
@@ -55,11 +66,15 @@ func NeighborSample(s *osn.Session, pair graph.LabelPair, k int, opts Options) (
 	if k <= 0 {
 		return res, fmt.Errorf("core: NeighborSample needs k > 0, got %d", k)
 	}
+	if opts.Walkers > 1 {
+		return neighborSampleParallel(s, pair, k, opts)
+	}
 	w, err := newBurnedInWalk(s, opts)
 	if err != nil {
 		return res, err
 	}
 
+	ctx := opts.ctx()
 	samples := make([]edgeSample, 0, k)
 	prev := w.Current()
 	// In budget-driven mode cache hits are free, so the walk may take more
@@ -70,6 +85,9 @@ func NeighborSample(s *osn.Session, pair graph.LabelPair, k int, opts Options) (
 		maxIters = 50 * k
 	}
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if opts.BudgetDriven && s.Calls() >= int64(k) {
 			break
 		}
@@ -120,6 +138,7 @@ func NeighborSample(s *osn.Session, pair graph.LabelPair, k int, opts Options) (
 	res.HT = ht.Estimate()
 	res.DistinctEdges = ht.Distinct()
 	res.APICalls = s.Calls()
+	res.Walkers = 1
 	return res, nil
 }
 
@@ -141,16 +160,20 @@ func NeighborSampleIndependent(s *osn.Session, pair graph.LabelPair, k int, opts
 	ht := estimate.NewHorvitzThompson[graph.Edge]()
 	incl := estimate.InclusionProbability(1/numEdges, k)
 	s.ResetAccounting()
+	ctx := opts.ctx()
 	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		// Fresh walk with full burn-in every iteration; unlike the
 		// single-walk variant, the burn-in cost is charged, because paying
 		// it k times over is exactly what this variant exists to measure.
-		start, err := startNode(s, opts)
+		start, err := startNode(s, opts.Start, opts.Rng)
 		if err != nil {
 			return res, err
 		}
 		w := walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, opts.Rng)
-		if err := walk.Burnin[graph.Node](w, opts.BurnIn); err != nil {
+		if err := walk.BurninCtx[graph.Node](ctx, w, opts.BurnIn); err != nil {
 			return res, fmt.Errorf("core: NeighborSampleIndependent burn-in %d: %w", i, err)
 		}
 		u := w.Current()
@@ -177,5 +200,6 @@ func NeighborSampleIndependent(s *osn.Session, pair graph.LabelPair, k int, opts
 	res.HT = ht.Estimate()
 	res.DistinctEdges = ht.Distinct()
 	res.APICalls = s.Calls()
+	res.Walkers = 1
 	return res, nil
 }

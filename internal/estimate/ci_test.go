@@ -1,0 +1,75 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCIFromEstimatesBasic(t *testing.T) {
+	vals := []float64{10, 12, 8, 11, 9}
+	ci := CIFromEstimates(vals, 0.95)
+	if !ci.Valid() {
+		t.Fatalf("CI invalid: %+v", ci)
+	}
+	mean := 10.0
+	if ci.Low >= mean || ci.High <= mean {
+		t.Errorf("CI [%g, %g] must bracket the mean %g", ci.Low, ci.High, mean)
+	}
+	// sd = sqrt(10/4) ≈ 1.5811, se = sd/sqrt(5) ≈ 0.7071, z(0.95) ≈ 1.9600.
+	wantSE := math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(ci.StdErr-wantSE) > 1e-9 {
+		t.Errorf("StdErr = %g, want %g", ci.StdErr, wantSE)
+	}
+	z := (ci.High - mean) / ci.StdErr
+	if math.Abs(z-1.959964) > 1e-3 {
+		t.Errorf("z = %g, want ~1.96 for 95%%", z)
+	}
+	if ci.Walkers != 5 || ci.Level != 0.95 {
+		t.Errorf("metadata: %+v", ci)
+	}
+}
+
+func TestCIFromEstimatesDropsNonFinite(t *testing.T) {
+	ci := CIFromEstimates([]float64{5, math.NaN(), 7, math.Inf(1)}, 0.95)
+	if !ci.Valid() || ci.Walkers != 2 {
+		t.Errorf("want a valid 2-walker CI, got %+v", ci)
+	}
+}
+
+func TestCIFromEstimatesDegenerate(t *testing.T) {
+	if ci := CIFromEstimates([]float64{5}, 0.95); ci.Valid() {
+		t.Errorf("one estimate must not yield a CI: %+v", ci)
+	}
+	if ci := CIFromEstimates(nil, 0.95); ci.Valid() {
+		t.Errorf("empty input must not yield a CI: %+v", ci)
+	}
+	if ci := CIFromEstimates([]float64{1, 2, 3}, 0); ci.Valid() {
+		t.Errorf("zero level must not yield a CI: %+v", ci)
+	}
+}
+
+func TestReweightedMerge(t *testing.T) {
+	a, b, pooled := &Reweighted{}, &Reweighted{}, &Reweighted{}
+	draws := []struct{ y, w float64 }{{1, 2}, {0, 3}, {1, 5}, {0, 1}}
+	for i, d := range draws {
+		var err error
+		if i < 2 {
+			err = a.Add(d.y, d.w)
+		} else {
+			err = b.Add(d.y, d.w)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pooled.Add(d.y, d.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Merge(b)
+	if a.N() != pooled.N() {
+		t.Errorf("merged N = %d, want %d", a.N(), pooled.N())
+	}
+	if math.Abs(a.Ratio()-pooled.Ratio()) > 1e-15 {
+		t.Errorf("merged ratio %g != pooled %g", a.Ratio(), pooled.Ratio())
+	}
+}

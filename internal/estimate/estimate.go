@@ -100,6 +100,15 @@ func (r *Reweighted) Add(y, w float64) error {
 // N returns the number of draws recorded.
 func (r *Reweighted) N() int { return r.n }
 
+// Merge folds another accumulator's draws into r — the reduction step when
+// per-walker Reweighted accumulators from a multi-walker run are combined
+// into one pooled estimate.
+func (r *Reweighted) Merge(o *Reweighted) {
+	r.num += o.num
+	r.den += o.den
+	r.n += o.n
+}
+
 // Ratio returns Σ(y/w)/Σ(1/w), or NaN before any draw.
 func (r *Reweighted) Ratio() float64 {
 	if r.den == 0 {

@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/osn"
+	"repro/internal/stats"
 )
 
 // Algorithm names one of the ten evaluated estimators, using the paper's
@@ -96,6 +98,15 @@ type RunParams struct {
 	// SampleDriven switches k back to "number of samples" (the literal
 	// Algorithms 1–2) instead of the default API-call budget.
 	SampleDriven bool
+	// Walkers is the number of concurrent walkers inside each single
+	// estimate (core.Options.Walkers); 0 or 1 keeps the serial paths.
+	Walkers int
+	// Seed roots the per-walker RNG streams when Walkers >= 2. The sweep
+	// runner sets it to the cell seed, so multi-walker repetitions stay
+	// reproducible regardless of scheduling.
+	Seed int64
+	// Ctx cancels runs in flight; nil means context.Background().
+	Ctx context.Context
 }
 
 // RunOneRepetition executes a single repetition of every algorithm at
@@ -141,6 +152,9 @@ func runFamilies(g *graph.Graph, pair graph.LabelPair, algs []Algorithm, k int, 
 		opts := core.DefaultOptions(p.BurnIn, rng)
 		opts.ThinGap = p.ThinGap
 		opts.BudgetDriven = !p.SampleDriven
+		opts.Walkers = p.Walkers
+		opts.Seed = stats.Derive(p.Seed, "ns")
+		opts.Ctx = p.Ctx
 		res, err := core.NeighborSample(s, pair, k, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: NeighborSample: %w", err)
@@ -157,6 +171,9 @@ func runFamilies(g *graph.Graph, pair graph.LabelPair, algs []Algorithm, k int, 
 		opts.ThinGap = p.ThinGap
 		opts.BudgetDriven = !p.SampleDriven
 		opts.Cost = p.Cost
+		opts.Walkers = p.Walkers
+		opts.Seed = stats.Derive(p.Seed, "ne")
+		opts.Ctx = p.Ctx
 		res, err := core.NeighborExploration(s, pair, k, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: NeighborExploration: %w", err)
@@ -182,6 +199,9 @@ func runFamilies(g *graph.Graph, pair graph.LabelPair, algs []Algorithm, k int, 
 			Delta:        p.Delta,
 			MaxDegreeG:   p.MaxDegreeG,
 			BudgetDriven: !p.SampleDriven,
+			Walkers:      p.Walkers,
+			Seed:         stats.Derive(p.Seed, "bl/"+string(m)),
+			Ctx:          p.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: baseline %s: %w", m, err)

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exact"
@@ -33,6 +34,10 @@ type FrequencySweepConfig struct {
 	Params     RunParams
 	Seed       int64
 	Workers    int
+	// Walkers is the per-estimate concurrent walker count (see SweepConfig).
+	Walkers int
+	// Ctx cancels the sweep in flight; nil means context.Background().
+	Ctx context.Context
 }
 
 // RunFrequencySweep evaluates every pair at the fixed fraction and returns
@@ -63,6 +68,8 @@ func RunFrequencySweep(cfg FrequencySweepConfig) ([]FrequencyPoint, error) {
 			Params:     cfg.Params,
 			Seed:       cfg.Seed + int64(i),
 			Workers:    cfg.Workers,
+			Walkers:    cfg.Walkers,
+			Ctx:        cfg.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: frequency sweep pair %v: %w", pair, err)

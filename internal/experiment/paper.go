@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,8 +29,13 @@ type Suite struct {
 	Reps int
 	// Fractions is the sample-size grid; nil means the paper's 0.5%–5%.
 	Fractions []float64
-	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	// Workers bounds parallelism across repetitions; 0 means GOMAXPROCS.
 	Workers int
+	// Walkers is the number of concurrent walkers inside each single
+	// estimate; 0 or 1 keeps the serial estimate paths.
+	Walkers int
+	// Ctx cancels suite runs in flight; nil means context.Background().
+	Ctx context.Context
 	// BurnIn is the walk burn-in; 0 means measure the mixing time per graph
 	// (eps = 1e-3, sampled starts) exactly as Section 5.1 prescribes.
 	BurnIn int
@@ -198,6 +204,8 @@ func (s *Suite) Sweep(name gen.StandIn, pair graph.LabelPair) (*SweepResult, err
 		Params:    params,
 		Seed:      stats.Derive(s.Seed, fmt.Sprintf("sweep/%s/%v", name, pair)),
 		Workers:   s.Workers,
+		Walkers:   s.Walkers,
+		Ctx:       s.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -453,6 +461,8 @@ func (s *Suite) FigurePoints(id int) ([]FrequencyPoint, error) {
 		Params:   params,
 		Seed:     stats.Derive(s.Seed, fmt.Sprintf("figure/%d", id)),
 		Workers:  s.Workers,
+		Walkers:  s.Walkers,
+		Ctx:      s.Ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -34,8 +35,14 @@ type SweepConfig struct {
 	// Seed roots all randomness; every (fraction, rep) derives its own
 	// stream, so results are reproducible and independent of scheduling.
 	Seed int64
-	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	// Workers bounds parallelism across repetitions; 0 means GOMAXPROCS.
 	Workers int
+	// Walkers is the number of concurrent walkers inside each single
+	// estimate (orthogonal to Workers, which parallelizes across
+	// repetitions). 0 or 1 keeps the serial estimate paths.
+	Walkers int
+	// Ctx cancels the sweep in flight; nil means context.Background().
+	Ctx context.Context
 }
 
 // DefaultFractions returns the paper's sample-size grid: 0.5%–5% of |V| in
@@ -95,6 +102,14 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	if params.Cost == core.ExploreFree && !params.SampleDriven {
 		params.Cost = core.ExplorePerNode
 	}
+	// SweepConfig-level settings win only when set, so caller-populated
+	// RunParams.Walkers/Ctx are not silently discarded.
+	if cfg.Walkers != 0 {
+		params.Walkers = cfg.Walkers
+	}
+	if cfg.Ctx != nil {
+		params.Ctx = cfg.Ctx
+	}
 	truth := exact.CountTargetEdges(cfg.Graph, cfg.Pair)
 	if truth == 0 {
 		return nil, fmt.Errorf("experiment: pair %v has no target edges; NRMSE undefined", cfg.Pair)
@@ -146,7 +161,9 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 				}
 				seed := stats.Derive(cfg.Seed, fmt.Sprintf("sweep/%d/%d", c.fi, c.rep))
 				rng := stats.NewSeedSequence(seed).NextRand()
-				got, err := runFamilies(cfg.Graph, cfg.Pair, algs, ks[c.fi], params, rng)
+				p := params
+				p.Seed = seed // roots per-walker streams inside each estimate
+				got, err := runFamilies(cfg.Graph, cfg.Pair, algs, ks[c.fi], p, rng)
 				if err != nil {
 					failed.Store(true)
 					select {

@@ -15,10 +15,11 @@ import (
 	"repro/internal/osn"
 )
 
-// View is the implicit line graph over an OSN session. States are canonical
-// edges of G (U <= V). It implements walk.Space[graph.Edge].
+// View is the implicit line graph over an OSN access handle (a Session or a
+// per-walker Meter). States are canonical edges of G (U <= V). It implements
+// walk.Space[graph.Edge].
 type View struct {
-	S *osn.Session
+	S osn.API
 }
 
 // NumNodes returns |H| = |E(G)|, prior knowledge inherited from the session.

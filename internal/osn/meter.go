@@ -1,0 +1,159 @@
+package osn
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Meter is a per-walker metered view of a shared Session: it implements the
+// same API surface, but bills calls against its own budget slice with its
+// own duplicate-detection cache. Because a walker's trajectory depends only
+// on its private RNG stream, and a Meter's accounting depends only on that
+// trajectory, per-walker sample counts — and therefore merged estimates —
+// are deterministic regardless of goroutine scheduling.
+//
+// The shared Session still does the real work: responses come from (and
+// fill) its sharded cache, and its global counter tracks actual upstream
+// traffic — a fetch another walker already cached is served without hitting
+// the Source, and without a global charge. A Meter models one of W
+// independent crawlers that each pay for their own API calls while sharing
+// a response store, so Session.Calls() <= the sum of Meter.Calls() across
+// walkers.
+//
+// A Meter is owned by exactly one goroutine and is NOT safe for concurrent
+// use; concurrency safety lives in the Session underneath.
+type Meter struct {
+	s       *Session
+	budget  int64
+	calls   int64
+	fetched map[graph.Node]struct{}
+}
+
+// Meter returns a fresh metering view over s with the given call budget
+// (0 = unlimited).
+func (s *Session) Meter(budget int64) *Meter {
+	return &Meter{s: s, budget: budget, fetched: make(map[graph.Node]struct{})}
+}
+
+// Reset zeroes the meter's accounting and duplicate cache and installs a new
+// budget — the per-walker analogue of Session.ResetAccounting, used at the
+// burn-in/sampling boundary.
+func (m *Meter) Reset(budget int64) {
+	m.budget = budget
+	m.calls = 0
+	clear(m.fetched)
+}
+
+// chargeOne spends one local call for a fetch of u. The shared Session is
+// billed (and failure-injected) only when the response is not already in
+// the shared cache — i.e. when an actual upstream request happens — so
+// global accounting tracks real traffic while local accounting stays
+// schedule-independent.
+func (m *Meter) chargeOne(u graph.Node) error {
+	if m.budget > 0 && m.calls >= m.budget {
+		return ErrBudgetExhausted
+	}
+	if _, hit := m.s.cached(u); !hit || m.s.cfg.ChargeDuplicates {
+		err := m.s.chargeOne(u)
+		if errors.Is(err, ErrBudgetExhausted) {
+			return err // the global budget refused the charge: nothing billed
+		}
+		m.calls++ // charged — billed locally even if it transiently failed
+		return err
+	}
+	m.calls++
+	return nil
+}
+
+// serve returns u's neighbors from the shared cache, filling it from the
+// Source (uncharged) on a miss.
+func (m *Meter) serve(u graph.Node) ([]graph.Node, error) {
+	if adj, ok := m.s.cached(u); ok {
+		return adj, nil
+	}
+	return m.s.fill(u)
+}
+
+// Neighbors returns the friend list of u, charging one call against the
+// meter's budget. Repeat queries for a node this meter already fetched are
+// free, mirroring Session semantics.
+func (m *Meter) Neighbors(u graph.Node) ([]graph.Node, error) {
+	if err := m.s.checkNode(u); err != nil {
+		return nil, err
+	}
+	if _, hit := m.fetched[u]; hit && !m.s.cfg.ChargeDuplicates {
+		return m.serve(u)
+	}
+	for attempt := 0; ; attempt++ {
+		err := m.chargeOne(u)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrTransient) || attempt >= m.s.cfg.MaxRetries {
+			return nil, err
+		}
+	}
+	adj, err := m.serve(u)
+	if err != nil {
+		return nil, err
+	}
+	m.fetched[u] = struct{}{}
+	return adj, nil
+}
+
+// Degree returns d(u), metered identically to Neighbors.
+func (m *Meter) Degree(u graph.Node) (int, error) {
+	adj, err := m.Neighbors(u)
+	if err != nil {
+		return 0, err
+	}
+	return len(adj), nil
+}
+
+// ChargeFlat bills n additional calls against the meter's budget and
+// forwards them to the shared session's global accounting.
+func (m *Meter) ChargeFlat(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if m.budget > 0 && m.calls >= m.budget {
+		return ErrBudgetExhausted
+	}
+	if err := m.s.ChargeFlat(n); err != nil {
+		return err
+	}
+	m.calls += n
+	return nil
+}
+
+// NumNodes returns |V|.
+func (m *Meter) NumNodes() int { return m.s.NumNodes() }
+
+// NumEdges returns |E|.
+func (m *Meter) NumEdges() int64 { return m.s.NumEdges() }
+
+// Labels returns the label set of u, free of charge.
+func (m *Meter) Labels(u graph.Node) []graph.Label { return m.s.Labels(u) }
+
+// HasLabel reports whether u carries label l, free of charge.
+func (m *Meter) HasLabel(u graph.Node, l graph.Label) bool { return m.s.HasLabel(u, l) }
+
+// RandomNode returns a uniformly random node ID.
+func (m *Meter) RandomNode(rng *rand.Rand) graph.Node { return m.s.RandomNode(rng) }
+
+// Calls returns the calls billed to this meter so far.
+func (m *Meter) Calls() int64 { return m.calls }
+
+// Remaining returns the meter's remaining budget, or -1 when unlimited.
+func (m *Meter) Remaining() int64 {
+	if m.budget == 0 {
+		return -1
+	}
+	r := m.budget - m.calls
+	if r < 0 {
+		r = 0
+	}
+	return r
+}

@@ -1,9 +1,10 @@
 // Package osn simulates the restricted access model of the paper
 // (Section 3): the graph can only be reached through API calls that return
 // the friend list of a given user, while |V| and |E| are known a priori.
-// A Session wraps a fully materialized graph, meters every API call, can
+// A Session meters every API call against a pluggable Source backend, can
 // enforce a call budget, and can inject transient failures — the conditions
-// a crawler faces against a production OSN.
+// a crawler faces against a production OSN. Latency and rate-limit Source
+// decorators sharpen the simulation further.
 //
 // Accounting model. The paper measures cost in API calls and reports sample
 // sizes as percentages of |V| API calls. A Session charges one call per
@@ -19,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -41,7 +44,10 @@ type Config struct {
 	// FailureRate is the probability in [0, 1) that a charged call fails
 	// with ErrTransient after being charged (the request was sent).
 	FailureRate float64
-	// FailureRng drives failure injection; required iff FailureRate > 0.
+	// FailureRng drives failure injection; required iff FailureRate > 0. The
+	// Session serializes access to it, but with concurrent walkers the order
+	// in which failures land depends on scheduling — deterministic
+	// reproducibility across runs is only guaranteed when FailureRate == 0.
 	FailureRng *rand.Rand
 	// MaxRetries is how many times a transient failure is retried before
 	// being surfaced. Every attempt is charged — real APIs bill the request
@@ -49,19 +55,75 @@ type Config struct {
 	MaxRetries int
 }
 
-// Session is a metered handle to a hidden graph. It is not safe for
-// concurrent use; experiments run one session per goroutine.
-type Session struct {
-	g   *graph.Graph
-	cfg Config
-
-	calls   int64
-	fetched []bool
-	unique  int64
+// API is the access surface shared by Session and Meter: everything the
+// estimation algorithms are allowed to touch. Walkers and estimators are
+// written against this interface, so a serial run (one Session) and one
+// stream of a multi-walker run (one Meter per goroutine over a shared
+// Session) execute identical code.
+type API interface {
+	NumNodes() int
+	NumEdges() int64
+	Neighbors(u graph.Node) ([]graph.Node, error)
+	Degree(u graph.Node) (int, error)
+	Labels(u graph.Node) []graph.Label
+	HasLabel(u graph.Node, l graph.Label) bool
+	RandomNode(rng *rand.Rand) graph.Node
+	ChargeFlat(n int64) error
+	Calls() int64
 }
 
-// NewSession wraps g in the restricted access model.
+// cacheShards is the shard count of the response cache. Power of two so the
+// shard index is a mask; 64 shards keep contention negligible for any
+// realistic walker count.
+const cacheShards = 64
+
+// cacheShard is one lock-striped slice of the response cache, used when the
+// Source is not an in-memory graph (for GraphSource the graph itself is the
+// response store and only the fetched bitmap is needed).
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[graph.Node][]graph.Node
+}
+
+// Session is a metered, concurrency-safe handle to a hidden graph reachable
+// through a Source. All methods are safe for concurrent use: the call
+// counter and budget are maintained with atomics (the budget is never
+// overspent, and ErrBudgetExhausted surfaces exactly at the configured
+// cost), the response cache is sharded, and failure injection is
+// serialized. A multi-walker estimate shares one Session across its
+// goroutines, each walker metering its slice of the budget through a Meter
+// (see Session.Meter). ResetAccounting is the exception: it must not race
+// with in-flight calls.
+type Session struct {
+	src Source
+	cfg Config
+
+	// graphFast short-circuits the response cache when the Source is an
+	// in-memory GraphSource: responses are read straight from the immutable
+	// graph and only the fetched bitmap is kept, preserving the serial hot
+	// path's speed.
+	graphFast *graph.Graph
+
+	calls  atomic.Int64
+	unique atomic.Int64
+
+	// fetched marks nodes whose response is available locally — the crawl
+	// cache membership bit. Guards metering, not storage.
+	fetched []atomic.Bool
+
+	shards [cacheShards]cacheShard
+
+	failMu sync.Mutex // serializes FailureRng
+}
+
+// NewSession wraps g in the restricted access model, backed by an in-memory
+// GraphSource.
 func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	return NewSessionFrom(NewGraphSource(g), cfg)
+}
+
+// NewSessionFrom wraps an arbitrary Source in the restricted access model.
+func NewSessionFrom(src Source, cfg Config) (*Session, error) {
 	if cfg.FailureRate < 0 || cfg.FailureRate >= 1 {
 		return nil, fmt.Errorf("osn: failure rate must be in [0,1), got %g", cfg.FailureRate)
 	}
@@ -71,50 +133,117 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 	if cfg.Budget < 0 {
 		return nil, fmt.Errorf("osn: negative budget %d", cfg.Budget)
 	}
-	return &Session{
-		g:       g,
+	s := &Session{
+		src:     src,
 		cfg:     cfg,
-		fetched: make([]bool, g.NumNodes()),
-	}, nil
+		fetched: make([]atomic.Bool, src.NumNodes()),
+	}
+	if gs, ok := src.(GraphSource); ok {
+		s.graphFast = gs.G
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[graph.Node][]graph.Node)
+	}
+	return s, nil
 }
 
+// Source returns the backend this session meters.
+func (s *Session) Source() Source { return s.src }
+
 // NumNodes returns |V| — prior knowledge per the paper's assumption (2).
-func (s *Session) NumNodes() int { return s.g.NumNodes() }
+func (s *Session) NumNodes() int { return s.src.NumNodes() }
 
 // NumEdges returns |E| — prior knowledge per the paper's assumption (2).
-func (s *Session) NumEdges() int64 { return s.g.NumEdges() }
+func (s *Session) NumEdges() int64 { return s.src.NumEdges() }
 
-// charge meters one API call against node u and performs failure injection.
-// A failed call is billed (the request went out) but does NOT populate the
-// crawl cache — the response never arrived — so retries are real, billed
-// requests.
-func (s *Session) charge(u graph.Node) error {
-	if !s.cfg.ChargeDuplicates && s.fetched[u] {
-		return nil // crawl-cache hit: free
+// chargeN atomically meters n API calls, refusing (without charging) once
+// the budget is reached. Single-call charges therefore stop exactly at the
+// budget; flat multi-call charges may overshoot it once, matching the
+// historical ChargeFlat semantics.
+func (s *Session) chargeN(n int64) error {
+	if s.cfg.Budget <= 0 {
+		s.calls.Add(n)
+		return nil
 	}
-	if s.cfg.Budget > 0 && s.calls >= s.cfg.Budget {
-		return ErrBudgetExhausted
+	for {
+		c := s.calls.Load()
+		if c >= s.cfg.Budget {
+			return ErrBudgetExhausted
+		}
+		if s.calls.CompareAndSwap(c, c+n) {
+			return nil
+		}
 	}
-	s.calls++
-	if s.cfg.FailureRate > 0 && s.cfg.FailureRng.Float64() < s.cfg.FailureRate {
+}
+
+// injectFailure rolls the configured failure probability for a charged call
+// against node u.
+func (s *Session) injectFailure(u graph.Node) error {
+	if s.cfg.FailureRate <= 0 {
+		return nil
+	}
+	s.failMu.Lock()
+	roll := s.cfg.FailureRng.Float64()
+	s.failMu.Unlock()
+	if roll < s.cfg.FailureRate {
 		return fmt.Errorf("fetching neighbors of node %d: %w", u, ErrTransient)
 	}
-	if !s.fetched[u] {
-		s.fetched[u] = true
-		s.unique++
-	}
 	return nil
+}
+
+// chargeOne meters one API call and performs failure injection. A failed
+// call is billed (the request went out) but does NOT populate the crawl
+// cache — the response never arrived — so retries are real, billed requests.
+func (s *Session) chargeOne(u graph.Node) error {
+	if err := s.chargeN(1); err != nil {
+		return err
+	}
+	return s.injectFailure(u)
 }
 
 // chargeRetry meters a call, retrying injected transient failures up to
 // MaxRetries times. Every attempt is charged.
 func (s *Session) chargeRetry(u graph.Node) error {
 	for attempt := 0; ; attempt++ {
-		err := s.charge(u)
+		err := s.chargeOne(u)
 		if err == nil || !errors.Is(err, ErrTransient) || attempt >= s.cfg.MaxRetries {
 			return err
 		}
 	}
+}
+
+// cached returns u's response if it is in the crawl cache.
+func (s *Session) cached(u graph.Node) ([]graph.Node, bool) {
+	if !s.fetched[u].Load() {
+		return nil, false
+	}
+	if s.graphFast != nil {
+		return s.graphFast.Neighbors(u), true
+	}
+	sh := &s.shards[uint(u)%cacheShards]
+	sh.mu.RLock()
+	adj, ok := sh.m[u]
+	sh.mu.RUnlock()
+	return adj, ok
+}
+
+// fill fetches u from the Source and populates the crawl cache. It performs
+// no metering; callers charge first.
+func (s *Session) fill(u graph.Node) ([]graph.Node, error) {
+	adj, err := s.src.Neighbors(u)
+	if err != nil {
+		return nil, fmt.Errorf("osn: source fetch for node %d: %w", u, err)
+	}
+	if s.graphFast == nil {
+		sh := &s.shards[uint(u)%cacheShards]
+		sh.mu.Lock()
+		sh.m[u] = adj
+		sh.mu.Unlock()
+	}
+	if !s.fetched[u].Swap(true) {
+		s.unique.Add(1)
+	}
+	return adj, nil
 }
 
 // Neighbors returns the friend list of u, charging one API call. The
@@ -123,22 +252,27 @@ func (s *Session) Neighbors(u graph.Node) ([]graph.Node, error) {
 	if err := s.checkNode(u); err != nil {
 		return nil, err
 	}
+	adj, hit := s.cached(u)
+	if hit && !s.cfg.ChargeDuplicates {
+		return adj, nil // crawl-cache hit: free
+	}
 	if err := s.chargeRetry(u); err != nil {
 		return nil, err
 	}
-	return s.g.Neighbors(u), nil
+	if hit {
+		return adj, nil // charged duplicate, served from cache
+	}
+	return s.fill(u)
 }
 
 // Degree returns d(u). It is metered identically to Neighbors: real APIs
 // expose the friend count on the same endpoint as the friend list.
 func (s *Session) Degree(u graph.Node) (int, error) {
-	if err := s.checkNode(u); err != nil {
+	adj, err := s.Neighbors(u)
+	if err != nil {
 		return 0, err
 	}
-	if err := s.chargeRetry(u); err != nil {
-		return 0, err
-	}
-	return s.g.Degree(u), nil
+	return len(adj), nil
 }
 
 // ChargeFlat bills n additional API calls not tied to a neighbor-list fetch
@@ -149,40 +283,36 @@ func (s *Session) ChargeFlat(n int64) error {
 	if n <= 0 {
 		return nil
 	}
-	if s.cfg.Budget > 0 && s.calls >= s.cfg.Budget {
-		return ErrBudgetExhausted
-	}
-	s.calls += n
-	return nil
+	return s.chargeN(n)
 }
 
 // Labels returns the label set of u (profile fields). Label reads are free;
 // see the package comment for the accounting argument.
-func (s *Session) Labels(u graph.Node) []graph.Label { return s.g.Labels(u) }
+func (s *Session) Labels(u graph.Node) []graph.Label { return s.src.Labels(u) }
 
 // HasLabel reports whether u carries label l, free of charge.
-func (s *Session) HasLabel(u graph.Node, l graph.Label) bool { return s.g.HasLabel(u, l) }
+func (s *Session) HasLabel(u graph.Node, l graph.Label) bool { return s.src.HasLabel(u, l) }
 
 // RandomNode returns a uniformly random node ID to start a walk from.
 // Uniform node sampling is NOT generally available on a real OSN; walks only
 // use it for the initial position, whose influence the burn-in erases, so
 // simulating it is harmless.
 func (s *Session) RandomNode(rng *rand.Rand) graph.Node {
-	return graph.Node(rng.Intn(s.g.NumNodes()))
+	return s.src.RandomNode(rng)
 }
 
 // Calls returns the number of charged API calls so far.
-func (s *Session) Calls() int64 { return s.calls }
+func (s *Session) Calls() int64 { return s.calls.Load() }
 
 // UniqueNodes returns how many distinct nodes have been queried.
-func (s *Session) UniqueNodes() int64 { return s.unique }
+func (s *Session) UniqueNodes() int64 { return s.unique.Load() }
 
 // Remaining returns the remaining budget, or -1 when unlimited.
 func (s *Session) Remaining() int64 {
 	if s.cfg.Budget == 0 {
 		return -1
 	}
-	r := s.cfg.Budget - s.calls
+	r := s.cfg.Budget - s.calls.Load()
 	if r < 0 {
 		r = 0
 	}
@@ -190,18 +320,29 @@ func (s *Session) Remaining() int64 {
 }
 
 // ResetAccounting zeroes the call counter and crawl cache, e.g. after
-// burn-in when only the sampling phase should be billed.
+// burn-in when only the sampling phase should be billed. Unlike the rest of
+// the Session it must not race with in-flight calls: callers synchronize
+// (the multi-walker engine barriers all walkers between burn-in and
+// sampling before resetting).
 func (s *Session) ResetAccounting() {
-	s.calls = 0
-	s.unique = 0
+	s.calls.Store(0)
+	s.unique.Store(0)
 	for i := range s.fetched {
-		s.fetched[i] = false
+		s.fetched[i].Store(false)
+	}
+	if s.graphFast == nil {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			sh.m = make(map[graph.Node][]graph.Node)
+			sh.mu.Unlock()
+		}
 	}
 }
 
 func (s *Session) checkNode(u graph.Node) error {
-	if u < 0 || int(u) >= s.g.NumNodes() {
-		return fmt.Errorf("osn: node %d out of range [0,%d)", u, s.g.NumNodes())
+	if u < 0 || int(u) >= s.src.NumNodes() {
+		return fmt.Errorf("osn: node %d out of range [0,%d)", u, s.src.NumNodes())
 	}
 	return nil
 }

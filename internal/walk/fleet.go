@@ -1,0 +1,217 @@
+package walk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/osn"
+	"repro/internal/stats"
+)
+
+// FleetRun is one walker's handle inside a multi-walker estimate: its
+// private RNG stream, its metered view of the shared session, and its slice
+// of the work. Exactly one goroutine owns a FleetRun.
+type FleetRun[N comparable] struct {
+	// ID is the walker index in [0, Walkers); per-walker outputs are
+	// collected into slot ID of caller-side slices.
+	ID int
+	// Rng is the walker's private stream, derived as
+	// stats.Derive(seed, "walker/<ID>") so trajectories are reproducible
+	// regardless of scheduling.
+	Rng *rand.Rand
+	// Meter bills this walker's API calls against its share of the budget.
+	Meter *osn.Meter
+	// W is the walker chain, burned in and ready to sample.
+	W Walker[N]
+	// Quota is the walker's sample quota (sample-driven mode; 0 otherwise).
+	Quota int
+	// Budget is the walker's API-call budget (budget-driven mode; 0
+	// otherwise).
+	Budget int64
+	// Ctx cancels the run; sampling loops must check it.
+	Ctx context.Context
+}
+
+// Done reports whether the walker has consumed its share of the work, given
+// how many samples it has retained so far.
+func (r *FleetRun[N]) Done(samples int) bool {
+	if r.Budget > 0 {
+		return r.Meter.Calls() >= r.Budget
+	}
+	return samples >= r.Quota
+}
+
+// MaxIters bounds a budget-driven sampling loop: cache hits are free, so the
+// walk may take many more steps than its budget, and the cap prevents
+// spinning once the whole graph is cached (mirroring the serial paths).
+func (r *FleetRun[N]) MaxIters() int {
+	if r.Budget > 0 {
+		return 50 * int(r.Budget)
+	}
+	return r.Quota
+}
+
+// FleetConfig describes a multi-walker run over one shared session.
+type FleetConfig[N comparable] struct {
+	// Session is the shared metered access handle; its accounting is reset
+	// at the burn-in/sampling boundary, exactly like a serial run.
+	Session *osn.Session
+	// Ctx cancels the whole fleet; nil means Background.
+	Ctx context.Context
+	// Seed roots the per-walker RNG streams.
+	Seed int64
+	// Walkers is the fleet size (>= 1). Callers should clamp it to K so
+	// every walker gets a positive share.
+	Walkers int
+	// K is the total sample count (sample-driven) or API budget
+	// (budget-driven), split into near-equal per-walker shares.
+	K int
+	// BudgetDriven selects how K is interpreted.
+	BudgetDriven bool
+	// BurnIn is the per-walker burn-in in steps. Each walker burns in
+	// independently (concurrently); burn-in charges are wiped before
+	// sampling begins.
+	BurnIn int
+	// NewWalker builds walker r's chain at its start state, using r.Rng for
+	// any random choice and r.Meter for any API access.
+	NewWalker func(r *FleetRun[N]) (Walker[N], error)
+	// Sample runs walker r's sampling loop, writing per-walker results into
+	// caller-side slices at index r.ID. It must honor r.Done, r.MaxIters
+	// and r.Ctx.
+	Sample func(r *FleetRun[N]) error
+}
+
+// RunFleet executes a multi-walker estimate: every walker picks a start and
+// burns in concurrently, a barrier resets the shared accounting (burn-in is
+// not billed, per the paper), per-walker budgets are armed, and all walkers
+// sample concurrently until each exhausts its share. The returned slice
+// holds each walker's billed API calls (deterministic for a fixed seed; see
+// osn.Meter).
+func RunFleet[N comparable](cfg FleetConfig[N]) ([]int64, error) {
+	if cfg.Walkers < 1 {
+		return nil, fmt.Errorf("walk: fleet needs at least one walker, got %d", cfg.Walkers)
+	}
+	ctx, cancel := context.WithCancel(orBackground(cfg.Ctx))
+	defer cancel()
+
+	quotas := SplitQuota(cfg.K, cfg.Walkers)
+	runs := make([]*FleetRun[N], cfg.Walkers)
+	for i := range runs {
+		r := &FleetRun[N]{
+			ID:    i,
+			Rng:   rand.New(rand.NewSource(stats.Derive(cfg.Seed, fmt.Sprintf("walker/%d", i)))),
+			Meter: cfg.Session.Meter(0), // unlimited during burn-in
+			Ctx:   ctx,
+		}
+		if cfg.BudgetDriven {
+			r.Budget = int64(quotas[i])
+		} else {
+			r.Quota = quotas[i]
+		}
+		runs[i] = r
+	}
+
+	errs := make([]error, cfg.Walkers)
+	var wg sync.WaitGroup
+
+	// Phase 1: construct and burn in every walker concurrently.
+	for _, r := range runs {
+		wg.Add(1)
+		go func(r *FleetRun[N]) {
+			defer wg.Done()
+			w, err := cfg.NewWalker(r)
+			if err != nil {
+				errs[r.ID] = fmt.Errorf("walk: walker %d start: %w", r.ID, err)
+				cancel()
+				return
+			}
+			if err := BurninCtx[N](ctx, w, cfg.BurnIn); err != nil {
+				errs[r.ID] = fmt.Errorf("walk: walker %d burn-in: %w", r.ID, err)
+				cancel()
+				return
+			}
+			r.W = w
+		}(r)
+	}
+	wg.Wait()
+	if err := firstFleetErr(errs); err != nil {
+		return nil, err
+	}
+
+	// Barrier: wipe burn-in charges and meters. Safe because no walker is
+	// in flight between the phases. The meters stay uncapped: per-walker
+	// budgets are enforced softly by Done() checks between iterations, so
+	// an iteration's trailing charges may overshoot the share slightly —
+	// exactly the serial loops' budget semantics ("s.Calls() >= k" checked
+	// between iterations). A hard meter cap would instead starve walkers
+	// whose share is smaller than one iteration's cost.
+	cfg.Session.ResetAccounting()
+	for _, r := range runs {
+		r.Meter.Reset(0)
+	}
+
+	// Phase 2: all walkers sample concurrently.
+	for _, r := range runs {
+		wg.Add(1)
+		go func(r *FleetRun[N]) {
+			defer wg.Done()
+			if err := cfg.Sample(r); err != nil {
+				errs[r.ID] = fmt.Errorf("walk: walker %d: %w", r.ID, err)
+				cancel()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := firstFleetErr(errs); err != nil {
+		return nil, err
+	}
+
+	calls := make([]int64, cfg.Walkers)
+	for i, r := range runs {
+		calls[i] = r.Meter.Calls()
+	}
+	return calls, nil
+}
+
+// SplitQuota splits k into w near-equal positive shares (the first k%w
+// shares get the extra unit). Callers clamp w <= k first.
+func SplitQuota(k, w int) []int {
+	out := make([]int, w)
+	base, rem := k/w, k%w
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// firstFleetErr returns the most informative error of a fleet: the first
+// non-cancellation error if any walker failed for a real reason, otherwise
+// the first error (cancellation) recorded.
+func firstFleetErr(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func orBackground(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	return context.Background()
+}

@@ -1,0 +1,138 @@
+package walk
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/osn"
+)
+
+func TestSplitQuota(t *testing.T) {
+	cases := []struct {
+		k, w int
+		want []int
+	}{
+		{10, 4, []int{3, 3, 2, 2}},
+		{8, 4, []int{2, 2, 2, 2}},
+		{3, 3, []int{1, 1, 1}},
+		{7, 1, []int{7}},
+	}
+	for _, c := range cases {
+		got := SplitQuota(c.k, c.w)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitQuota(%d,%d) = %v", c.k, c.w, got)
+			continue
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != c.want[i] {
+				t.Errorf("SplitQuota(%d,%d) = %v, want %v", c.k, c.w, got, c.want)
+				break
+			}
+		}
+		if sum != c.k {
+			t.Errorf("SplitQuota(%d,%d) shares sum to %d", c.k, c.w, sum)
+		}
+	}
+}
+
+func fleetGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(20)
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if err := b.AddEdge(graph.Node(i), graph.Node(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRunFleetBarrierResetsAccounting checks burn-in charges are wiped and
+// per-walker sampling bills land on the meters.
+func TestRunFleetBarrierResetsAccounting(t *testing.T) {
+	g := fleetGraph(t)
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := make([]int, 3)
+	calls, err := RunFleet(FleetConfig[graph.Node]{
+		Session:      s,
+		Seed:         4,
+		Walkers:      3,
+		K:            9,
+		BudgetDriven: false,
+		BurnIn:       25,
+		NewWalker: func(r *FleetRun[graph.Node]) (Walker[graph.Node], error) {
+			return NewSimple[graph.Node](NodeSpace{S: r.Meter}, graph.Node(r.ID), r.Rng), nil
+		},
+		Sample: func(r *FleetRun[graph.Node]) error {
+			for !r.Done(sampled[r.ID]) {
+				if _, err := r.W.Step(); err != nil {
+					return err
+				}
+				sampled[r.ID]++
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, n := range sampled {
+		total += n
+		if n != 3 {
+			t.Errorf("walker %d drew %d samples, want 3", i, n)
+		}
+		if calls[i] <= 0 {
+			t.Errorf("walker %d billed %d calls", i, calls[i])
+		}
+	}
+	if total != 9 {
+		t.Errorf("total samples %d, want 9", total)
+	}
+}
+
+// TestRunFleetPropagatesWalkerError checks one failing walker cancels the
+// fleet and the real error (not the cancellation) surfaces.
+func TestRunFleetPropagatesWalkerError(t *testing.T) {
+	g := fleetGraph(t)
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, err = RunFleet(FleetConfig[graph.Node]{
+		Session: s,
+		Seed:    4,
+		Walkers: 3,
+		K:       300,
+		BurnIn:  5,
+		NewWalker: func(r *FleetRun[graph.Node]) (Walker[graph.Node], error) {
+			return NewSimple[graph.Node](NodeSpace{S: r.Meter}, graph.Node(r.ID), r.Rng), nil
+		},
+		Sample: func(r *FleetRun[graph.Node]) error {
+			if r.ID == 1 {
+				return boom
+			}
+			<-r.Ctx.Done() // the others wait for the cancellation
+			return r.Ctx.Err()
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("want the walker's error, got %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation masked the real failure: %v", err)
+	}
+}

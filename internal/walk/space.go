@@ -44,11 +44,12 @@ func randomNeighbor[N comparable](sp Space[N], n N, rng *rand.Rand) (N, int, err
 	return v, d, nil
 }
 
-// NodeSpace adapts an osn.Session to the Space interface with users as
-// states. The session's crawl cache makes the Degree-then-Neighbor pattern
-// cost one API call per distinct user.
+// NodeSpace adapts an osn.API (a Session, or one walker's Meter over a
+// shared Session) to the Space interface with users as states. The crawl
+// cache makes the Degree-then-Neighbor pattern cost one API call per
+// distinct user.
 type NodeSpace struct {
-	S *osn.Session
+	S osn.API
 }
 
 // Degree implements Space.

@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,7 +24,17 @@ type Walker[N comparable] interface {
 // Burnin advances w for steps transitions, discarding the visited states.
 // The paper discards everything before the measured mixing time.
 func Burnin[N comparable](w Walker[N], steps int) error {
+	return BurninCtx[N](context.Background(), w, steps)
+}
+
+// BurninCtx is Burnin with cancellation: it aborts (returning ctx.Err())
+// as soon as ctx is done, so a multi-walker estimate can tear down every
+// goroutine the moment one fails or the caller gives up.
+func BurninCtx[N comparable](ctx context.Context, w Walker[N], steps int) error {
 	for i := 0; i < steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := w.Step(); err != nil {
 			return fmt.Errorf("walk: burn-in step %d: %w", i, err)
 		}

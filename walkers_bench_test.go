@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/osn"
+)
+
+// benchWalkerCounts is the scaling grid of BenchmarkEstimateWalkers.
+var benchWalkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkEstimateWalkers measures how one fixed-budget estimate scales
+// with the number of concurrent walkers, at equal total API budget, and
+// writes BENCH_walkers.json so future PRs can track the perf trajectory.
+//
+// Two regimes are measured:
+//
+//   - cpu: the in-memory GraphSource — scaling here tracks available cores
+//     (on a 1-core machine the walkers just interleave, speedup ~1x).
+//   - latency: a Source with injected per-fetch latency simulating a remote
+//     OSN API — walkers overlap their waits, so speedup approaches W even
+//     on a single core. This is the regime the paper's setting (a crawler
+//     against a rate-limited remote API) actually lives in.
+//
+// Run: go test -bench BenchmarkEstimateWalkers -benchtime 3x -run xxx .
+func BenchmarkEstimateWalkers(b *testing.B) {
+	g, err := GenerateStandIn("facebook", 1.0, 2018)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair := LabelPair{T1: 1, T2: 2}
+	const (
+		samples = 2000
+		burnIn  = 300
+		delay   = 100 * time.Microsecond
+	)
+
+	nsPerOp := map[string]map[int]float64{"cpu": {}, "latency": {}}
+
+	for _, w := range benchWalkerCounts {
+		w := w
+		b.Run(fmt.Sprintf("cpu/%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EstimateTargetEdges(g, pair, EstimateOptions{
+					Method:  NeighborSampleHH,
+					Samples: samples,
+					BurnIn:  burnIn,
+					Seed:    int64(i),
+					Walkers: w,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp["cpu"][w] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+	}
+
+	for _, w := range benchWalkerCounts {
+		w := w
+		b.Run(fmt.Sprintf("latency/%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := osn.WithLatency(osn.NewGraphSource(g), delay, 0, 1)
+				s, err := osn.NewSessionFrom(src, osn.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, err = core.NeighborSample(s, pair, samples, core.Options{
+					BurnIn:  burnIn,
+					Rng:     rand.New(rand.NewSource(int64(i))),
+					Start:   -1,
+					Walkers: w,
+					Seed:    int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp["latency"][w] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+	}
+
+	writeWalkersBench(b, nsPerOp, samples)
+}
+
+// walkersBenchReport is the schema of BENCH_walkers.json.
+type walkersBenchReport struct {
+	GoMaxProcs int                           `json:"gomaxprocs"`
+	Samples    int                           `json:"samples_per_estimate"`
+	NsPerOp    map[string]map[string]float64 `json:"ns_per_op"`
+	Speedup    map[string]map[string]float64 `json:"speedup_vs_serial"`
+}
+
+func writeWalkersBench(b *testing.B, nsPerOp map[string]map[int]float64, samples int) {
+	b.Helper()
+	for _, m := range nsPerOp {
+		if len(m) != len(benchWalkerCounts) {
+			return // a sub-benchmark was filtered out; skip the report
+		}
+	}
+	rep := walkersBenchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Samples:    samples,
+		NsPerOp:    map[string]map[string]float64{},
+		Speedup:    map[string]map[string]float64{},
+	}
+	for regime, m := range nsPerOp {
+		rep.NsPerOp[regime] = map[string]float64{}
+		rep.Speedup[regime] = map[string]float64{}
+		serial := m[1]
+		for w, ns := range m {
+			key := fmt.Sprintf("%d", w)
+			rep.NsPerOp[regime][key] = ns
+			if ns > 0 {
+				rep.Speedup[regime][key] = serial / ns
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_walkers.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_walkers.json (GOMAXPROCS=%d)", rep.GoMaxProcs)
+}

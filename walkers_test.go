@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestEstimateTargetEdgesWalkers exercises the multi-walker path through
+// the public API: every method must accept Walkers > 1, stay deterministic
+// for a fixed seed, and report a confidence interval.
+func TestEstimateTargetEdgesWalkers(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := LabelPair{T1: 1, T2: 2}
+	truth := float64(CountTargetEdgesExact(g, pair))
+	for _, m := range Methods() {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			run := func() Result {
+				res, err := EstimateTargetEdges(g, pair, EstimateOptions{
+					Method:  m,
+					Budget:  0.2,
+					BurnIn:  200,
+					Seed:    9,
+					Walkers: 4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if math.Float64bits(a.Estimate) != math.Float64bits(b.Estimate) || a.APICalls != b.APICalls {
+				t.Errorf("multi-walker estimate not deterministic:\n%+v\n%+v", a, b)
+			}
+			if a.Walkers < 2 {
+				t.Errorf("Walkers = %d, want > 1", a.Walkers)
+			}
+			if !a.CI.Valid() {
+				t.Errorf("CI not populated: %+v", a.CI)
+			}
+			lo, hi := truth/5, truth*5
+			if m == BaselineMethodMDRW || m == BaselineMethodGMD {
+				lo, hi = 0, truth*30
+			}
+			if a.Estimate < lo || a.Estimate > hi {
+				t.Errorf("%s estimate %.0f outside [%.0f, %.0f], truth %.0f", m, a.Estimate, lo, hi, truth)
+			}
+		})
+	}
+}
+
+// TestEstimateTargetEdgesWalkerCancellation checks Ctx plumbs all the way
+// down from the public API.
+func TestEstimateTargetEdgesWalkerCancellation(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = EstimateTargetEdges(g, LabelPair{T1: 1, T2: 2}, EstimateOptions{
+		Method:  NeighborSampleHH,
+		Budget:  0.1,
+		BurnIn:  100,
+		Seed:    1,
+		Walkers: 4,
+		Ctx:     ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestDiscoverLabelPairsWalkers checks the census splits across walkers and
+// stays deterministic.
+func TestDiscoverLabelPairsWalkers(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []PairEstimate {
+		pairs, err := DiscoverLabelPairsOpts(g, CensusOptions{Budget: 0.2, Seed: 5, Walkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pairs
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("census sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("census row %d differs across runs", i)
+		}
+	}
+	found := false
+	for _, pe := range a {
+		if pe.Pair == (LabelPair{T1: 1, T2: 2}) {
+			found = true
+			truth := float64(CountTargetEdgesExact(g, pe.Pair))
+			if pe.Estimate < truth/2 || pe.Estimate > truth*2 {
+				t.Errorf("(1,2) estimate %.0f outside 2x of truth %.0f", pe.Estimate, truth)
+			}
+		}
+	}
+	if !found {
+		t.Error("(1,2) not discovered despite being abundant")
+	}
+}
