@@ -15,7 +15,10 @@ type PrecisionOptions struct {
 	// TargetRelSE is the desired relative standard error (batch-means SE /
 	// estimate); the run stops once reached. Must be in (0, 1).
 	TargetRelSE float64
-	// MaxBudget caps total API calls as a fraction of |V| (default 0.25).
+	// MaxBudget caps total sampling API calls as a fraction of |V| (default
+	// 0.25, floored at 100 calls). The cap is hard: the walk's metered
+	// budget refuses charges at the cap, so the run never overspends it —
+	// at worst the final sampling iteration is cut short mid-step.
 	MaxBudget float64
 	// BurnIn, Seed as in EstimateOptions.
 	BurnIn int
@@ -29,8 +32,12 @@ type PrecisionResult struct {
 	// RelSE is the achieved relative standard error.
 	RelSE float64
 	// Reached reports whether the target precision was met within budget.
+	// When false, Estimate still carries the best (partial) answer the
+	// budget allowed.
 	Reached bool
-	// Samples and APICalls account the whole run.
+	// Samples and APICalls account the whole run. APICalls covers the
+	// sampling phase only: burn-in is paid once, before the budget is
+	// armed, matching the paper's accounting.
 	Samples  int
 	APICalls int64
 	// Rounds is how many doubling rounds were executed.
@@ -44,8 +51,13 @@ type PrecisionResult struct {
 // require knowing F and the T(u) profile in advance, which a crawler never
 // does, while the empirical SE is computable online from the walk itself.
 //
-// Each round continues the same walk (a fresh round doubles the cumulative
-// sample count), so no burn-in is re-paid.
+// Each round continues the same recorded walk (core.Recorder): burn-in is
+// paid exactly once, every round's samples stay in the estimate, and a round
+// merely extends the cumulative sample to double its size before
+// re-aggregating the Eq. 11 estimator over everything recorded so far. The
+// budget cap is enforced by the walk's meter, so the run returns a partial
+// result with Reached == false — never an error, and never an overspend —
+// when the cap lands mid-round.
 func EstimateToPrecision(g *Graph, pair LabelPair, opts PrecisionOptions) (PrecisionResult, error) {
 	var res PrecisionResult
 	if g.NumNodes() == 0 || g.NumEdges() == 0 {
@@ -77,39 +89,49 @@ func EstimateToPrecision(g *Graph, pair LabelPair, opts PrecisionOptions) (Preci
 		}
 	}
 
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		return res, err
+	}
 	rng := stats.NewSeedSequence(opts.Seed).NextRand()
+	rec, err := core.NewRecorder(s, maxCalls, core.Options{BurnIn: burn, Rng: rng, Start: -1})
+	if err != nil {
+		return res, err
+	}
 
-	// Doubling schedule over the sample count. Each round is a fresh
-	// burned-in walk (so the Eq. 11 estimator stays exact over that round's
-	// sample); sampling-phase API calls accumulate across rounds, burn-in
-	// excluded per the paper's accounting.
-	k := 64
-	for {
-		res.Rounds++
-		s, err := osn.NewSession(g, osn.Config{})
+	// Doubling schedule over the cumulative sample count: extend the one
+	// recorded walk to k samples, re-aggregate, check the SE, double k.
+	aggregate := func() error {
+		prs, err := core.EstimateManyPairs(rec.Trajectory(), []LabelPair{pair})
 		if err != nil {
-			return res, err
+			return err
 		}
-		copts := core.Options{BurnIn: burn, Rng: rng, Start: -1}
-		r, err := core.NeighborExploration(s, pair, k, copts)
-		if err != nil {
-			return res, err
-		}
+		r := prs[0].NE
 		res.Estimate = r.HH
 		res.Samples = r.Samples
-		res.APICalls += r.APICalls
+		res.APICalls = rec.Calls()
 		if r.HHStdErr > 0 && r.HH > 0 {
 			res.RelSE = r.HHStdErr / r.HH
-			if res.RelSE <= opts.TargetRelSE {
-				res.Reached = true
-				return res, nil
-			}
 		} else {
 			res.RelSE = math.Inf(1)
 		}
-		if res.APICalls >= maxCalls {
-			return res, nil // budget exhausted; Reached stays false
+		return nil
+	}
+	for k := 64; ; k *= 2 {
+		res.Rounds++
+		_, exhausted, err := rec.Extend(k - rec.Samples())
+		if err != nil {
+			return res, err
 		}
-		k *= 2
+		if err := aggregate(); err != nil {
+			return res, err
+		}
+		if res.RelSE <= opts.TargetRelSE {
+			res.Reached = true
+			return res, nil
+		}
+		if exhausted {
+			return res, nil // budget cap hit; partial result, Reached stays false
+		}
 	}
 }

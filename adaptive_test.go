@@ -58,6 +58,75 @@ func TestEstimateToPrecisionBudgetCap(t *testing.T) {
 	}
 }
 
+// TestEstimateToPrecisionNeverOverspends is the regression test for the
+// historical budget bug: rounds used to run on unbudgeted sessions, so the
+// final doubling round could overshoot MaxBudget arbitrarily (by up to the
+// whole round). The cap is now enforced by the walk's meter, which refuses
+// unit charges at the cap, so the bill can never exceed it by more than one
+// sampling iteration.
+func TestEstimateToPrecisionNeverOverspends(t *testing.T) {
+	for _, frac := range []float64{0.01, 0.03, 0.1} {
+		g, err := GenerateStandIn("facebook", 0.4, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EstimateToPrecision(g, LabelPair{T1: 1, T2: 2}, PrecisionOptions{
+			TargetRelSE: 0.0015, // unreachably tight: forces the cap to land
+			MaxBudget:   frac,
+			BurnIn:      150,
+			Seed:        9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxCalls := int64(frac * float64(g.NumNodes()))
+		if maxCalls < 100 {
+			maxCalls = 100
+		}
+		// One sampling iteration charges at most 2 calls (step + profile
+		// fetch); the meter refuses at the cap, so even that slack is unused.
+		if res.APICalls > maxCalls+2 {
+			t.Errorf("MaxBudget=%.2f: billed %d calls, cap %d — overshoot", frac, res.APICalls, maxCalls)
+		}
+		if res.Reached {
+			t.Errorf("MaxBudget=%.2f: 0.15%% relSE should not be reachable", frac)
+		}
+		if res.APICalls == 0 || res.Samples == 0 {
+			t.Errorf("MaxBudget=%.2f: partial result missing: %+v", frac, res)
+		}
+	}
+}
+
+// TestEstimateToPrecisionBurnInPaidOnce: the rounds resume one recorded
+// walk, so the total bill stays near the sample count — re-paid burn-in
+// would show up as Rounds×BurnIn extra calls.
+func TestEstimateToPrecisionBurnInPaidOnce(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burn = 400
+	res, err := EstimateToPrecision(g, LabelPair{T1: 1, T2: 2}, PrecisionOptions{
+		TargetRelSE: 0.02,
+		MaxBudget:   0.9,
+		BurnIn:      burn,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 2 {
+		t.Skipf("target met in one round (rounds=%d); burn-in amortization unobservable", res.Rounds)
+	}
+	// Sampling bills ≈ 1 call/sample (plus the cache-miss slack); re-paying
+	// burn-in each round would add (Rounds-1)×400 calls on top.
+	limit := int64(res.Samples) + int64(res.Rounds-1)*burn/2 + 100
+	if res.APICalls > limit {
+		t.Errorf("billed %d calls for %d samples over %d rounds — burn-in re-paid?",
+			res.APICalls, res.Samples, res.Rounds)
+	}
+}
+
 func TestEstimateToPrecisionValidation(t *testing.T) {
 	g, err := GenerateStandIn("facebook", 0.1, 33)
 	if err != nil {

@@ -30,6 +30,52 @@ func run(t *testing.T, bin string, args ...string) string {
 	return string(out)
 }
 
+// runExpectUsageError runs a tool expecting flag validation to reject it:
+// exit code 2 and an actionable message naming the offending flag.
+func runExpectUsageError(t *testing.T, bin, wantFlag string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected a validation failure, got success:\n%s", filepath.Base(bin), args, out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v", filepath.Base(bin), args, err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("%s %v: exit code %d, want 2 (usage error)\n%s", filepath.Base(bin), args, code, out)
+	}
+	if !strings.Contains(string(out), wantFlag) {
+		t.Errorf("%s %v: error message does not name %s:\n%s", filepath.Base(bin), args, wantFlag, out)
+	}
+}
+
+// TestCLIFlagValidation pins the up-front flag validation of the tools:
+// nonsense walker counts and budgets must fail fast with a usage error, not
+// surface as deep engine errors mid-run.
+func TestCLIFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	edgecount := buildTool(t, dir, "edgecount")
+	census := buildTool(t, dir, "census")
+	reproduce := buildTool(t, dir, "reproduce")
+
+	runExpectUsageError(t, edgecount, "-walkers", "-dataset", "facebook", "-scale", "0.1", "-walkers", "-3")
+	runExpectUsageError(t, edgecount, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "0")
+	runExpectUsageError(t, edgecount, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "-0.5")
+	runExpectUsageError(t, edgecount, "-samples", "-dataset", "facebook", "-scale", "0.1", "-samples", "-10")
+	runExpectUsageError(t, edgecount, "-burnin", "-dataset", "facebook", "-scale", "0.1", "-burnin", "-1")
+	runExpectUsageError(t, census, "-walkers", "-dataset", "facebook", "-scale", "0.1", "-walkers", "-1")
+	runExpectUsageError(t, census, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "0")
+	runExpectUsageError(t, census, "-top", "-dataset", "facebook", "-scale", "0.1", "-top", "0")
+	runExpectUsageError(t, reproduce, "-reps", "-table", "4", "-reps", "0")
+	runExpectUsageError(t, reproduce, "-walkers", "-table", "4", "-walkers", "-2")
+	runExpectUsageError(t, reproduce, "-scale", "-table", "4", "-scale", "-1")
+}
+
 // TestCLIEndToEnd builds every command-line tool and exercises a realistic
 // workflow: generate a dataset to disk, discover its label pairs, estimate
 // one pair from the files, measure mixing, and regenerate a paper table.

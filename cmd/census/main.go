@@ -33,10 +33,26 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "census: "+format+"\n", args...)
+		os.Exit(2)
+	}
 	if *dataset == "" && *edges == "" {
 		fmt.Fprintln(os.Stderr, "census: need -dataset or -edges")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *walkers < 0 {
+		fail("-walkers must be non-negative (0/1 = serial), got %d", *walkers)
+	}
+	if *budget <= 0 {
+		fail("-budget must be a positive fraction of |V| (e.g. 0.05), got %g", *budget)
+	}
+	if *top < 1 {
+		fail("-top must be at least 1, got %d", *top)
+	}
+	if *scale <= 0 {
+		fail("-scale must be positive, got %g", *scale)
 	}
 	var (
 		g   *repro.Graph

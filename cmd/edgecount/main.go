@@ -36,10 +36,32 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "edgecount: "+format+"\n", args...)
+		os.Exit(2)
+	}
 	if *dataset == "" && *edges == "" {
 		fmt.Fprintln(os.Stderr, "edgecount: need -dataset or -edges")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *walkers < 0 {
+		fail("-walkers must be non-negative (0/1 = serial), got %d", *walkers)
+	}
+	if *samples < 0 {
+		fail("-samples must be non-negative (0 = use -budget), got %d", *samples)
+	}
+	if *samples == 0 && *budget <= 0 {
+		fail("-budget must be a positive fraction of |V| (e.g. 0.05), got %g", *budget)
+	}
+	if *burnin < 0 {
+		fail("-burnin must be non-negative (0 = measure mixing time), got %d", *burnin)
+	}
+	if *scale <= 0 {
+		fail("-scale must be positive, got %g", *scale)
+	}
+	if *t1 < 0 || *t2 < 0 {
+		fail("-t1 and -t2 must be non-negative labels, got %d and %d", *t1, *t2)
 	}
 
 	var (

@@ -41,6 +41,32 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "reproduce: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *reps < 1 {
+		fail("-reps must be at least 1, got %d", *reps)
+	}
+	if *scale <= 0 {
+		fail("-scale must be positive, got %g", *scale)
+	}
+	if *workers < 0 {
+		fail("-workers must be non-negative (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *walkers < 0 {
+		fail("-walkers must be non-negative (0/1 = serial), got %d", *walkers)
+	}
+	if *burnin < 0 {
+		fail("-burnin must be non-negative (0 = measure mixing time), got %d", *burnin)
+	}
+	if *table < 0 || *table > 26 {
+		fail("-table must be in 1..26, got %d", *table)
+	}
+	if *figure < 0 || *figure > 2 {
+		fail("-figure must be 1 or 2, got %d", *figure)
+	}
+
 	if *csvdir != "" {
 		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "reproduce:", err)

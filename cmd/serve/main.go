@@ -1,0 +1,112 @@
+// Command serve runs the label-pair estimation query service: an HTTP JSON
+// API over one graph behind the restricted access model, answering many
+// concurrent label-pair queries from shared random-walk trajectories. One
+// recorded walk serves every pair any client asks about at a given (budget,
+// walkers, seed) configuration; queries arriving within the batching window
+// share a single fleet run, and finished trajectories stay cached for -ttl.
+//
+// Usage:
+//
+//	serve -dataset pokec -scale 0.5 -addr :8080
+//	serve -edges graph.txt -labels labels.txt -budget 0.05 -walkers 4
+//
+// Then:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/methods
+//	curl -s -X POST localhost:8080/estimate -d '{"pairs": [[1,2],[2,3]]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "synthetic stand-in to generate (facebook, googleplus, pokec, orkut, livejournal)")
+		scale   = flag.Float64("scale", 1.0, "stand-in scale factor")
+		edges   = flag.String("edges", "", "edge list file (alternative to -dataset)")
+		labels  = flag.String("labels", "", "label file (with -edges)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		budget  = flag.Float64("budget", 0.05, "default trajectory API budget as a fraction of |V|")
+		walkers = flag.Int("walkers", 1, "default concurrent walkers per trajectory recording")
+		burnin  = flag.Int("burnin", 0, "walk burn-in steps (0 = measure mixing time at startup)")
+		seed    = flag.Int64("seed", 1, "default trajectory seed")
+		window  = flag.Duration("window", 25*time.Millisecond, "batching window: queries arriving within it share one recording")
+		ttl     = flag.Duration("ttl", 10*time.Minute, "cached trajectory lifetime (0 = keep until restart)")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *dataset == "" && *edges == "" {
+		fmt.Fprintln(os.Stderr, "serve: need -dataset or -edges")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *budget <= 0 {
+		fail("-budget must be positive (a fraction of |V|), got %g", *budget)
+	}
+	if *walkers < 1 {
+		fail("-walkers must be at least 1, got %d", *walkers)
+	}
+	if *burnin < 0 {
+		fail("-burnin must be non-negative, got %d", *burnin)
+	}
+	if *scale <= 0 {
+		fail("-scale must be positive, got %g", *scale)
+	}
+	if *window < 0 || *ttl < 0 {
+		fail("-window and -ttl must be non-negative")
+	}
+
+	var (
+		g   *repro.Graph
+		err error
+	)
+	if *dataset != "" {
+		g, err = repro.GenerateStandIn(*dataset, *scale, *seed)
+	} else {
+		g, err = repro.LoadGraph(*edges, *labels)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("graph: |V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
+
+	callBudget := int(*budget * float64(g.NumNodes()))
+	if callBudget < 100 {
+		callBudget = 100
+	}
+	engine, err := serve.New(serve.Config{
+		Graph:       g,
+		BurnIn:      *burnin,
+		Budget:      callBudget,
+		Walkers:     *walkers,
+		Seed:        *seed,
+		BatchWindow: *window,
+		TTL:         *ttl,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("engine: burn-in=%d steps, trajectory budget=%d calls, walkers=%d, window=%s, ttl=%s",
+		engine.BurnIn(), callBudget, *walkers, *window, *ttl)
+	log.Printf("listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, serve.NewHandler(engine)); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"repro/internal/estimate"
+	"repro/internal/graph"
+)
+
+// This file holds the estimator-aggregation stage of NeighborSample and
+// NeighborExploration, factored out of the sampling loops so that a live walk
+// and a recorded Trajectory replay (EstimateManyPairs) feed the exact same
+// arithmetic. The serial variants mirror the historical single-walk code
+// operation for operation — the golden serial test pins them — and the
+// parallel variants mirror the multi-walker merging of engine.go.
+
+// aggregateNSSerial computes the NeighborSample estimators over one walker's
+// ordered edge samples, filling every field of res except APICalls.
+func aggregateNSSerial(res *NeighborSampleResult, samples []edgeSample, numEdges float64, thinGap int) error {
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Edge]()
+	retained := len(samples)
+	if thinGap > 1 {
+		retained = len(samples) / thinGap
+		if retained == 0 {
+			return errNoRetained(thinGap, len(samples))
+		}
+	}
+	incl := estimate.InclusionProbability(1/numEdges, retained)
+	hhTerms := make([]float64, 0, len(samples))
+	for i, sm := range samples {
+		res.Samples++
+		indicator := 0.0
+		if sm.target {
+			indicator = 1
+			res.TargetHits++
+		}
+		// HH term: I(X_i)/π(X_i) with π = 1/|E| (uniform edge sample).
+		term := indicator * numEdges
+		hhTerms = append(hhTerms, term)
+		if err := hh.Add(term, 1); err != nil {
+			return err
+		}
+		if thinGap <= 1 || i%thinGap == 0 {
+			if err := ht.Add(sm.e, indicator, incl); err != nil {
+				return err
+			}
+		}
+	}
+	res.HH = hh.Estimate()
+	res.HHStdErr = batchSE(hhTerms)
+	res.HT = ht.Estimate()
+	res.DistinctEdges = ht.Distinct()
+	res.Walkers = 1
+	return nil
+}
+
+// aggregateNSParallel pools per-walker edge samples in walker order into the
+// NeighborSample estimators and attaches between-walker confidence intervals,
+// filling every field of res except APICalls.
+func aggregateNSParallel(res *NeighborSampleResult, perSamples [][]edgeSample, numEdges float64, thinGap int) error {
+	W := len(perSamples)
+	retained := 0
+	for _, samples := range perSamples {
+		retained += retainedCount(len(samples), thinGap)
+	}
+	if retained == 0 {
+		return errNoRetained(thinGap, totalLen(perSamples))
+	}
+	incl := estimate.InclusionProbability(1/numEdges, retained)
+
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Edge]()
+	perHH := make([]float64, 0, W)
+	perHT := make([]float64, 0, W)
+	for _, samples := range perSamples {
+		whh := &estimate.HansenHurwitz{}
+		wht := estimate.NewHorvitzThompson[graph.Edge]()
+		wincl := estimate.InclusionProbability(1/numEdges, retainedCount(len(samples), thinGap))
+		for i, sm := range samples {
+			res.Samples++
+			indicator := 0.0
+			if sm.target {
+				indicator = 1
+				res.TargetHits++
+			}
+			term := indicator * numEdges
+			if err := hh.Add(term, 1); err != nil {
+				return err
+			}
+			if err := whh.Add(term, 1); err != nil {
+				return err
+			}
+			if thinGap <= 1 || i%thinGap == 0 {
+				if err := ht.Add(sm.e, indicator, incl); err != nil {
+					return err
+				}
+				if err := wht.Add(sm.e, indicator, wincl); err != nil {
+					return err
+				}
+			}
+		}
+		if len(samples) > 0 {
+			perHH = append(perHH, whh.Estimate())
+			perHT = append(perHT, wht.Estimate())
+		}
+	}
+	res.HH = hh.Estimate()
+	res.HT = ht.Estimate()
+	res.HHCI = estimate.CIFromEstimates(perHH, ciLevel)
+	res.HTCI = estimate.CIFromEstimates(perHT, ciLevel)
+	res.HHStdErr = res.HHCI.StdErr
+	res.DistinctEdges = ht.Distinct()
+	res.Walkers = W
+	return nil
+}
+
+// aggregateNESerial computes the NeighborExploration estimators over one
+// walker's ordered node samples, filling every field of res except APICalls
+// and Explorations (an access-time statistic the caller tracks).
+func aggregateNESerial(res *NeighborExplorationResult, samples []nodeSample, numEdges, numNodes float64, thinGap int) error {
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Node]()
+	rw := &estimate.Reweighted{}
+	retained := len(samples)
+	if thinGap > 1 {
+		retained = len(samples) / thinGap
+		if retained == 0 {
+			return errNoRetained(thinGap, len(samples))
+		}
+	}
+	hhTerms := make([]float64, 0, len(samples))
+	for i, sm := range samples {
+		res.Samples++
+		res.TargetEdgeMass += int64(sm.t)
+		// HH (Eq. 11): average of |E|·T(u)/d(u); |E|/d(u) is the
+		// 1/(2·π(u)) factor with π(u) = d(u)/2|E|.
+		term := float64(sm.t) * numEdges / float64(sm.d)
+		hhTerms = append(hhTerms, term)
+		if err := hh.Add(term, 1); err != nil {
+			return err
+		}
+		// RW (Eq. 19): ratio of Σ T/d to 2·Σ 1/d, scaled by |V|.
+		if err := rw.Add(float64(sm.t), float64(sm.d)); err != nil {
+			return err
+		}
+		// HT (Eq. 13): distinct nodes, inclusion 1−(1−d(u)/2|E|)^m.
+		if thinGap <= 1 || i%thinGap == 0 {
+			incl := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), retained)
+			if err := ht.Add(sm.u, float64(sm.t), incl); err != nil {
+				return err
+			}
+		}
+	}
+	res.HH = hh.Estimate()
+	res.HHStdErr = batchSE(hhTerms)
+	res.HT = ht.Estimate() / 2
+	res.RW = rw.Ratio() * numNodes / 2
+	res.DistinctNodes = ht.Distinct()
+	res.Walkers = 1
+	return nil
+}
+
+// aggregateNEParallel pools per-walker node samples into the
+// NeighborExploration estimators with between-walker confidence intervals,
+// filling every field of res except APICalls and Explorations.
+func aggregateNEParallel(res *NeighborExplorationResult, perSamples [][]nodeSample, numEdges, numNodes float64, thinGap int) error {
+	W := len(perSamples)
+	retained := 0
+	for _, samples := range perSamples {
+		retained += retainedCount(len(samples), thinGap)
+	}
+	if retained == 0 {
+		return errNoRetained(thinGap, totalLen2(perSamples))
+	}
+
+	hh := &estimate.HansenHurwitz{}
+	ht := estimate.NewHorvitzThompson[graph.Node]()
+	rw := &estimate.Reweighted{}
+	perHH := make([]float64, 0, W)
+	perHT := make([]float64, 0, W)
+	perRW := make([]float64, 0, W)
+	for _, samples := range perSamples {
+		whh := &estimate.HansenHurwitz{}
+		wht := estimate.NewHorvitzThompson[graph.Node]()
+		wrw := &estimate.Reweighted{}
+		wret := retainedCount(len(samples), thinGap)
+		for i, sm := range samples {
+			res.Samples++
+			res.TargetEdgeMass += int64(sm.t)
+			term := float64(sm.t) * numEdges / float64(sm.d)
+			if err := hh.Add(term, 1); err != nil {
+				return err
+			}
+			if err := whh.Add(term, 1); err != nil {
+				return err
+			}
+			if err := wrw.Add(float64(sm.t), float64(sm.d)); err != nil {
+				return err
+			}
+			if thinGap <= 1 || i%thinGap == 0 {
+				incl := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), retained)
+				if err := ht.Add(sm.u, float64(sm.t), incl); err != nil {
+					return err
+				}
+				winc := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), wret)
+				if err := wht.Add(sm.u, float64(sm.t), winc); err != nil {
+					return err
+				}
+			}
+		}
+		rw.Merge(wrw)
+		if len(samples) > 0 {
+			perHH = append(perHH, whh.Estimate())
+			perHT = append(perHT, wht.Estimate()/2)
+			perRW = append(perRW, wrw.Ratio()*numNodes/2)
+		}
+	}
+	res.HH = hh.Estimate()
+	res.HT = ht.Estimate() / 2
+	res.RW = rw.Ratio() * numNodes / 2
+	res.HHCI = estimate.CIFromEstimates(perHH, ciLevel)
+	res.HTCI = estimate.CIFromEstimates(perHT, ciLevel)
+	res.RWCI = estimate.CIFromEstimates(perRW, ciLevel)
+	res.HHStdErr = res.HHCI.StdErr
+	res.DistinctNodes = ht.Distinct()
+	res.Walkers = W
+	return nil
+}

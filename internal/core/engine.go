@@ -100,60 +100,10 @@ func neighborSampleParallel(s *osn.Session, pair graph.LabelPair, k int, opts Op
 		return res, err
 	}
 
-	numEdges := float64(s.NumEdges())
-	retained := 0
-	for _, samples := range perSamples {
-		retained += retainedCount(len(samples), opts.ThinGap)
+	if err := aggregateNSParallel(&res, perSamples, float64(s.NumEdges()), opts.ThinGap); err != nil {
+		return res, err
 	}
-	if retained == 0 {
-		return res, errNoRetained(opts.ThinGap, totalLen(perSamples))
-	}
-	incl := estimate.InclusionProbability(1/numEdges, retained)
-
-	hh := &estimate.HansenHurwitz{}
-	ht := estimate.NewHorvitzThompson[graph.Edge]()
-	perHH := make([]float64, 0, W)
-	perHT := make([]float64, 0, W)
-	for _, samples := range perSamples {
-		whh := &estimate.HansenHurwitz{}
-		wht := estimate.NewHorvitzThompson[graph.Edge]()
-		wincl := estimate.InclusionProbability(1/numEdges, retainedCount(len(samples), opts.ThinGap))
-		for i, sm := range samples {
-			res.Samples++
-			indicator := 0.0
-			if sm.target {
-				indicator = 1
-				res.TargetHits++
-			}
-			term := indicator * numEdges
-			if err := hh.Add(term, 1); err != nil {
-				return res, err
-			}
-			if err := whh.Add(term, 1); err != nil {
-				return res, err
-			}
-			if opts.ThinGap <= 1 || i%opts.ThinGap == 0 {
-				if err := ht.Add(sm.e, indicator, incl); err != nil {
-					return res, err
-				}
-				if err := wht.Add(sm.e, indicator, wincl); err != nil {
-					return res, err
-				}
-			}
-		}
-		if len(samples) > 0 {
-			perHH = append(perHH, whh.Estimate())
-			perHT = append(perHT, wht.Estimate())
-		}
-	}
-	res.HH = hh.Estimate()
-	res.HT = ht.Estimate()
-	res.HHCI = estimate.CIFromEstimates(perHH, ciLevel)
-	res.HTCI = estimate.CIFromEstimates(perHT, ciLevel)
-	res.HHStdErr = res.HHCI.StdErr
-	res.DistinctEdges = ht.Distinct()
 	res.APICalls = sum64(calls)
-	res.Walkers = W
 	return res, nil
 }
 
@@ -226,71 +176,13 @@ func neighborExplorationParallel(s *osn.Session, pair graph.LabelPair, k int, op
 		return res, err
 	}
 
-	numEdges := float64(s.NumEdges())
-	numNodes := float64(s.NumNodes())
-	retained := 0
-	for _, samples := range perSamples {
-		retained += retainedCount(len(samples), opts.ThinGap)
-	}
-	if retained == 0 {
-		return res, errNoRetained(opts.ThinGap, totalLen2(perSamples))
-	}
-
-	hh := &estimate.HansenHurwitz{}
-	ht := estimate.NewHorvitzThompson[graph.Node]()
-	rw := &estimate.Reweighted{}
-	perHH := make([]float64, 0, W)
-	perHT := make([]float64, 0, W)
-	perRW := make([]float64, 0, W)
-	for _, samples := range perSamples {
-		whh := &estimate.HansenHurwitz{}
-		wht := estimate.NewHorvitzThompson[graph.Node]()
-		wrw := &estimate.Reweighted{}
-		wret := retainedCount(len(samples), opts.ThinGap)
-		for i, sm := range samples {
-			res.Samples++
-			res.TargetEdgeMass += int64(sm.t)
-			term := float64(sm.t) * numEdges / float64(sm.d)
-			if err := hh.Add(term, 1); err != nil {
-				return res, err
-			}
-			if err := whh.Add(term, 1); err != nil {
-				return res, err
-			}
-			if err := wrw.Add(float64(sm.t), float64(sm.d)); err != nil {
-				return res, err
-			}
-			if opts.ThinGap <= 1 || i%opts.ThinGap == 0 {
-				incl := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), retained)
-				if err := ht.Add(sm.u, float64(sm.t), incl); err != nil {
-					return res, err
-				}
-				winc := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), wret)
-				if err := wht.Add(sm.u, float64(sm.t), winc); err != nil {
-					return res, err
-				}
-			}
-		}
-		rw.Merge(wrw)
-		if len(samples) > 0 {
-			perHH = append(perHH, whh.Estimate())
-			perHT = append(perHT, wht.Estimate()/2)
-			perRW = append(perRW, wrw.Ratio()*numNodes/2)
-		}
+	if err := aggregateNEParallel(&res, perSamples, float64(s.NumEdges()), float64(s.NumNodes()), opts.ThinGap); err != nil {
+		return res, err
 	}
 	for _, e := range perExplorations {
 		res.Explorations += e
 	}
-	res.HH = hh.Estimate()
-	res.HT = ht.Estimate() / 2
-	res.RW = rw.Ratio() * numNodes / 2
-	res.HHCI = estimate.CIFromEstimates(perHH, ciLevel)
-	res.HTCI = estimate.CIFromEstimates(perHT, ciLevel)
-	res.RWCI = estimate.CIFromEstimates(perRW, ciLevel)
-	res.HHStdErr = res.HHCI.StdErr
-	res.DistinctNodes = ht.Distinct()
 	res.APICalls = sum64(calls)
-	res.Walkers = W
 	return res, nil
 }
 

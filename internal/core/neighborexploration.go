@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/estimate"
 	"repro/internal/graph"
 	"repro/internal/osn"
 )
@@ -119,51 +118,13 @@ func NeighborExploration(s *osn.Session, pair graph.LabelPair, k int, opts Optio
 				return res, fmt.Errorf("core: NeighborExploration billing exploration of node %d: %w", u, err)
 			}
 		}
-		res.TargetEdgeMass += int64(t)
 		samples = append(samples, nodeSample{u: u, t: t, d: d})
 	}
 
-	numEdges := float64(s.NumEdges())
-	numNodes := float64(s.NumNodes())
-	hh := &estimate.HansenHurwitz{}
-	ht := estimate.NewHorvitzThompson[graph.Node]()
-	rw := &estimate.Reweighted{}
-	retained := len(samples)
-	if opts.ThinGap > 1 {
-		retained = len(samples) / opts.ThinGap
-		if retained == 0 {
-			return res, fmt.Errorf("core: thinning gap %d leaves no samples out of %d", opts.ThinGap, len(samples))
-		}
+	if err := aggregateNESerial(&res, samples, float64(s.NumEdges()), float64(s.NumNodes()), opts.ThinGap); err != nil {
+		return res, err
 	}
-	hhTerms := make([]float64, 0, len(samples))
-	for i, sm := range samples {
-		res.Samples++
-		// HH (Eq. 11): average of |E|·T(u)/d(u); |E|/d(u) is the
-		// 1/(2·π(u)) factor with π(u) = d(u)/2|E|.
-		term := float64(sm.t) * numEdges / float64(sm.d)
-		hhTerms = append(hhTerms, term)
-		if err := hh.Add(term, 1); err != nil {
-			return res, err
-		}
-		// RW (Eq. 19): ratio of Σ T/d to 2·Σ 1/d, scaled by |V|.
-		if err := rw.Add(float64(sm.t), float64(sm.d)); err != nil {
-			return res, err
-		}
-		// HT (Eq. 13): distinct nodes, inclusion 1−(1−d(u)/2|E|)^m.
-		if opts.ThinGap <= 1 || i%opts.ThinGap == 0 {
-			incl := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), retained)
-			if err := ht.Add(sm.u, float64(sm.t), incl); err != nil {
-				return res, err
-			}
-		}
-	}
-	res.HH = hh.Estimate()
-	res.HHStdErr = batchSE(hhTerms)
-	res.HT = ht.Estimate() / 2
-	res.RW = rw.Ratio() * numNodes / 2
-	res.DistinctNodes = ht.Distinct()
 	res.APICalls = s.Calls()
-	res.Walkers = 1
 	return res, nil
 }
 

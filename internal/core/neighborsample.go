@@ -102,43 +102,10 @@ func NeighborSample(s *osn.Session, pair graph.LabelPair, k int, opts Options) (
 		samples = append(samples, edgeSample{e: e, target: target})
 	}
 
-	numEdges := float64(s.NumEdges())
-	hh := &estimate.HansenHurwitz{}
-	ht := estimate.NewHorvitzThompson[graph.Edge]()
-	retained := len(samples)
-	if opts.ThinGap > 1 {
-		retained = len(samples) / opts.ThinGap
-		if retained == 0 {
-			return res, fmt.Errorf("core: thinning gap %d leaves no samples out of %d", opts.ThinGap, len(samples))
-		}
+	if err := aggregateNSSerial(&res, samples, float64(s.NumEdges()), opts.ThinGap); err != nil {
+		return res, err
 	}
-	incl := estimate.InclusionProbability(1/numEdges, retained)
-	hhTerms := make([]float64, 0, len(samples))
-	for i, sm := range samples {
-		res.Samples++
-		indicator := 0.0
-		if sm.target {
-			indicator = 1
-			res.TargetHits++
-		}
-		// HH term: I(X_i)/π(X_i) with π = 1/|E| (uniform edge sample).
-		term := indicator * numEdges
-		hhTerms = append(hhTerms, term)
-		if err := hh.Add(term, 1); err != nil {
-			return res, err
-		}
-		if opts.ThinGap <= 1 || i%opts.ThinGap == 0 {
-			if err := ht.Add(sm.e, indicator, incl); err != nil {
-				return res, err
-			}
-		}
-	}
-	res.HH = hh.Estimate()
-	res.HHStdErr = batchSE(hhTerms)
-	res.HT = ht.Estimate()
-	res.DistinctEdges = ht.Distinct()
 	res.APICalls = s.Calls()
-	res.Walkers = 1
 	return res, nil
 }
 

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/walk"
+)
+
+// This file implements the shared-trajectory multi-query engine: one walk's
+// sample stream is recorded once and replayed through the paper's estimators
+// for arbitrarily many label pairs. The estimators weigh samples by
+// label-pair membership only at aggregation time, and label reads are free in
+// the access model (a friend-list response carries profile snippets), so P
+// pairs cost one walk's API calls instead of P walks'.
+//
+// The recording loop charges exactly like NeighborExploration under the
+// ExploreFree cost model: one Step per iteration plus the arrived-at node's
+// neighbor-list fetch (which the next Step then gets from the crawl cache).
+// Replayed NeighborExploration estimates therefore match a standalone
+// NeighborExploration run bit for bit, in both sample-driven and
+// budget-driven mode; replayed NeighborSample estimates match a standalone
+// run bit for bit in sample-driven mode (in budget-driven mode NeighborSample
+// alone would have spent the neighbor-fetch call on one extra walk step).
+
+// TrajStep is one recorded post-burn-in walk transition: the traversed edge,
+// plus the arrived-at node's degree and friend list so every estimator of
+// both algorithms can be replayed without further API access.
+type TrajStep struct {
+	// Prev is the node the walk moved from.
+	Prev graph.Node
+	// Node is the node the walk arrived at.
+	Node graph.Node
+	// Degree is d(Node).
+	Degree int
+	// Neighbors is Node's friend list. The slice is shared with the session's
+	// response store and must not be modified.
+	Neighbors []graph.Node
+}
+
+// labelAPI is the free slice of the access model a replay needs: label reads
+// cost nothing (see the osn package comment), so replaying a trajectory for
+// another pair charges no API calls.
+type labelAPI interface {
+	Labels(u graph.Node) []graph.Label
+	HasLabel(u graph.Node, l graph.Label) bool
+}
+
+// Trajectory is a recorded multi-walker sample stream, reusable across label
+// pairs. It is immutable once recorded: EstimateManyPairs only reads it, so
+// one Trajectory may serve concurrent queries.
+type Trajectory struct {
+	// Steps holds each walker's recorded transitions in walk order; serial
+	// recordings have exactly one stream.
+	Steps [][]TrajStep
+	// Walkers is the fleet size the trajectory was recorded with.
+	Walkers int
+	// APICalls is the total billed sampling cost of the recording (summed
+	// per-walker bills for a fleet recording) — the one-time price every
+	// replayed pair shares.
+	APICalls int64
+	// PerWalkerCalls is each walker's billed share of APICalls.
+	PerWalkerCalls []int64
+	// NumNodes and NumEdges snapshot the graph priors the estimators scale by.
+	NumNodes int
+	NumEdges int64
+	// ThinGap is the recording's HT thinning gap (see Options.ThinGap).
+	ThinGap int
+	// BudgetDriven records how k was interpreted during recording.
+	BudgetDriven bool
+
+	labels labelAPI
+}
+
+// Samples returns the total recorded sample count across walkers.
+func (t *Trajectory) Samples() int {
+	n := 0
+	for _, steps := range t.Steps {
+		n += len(steps)
+	}
+	return n
+}
+
+// PairEstimates is one label pair's full replay: every estimator of both
+// algorithms computed from the shared trajectory. The APICalls fields of both
+// results carry the trajectory's one-time recording cost, not a per-pair
+// charge.
+type PairEstimates struct {
+	Pair graph.LabelPair
+	NS   NeighborSampleResult
+	NE   NeighborExplorationResult
+}
+
+// RecordTrajectory runs one burned-in sampling walk (a fleet of them when
+// opts.Walkers >= 2) and records it as a reusable Trajectory. k is the number
+// of samples, or the API-call budget when opts.BudgetDriven is set.
+// Exploration is never billed during recording (the ExploreFree reading of
+// Algorithm 2): the friend lists the walk already fetched carry the labels a
+// replay needs, whatever the pair.
+func RecordTrajectory(s *osn.Session, k int, opts Options) (*Trajectory, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: RecordTrajectory needs k > 0, got %d", k)
+	}
+	if opts.Walkers > 1 {
+		return recordTrajectoryParallel(s, k, opts)
+	}
+	w, err := newBurnedInWalk(s, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := opts.ctx()
+	steps := make([]TrajStep, 0, k)
+	prev := w.Current()
+	maxIters := k
+	if opts.BudgetDriven {
+		maxIters = 50 * k
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if opts.BudgetDriven && s.Calls() >= int64(k) {
+			break
+		}
+		cur, err := w.Step()
+		if err != nil {
+			return nil, fmt.Errorf("core: RecordTrajectory step %d: %w", iter, err)
+		}
+		d, err := s.Degree(cur)
+		if err != nil {
+			return nil, err
+		}
+		ns, err := s.Neighbors(cur) // crawl-cache hit after Degree: free
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, TrajStep{Prev: prev, Node: cur, Degree: d, Neighbors: ns})
+		prev = cur
+	}
+	return &Trajectory{
+		Steps:          [][]TrajStep{steps},
+		Walkers:        1,
+		APICalls:       s.Calls(),
+		PerWalkerCalls: []int64{s.Calls()},
+		NumNodes:       s.NumNodes(),
+		NumEdges:       s.NumEdges(),
+		ThinGap:        opts.ThinGap,
+		BudgetDriven:   opts.BudgetDriven,
+		labels:         s,
+	}, nil
+}
+
+// recordTrajectoryParallel records W concurrent walkers over one shared
+// session, mirroring the fleet loops of engine.go (same RNG consumption per
+// iteration, so for a fixed seed the recorded streams are the exact streams a
+// standalone multi-walker estimate would sample).
+func recordTrajectoryParallel(s *osn.Session, k int, opts Options) (*Trajectory, error) {
+	W := clampWalkers(opts.Walkers, k)
+	perSteps := make([][]TrajStep, W)
+
+	cfg := nodeFleetConfig(s, k, opts, W, func(r *walk.FleetRun[graph.Node]) error {
+		steps := make([]TrajStep, 0, r.Quota)
+		prev := r.W.Current()
+		maxIters := r.MaxIters()
+		for iter := 0; iter < maxIters; iter++ {
+			if err := r.Ctx.Err(); err != nil {
+				return err
+			}
+			if r.Done(len(steps)) {
+				break
+			}
+			cur, err := r.W.Step()
+			if err != nil {
+				if stopWalker(err) {
+					break
+				}
+				return err
+			}
+			d, err := r.Meter.Degree(cur)
+			if err != nil {
+				if stopWalker(err) {
+					break
+				}
+				return err
+			}
+			ns, err := r.Meter.Neighbors(cur) // crawl-cache hit after Degree: free
+			if err != nil {
+				if stopWalker(err) {
+					break
+				}
+				return err
+			}
+			steps = append(steps, TrajStep{Prev: prev, Node: cur, Degree: d, Neighbors: ns})
+			prev = cur
+		}
+		perSteps[r.ID] = steps
+		return nil
+	})
+	calls, err := walk.RunFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trajectory{
+		Steps:          perSteps,
+		Walkers:        W,
+		APICalls:       sum64(calls),
+		PerWalkerCalls: calls,
+		NumNodes:       s.NumNodes(),
+		NumEdges:       s.NumEdges(),
+		ThinGap:        opts.ThinGap,
+		BudgetDriven:   opts.BudgetDriven,
+		labels:         s,
+	}, nil
+}
+
+// EstimateManyPairs replays a recorded trajectory through the paper's HH/HT
+// (and, for NeighborExploration, RW) aggregators for every given label pair —
+// the same estimators a live walk feeds, at zero additional API cost. Serial
+// trajectories replay through the serial aggregation (batch-means standard
+// errors); fleet trajectories through the multi-walker merging (between-walker
+// confidence intervals).
+func EstimateManyPairs(t *Trajectory, pairs []graph.LabelPair) ([]PairEstimates, error) {
+	if t == nil || len(t.Steps) == 0 {
+		return nil, fmt.Errorf("core: EstimateManyPairs needs a recorded trajectory")
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("core: EstimateManyPairs needs at least one label pair")
+	}
+	numEdges := float64(t.NumEdges)
+	numNodes := float64(t.NumNodes)
+	out := make([]PairEstimates, 0, len(pairs))
+	edgesPer := make([][]edgeSample, len(t.Steps))
+	nodesPer := make([][]nodeSample, len(t.Steps))
+	for _, pair := range pairs {
+		pe := PairEstimates{Pair: pair}
+		explorations := 0
+		for wi, steps := range t.Steps {
+			es := make([]edgeSample, 0, len(steps))
+			nsamps := make([]nodeSample, 0, len(steps))
+			explored := make(map[graph.Node]bool)
+			for _, st := range steps {
+				e := graph.Edge{U: st.Prev, V: st.Node}.Canonical()
+				target := t.labels.HasLabel(e.U, pair.T1) && t.labels.HasLabel(e.V, pair.T2) ||
+					t.labels.HasLabel(e.U, pair.T2) && t.labels.HasLabel(e.V, pair.T1)
+				es = append(es, edgeSample{e: e, target: target})
+				tt, explores := replayTargetDegree(t.labels, st, pair)
+				if explores && !explored[st.Node] {
+					explored[st.Node] = true
+					explorations++
+				}
+				nsamps = append(nsamps, nodeSample{u: st.Node, t: tt, d: st.Degree})
+			}
+			edgesPer[wi] = es
+			nodesPer[wi] = nsamps
+		}
+		if t.Walkers <= 1 {
+			if err := aggregateNSSerial(&pe.NS, edgesPer[0], numEdges, t.ThinGap); err != nil {
+				return nil, err
+			}
+			if err := aggregateNESerial(&pe.NE, nodesPer[0], numEdges, numNodes, t.ThinGap); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := aggregateNSParallel(&pe.NS, edgesPer, numEdges, t.ThinGap); err != nil {
+				return nil, err
+			}
+			if err := aggregateNEParallel(&pe.NE, nodesPer, numEdges, numNodes, t.ThinGap); err != nil {
+				return nil, err
+			}
+		}
+		pe.NS.APICalls = t.APICalls
+		pe.NE.APICalls = t.APICalls
+		pe.NE.Explorations = explorations
+		out = append(out, pe)
+	}
+	return out, nil
+}
+
+// replayTargetDegree recomputes T(u) for a recorded step from the step's
+// stored friend list, mirroring targetDegree without any API access.
+func replayTargetDegree(labels labelAPI, st TrajStep, pair graph.LabelPair) (int, bool) {
+	hasT1 := labels.HasLabel(st.Node, pair.T1)
+	hasT2 := labels.HasLabel(st.Node, pair.T2)
+	if !hasT1 && !hasT2 {
+		return 0, false
+	}
+	tt := 0
+	for _, v := range st.Neighbors {
+		if hasT1 && labels.HasLabel(v, pair.T2) {
+			tt++
+			continue
+		}
+		if hasT2 && labels.HasLabel(v, pair.T1) {
+			tt++
+		}
+	}
+	return tt, true
+}
+
+// Recorder is an incremental serial trajectory recorder: burn-in is paid
+// once at construction, and each Extend call continues the same walk,
+// appending to the recorded stream. A hard API-call budget (enforced by an
+// osn.Meter armed after burn-in) bounds the cumulative sampling cost: unit
+// charges are refused once the budget is spent, so the recording never
+// overshoots it. The doubling workflow of repro.EstimateToPrecision is the
+// intended caller.
+type Recorder struct {
+	m      *osn.Meter
+	w      walk.Walker[graph.Node]
+	opts   Options
+	prev   graph.Node
+	steps  []TrajStep
+	nNodes int
+	nEdges int64
+	labels labelAPI
+}
+
+// NewRecorder builds a serial recorder over s: it picks a start node, burns
+// in (uncharged, per the paper's accounting), then arms the sampling budget
+// (0 = unlimited). opts.Walkers is ignored — a Recorder is one walker.
+func NewRecorder(s *osn.Session, budget int64, opts Options) (*Recorder, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("core: negative recorder budget %d", budget)
+	}
+	m := s.Meter(0) // unlimited during burn-in
+	start, err := startNode(m, opts.Start, opts.Rng)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newWalk(m, opts, start, opts.Rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := walk.BurninCtx[graph.Node](opts.ctx(), w, opts.BurnIn); err != nil {
+		return nil, fmt.Errorf("core: burn-in: %w", err)
+	}
+	m.Reset(budget)
+	return &Recorder{
+		m:      m,
+		w:      w,
+		opts:   opts,
+		prev:   w.Current(),
+		nNodes: s.NumNodes(),
+		nEdges: s.NumEdges(),
+		labels: s,
+	}, nil
+}
+
+// Extend continues the walk for up to k more samples, stopping early when
+// the armed budget runs out. It returns how many samples were appended and
+// whether the budget stopped the walk (which is a normal completion, not an
+// error).
+func (r *Recorder) Extend(k int) (added int, exhausted bool, err error) {
+	ctx := r.opts.ctx()
+	for added < k {
+		if err := ctx.Err(); err != nil {
+			return added, false, err
+		}
+		cur, err := r.w.Step()
+		if err != nil {
+			if stopWalker(err) {
+				return added, true, nil
+			}
+			return added, false, fmt.Errorf("core: Recorder step: %w", err)
+		}
+		d, err := r.m.Degree(cur)
+		if err != nil {
+			if stopWalker(err) {
+				return added, true, nil
+			}
+			return added, false, err
+		}
+		ns, err := r.m.Neighbors(cur) // crawl-cache hit after Degree: free
+		if err != nil {
+			if stopWalker(err) {
+				return added, true, nil
+			}
+			return added, false, err
+		}
+		r.steps = append(r.steps, TrajStep{Prev: r.prev, Node: cur, Degree: d, Neighbors: ns})
+		r.prev = cur
+		added++
+	}
+	return added, false, nil
+}
+
+// Calls returns the sampling API calls billed so far (burn-in excluded).
+func (r *Recorder) Calls() int64 { return r.m.Calls() }
+
+// Samples returns the cumulative recorded sample count.
+func (r *Recorder) Samples() int { return len(r.steps) }
+
+// Trajectory snapshots the recording so far as a replayable Trajectory. The
+// snapshot shares the recorded steps; replay only reads them, so it remains
+// valid across later Extend calls (which only append).
+func (r *Recorder) Trajectory() *Trajectory {
+	return &Trajectory{
+		Steps:          [][]TrajStep{r.steps},
+		Walkers:        1,
+		APICalls:       r.m.Calls(),
+		PerWalkerCalls: []int64{r.m.Calls()},
+		NumNodes:       r.nNodes,
+		NumEdges:       r.nEdges,
+		ThinGap:        r.opts.ThinGap,
+		labels:         r.labels,
+	}
+}

@@ -3,9 +3,16 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/stats"
 )
 
 // FrequencyPoint is one point of the Figure 1/2 reproduction: the NRMSE of
@@ -42,6 +49,19 @@ type FrequencySweepConfig struct {
 
 // RunFrequencySweep evaluates every pair at the fixed fraction and returns
 // one point per pair.
+//
+// When every requested algorithm belongs to the paper's NS/NE families (the
+// default — the paper's figures omit the baselines), the sweep runs on the
+// shared-trajectory engine: each repetition records ONE walk and replays it
+// through the estimators for every pair, so P pairs cost one walk's API
+// budget per repetition instead of P walks'. The shared walk evaluates the
+// ExploreFree accounting (the literal Algorithm 2, where the friend-list
+// response carries the labels a replay needs, whatever the pair); a caller
+// who explicitly sets Params.Cost to a billed exploration model keeps the
+// historical per-pair sweep, whose budget axis charges exploration — billed
+// exploration is inherently per-pair and cannot ride a shared walk. EX-*
+// baselines cannot replay a recorded simple walk either (their chains
+// differ), so their presence also falls back to the per-pair sweep.
 func RunFrequencySweep(cfg FrequencySweepConfig) ([]FrequencyPoint, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("experiment: FrequencySweepConfig.Graph is required")
@@ -56,6 +76,165 @@ func RunFrequencySweep(cfg FrequencySweepConfig) ([]FrequencyPoint, error) {
 	if len(algs) == 0 {
 		algs = ProposedAlgorithms()
 	}
+	shared := cfg.Params.Cost == core.ExploreFree
+	for _, a := range algs {
+		if !IsProposed(a) {
+			shared = false
+			break
+		}
+	}
+	if shared {
+		return runFrequencySweepShared(cfg, algs)
+	}
+	return runFrequencySweepPerPair(cfg, algs)
+}
+
+// runFrequencySweepShared is the shared-trajectory inner loop: one recorded
+// walk per repetition answers every pair.
+func runFrequencySweepShared(cfg FrequencySweepConfig, algs []Algorithm) ([]FrequencyPoint, error) {
+	g := cfg.Graph
+	numEdges := float64(g.NumEdges())
+	if cfg.Reps <= 0 {
+		return nil, fmt.Errorf("experiment: need Reps > 0, got %d", cfg.Reps)
+	}
+	truths := make([]int64, len(cfg.Pairs))
+	for i, pair := range cfg.Pairs {
+		truths[i] = exact.CountTargetEdges(g, pair)
+		if truths[i] == 0 {
+			return nil, fmt.Errorf("experiment: frequency sweep pair %v: pair %v has no target edges; NRMSE undefined", pair, pair)
+		}
+	}
+	k := int(math.Round(cfg.Fraction * float64(g.NumNodes())))
+	if k < 1 {
+		k = 1
+	}
+
+	// estimates[pi][alg][rep]
+	estimates := make([]map[Algorithm][]float64, len(cfg.Pairs))
+	for i := range estimates {
+		m := make(map[Algorithm][]float64, len(algs))
+		for _, a := range algs {
+			m[a] = make([]float64, cfg.Reps)
+		}
+		estimates[i] = m
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Reps {
+		workers = cfg.Reps
+	}
+	work := make(chan int)
+	errs := make(chan error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range work {
+				if failed.Load() {
+					continue
+				}
+				if err := runSharedRep(cfg, algs, k, rep, estimates); err != nil {
+					failed.Store(true)
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		work <- rep
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	points := make([]FrequencyPoint, 0, len(cfg.Pairs))
+	for i, pair := range cfg.Pairs {
+		pt := FrequencyPoint{
+			Pair:          pair,
+			Count:         truths[i],
+			RelativeCount: float64(truths[i]) / numEdges,
+			NRMSE:         make(map[Algorithm]float64, len(algs)),
+		}
+		for _, a := range algs {
+			pt.NRMSE[a] = stats.NRMSE(estimates[i][a], float64(truths[i]))
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// runSharedRep records one repetition's trajectory and replays it for every
+// pair, writing into estimates[pi][alg][rep]. Each repetition's randomness
+// derives from (Seed, rep), so results are reproducible and independent of
+// worker scheduling; per-rep rows are disjoint, so no locking is needed.
+func runSharedRep(cfg FrequencySweepConfig, algs []Algorithm, k, rep int, estimates []map[Algorithm][]float64) error {
+	seed := stats.Derive(cfg.Seed, fmt.Sprintf("freqshared/%d", rep))
+	s, err := osn.NewSession(cfg.Graph, osn.Config{})
+	if err != nil {
+		return err
+	}
+	walkers := cfg.Walkers
+	if walkers == 0 {
+		walkers = cfg.Params.Walkers
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = cfg.Params.Ctx
+	}
+	traj, err := core.RecordTrajectory(s, k, core.Options{
+		BurnIn:       cfg.Params.BurnIn,
+		Rng:          stats.NewSeedSequence(seed).NextRand(),
+		Start:        -1,
+		ThinGap:      cfg.Params.ThinGap,
+		BudgetDriven: !cfg.Params.SampleDriven,
+		Walkers:      walkers,
+		Seed:         stats.Derive(seed, "traj"),
+		Ctx:          ctx,
+	})
+	if err != nil {
+		return fmt.Errorf("experiment: frequency sweep rep %d: %w", rep, err)
+	}
+	prs, err := core.EstimateManyPairs(traj, cfg.Pairs)
+	if err != nil {
+		return fmt.Errorf("experiment: frequency sweep rep %d: %w", rep, err)
+	}
+	for pi, pe := range prs {
+		for _, a := range algs {
+			var v float64
+			switch a {
+			case NSHH:
+				v = pe.NS.HH
+			case NSHT:
+				v = pe.NS.HT
+			case NEHH:
+				v = pe.NE.HH
+			case NEHT:
+				v = pe.NE.HT
+			case NERW:
+				v = pe.NE.RW
+			}
+			estimates[pi][a][rep] = v
+		}
+	}
+	return nil
+}
+
+// runFrequencySweepPerPair is the historical inner loop: one full sweep per
+// pair, each paying its own walks. Only baseline-bearing algorithm sets need
+// it.
+func runFrequencySweepPerPair(cfg FrequencySweepConfig, algs []Algorithm) ([]FrequencyPoint, error) {
 	numEdges := float64(cfg.Graph.NumEdges())
 	points := make([]FrequencyPoint, 0, len(cfg.Pairs))
 	for i, pair := range cfg.Pairs {

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// estimateRequest is the POST /estimate body.
+type estimateRequest struct {
+	// Pairs lists the queried label pairs as [t1, t2] arrays.
+	Pairs [][2]int `json:"pairs"`
+	// Budget, Walkers, Seed, MaxCost mirror Query.
+	Budget  int   `json:"budget,omitempty"`
+	Walkers int   `json:"walkers,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	MaxCost int64 `json:"max_cost,omitempty"`
+}
+
+// pairAnswerJSON is one pair's row in the /estimate response.
+type pairAnswerJSON struct {
+	T1        int                `json:"t1"`
+	T2        int                `json:"t2"`
+	Estimates map[string]float64 `json:"estimates"`
+}
+
+// estimateResponse is the POST /estimate response body.
+type estimateResponse struct {
+	Pairs    []pairAnswerJSON `json:"pairs"`
+	APICalls int64            `json:"api_calls"`
+	Charged  int64            `json:"charged"`
+	CacheHit bool             `json:"cache_hit"`
+	SharedBy int              `json:"shared_by"`
+	Walkers  int              `json:"walkers"`
+	Samples  int              `json:"samples"`
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status        string `json:"status"`
+	Nodes         int    `json:"graph_nodes"`
+	Edges         int64  `json:"graph_edges"`
+	BurnIn        int    `json:"burn_in"`
+	Queries       int64  `json:"queries"`
+	CacheHits     int64  `json:"cache_hits"`
+	Recordings    int64  `json:"recordings"`
+	UpstreamCalls int64  `json:"upstream_api_calls"`
+	UptimeSec     int64  `json:"uptime_seconds"`
+}
+
+// NewHandler exposes an Engine as an HTTP JSON API:
+//
+//	POST /estimate  {"pairs": [[1,2],[3,4]], "budget": 0, "walkers": 0, "seed": 0, "max_cost": 0}
+//	GET  /methods   the estimator names every answer carries
+//	GET  /healthz   liveness plus engine counters
+func NewHandler(e *Engine) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req estimateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+			return
+		}
+		if len(req.Pairs) == 0 {
+			httpError(w, http.StatusBadRequest, "need at least one [t1,t2] pair")
+			return
+		}
+		q := Query{
+			Budget:  req.Budget,
+			Walkers: req.Walkers,
+			Seed:    req.Seed,
+			MaxCost: req.MaxCost,
+		}
+		for _, p := range req.Pairs {
+			if p[0] < 0 || p[1] < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("negative label in pair %v", p))
+				return
+			}
+			q.Pairs = append(q.Pairs, graph.LabelPair{T1: graph.Label(p[0]), T2: graph.Label(p[1])})
+		}
+		ans, err := e.Estimate(r.Context(), q)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrQueryBudget) {
+				status = http.StatusPaymentRequired
+			} else if r.Context().Err() != nil {
+				status = 499 // client closed request
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+		resp := estimateResponse{
+			Pairs:    make([]pairAnswerJSON, 0, len(ans.Pairs)),
+			APICalls: ans.APICalls,
+			Charged:  ans.Charged,
+			CacheHit: ans.CacheHit,
+			SharedBy: ans.SharedBy,
+			Walkers:  ans.Walkers,
+			Samples:  ans.Samples,
+		}
+		for _, pa := range ans.Pairs {
+			resp.Pairs = append(resp.Pairs, pairAnswerJSON{
+				T1:        int(pa.Pair.T1),
+				T2:        int(pa.Pair.T2),
+				Estimates: pa.Estimates,
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("/methods", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"methods": Methods()})
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		st := e.Stats()
+		writeJSON(w, http.StatusOK, healthResponse{
+			Status:        "ok",
+			Nodes:         e.Graph().NumNodes(),
+			Edges:         e.Graph().NumEdges(),
+			BurnIn:        e.BurnIn(),
+			Queries:       st.Queries,
+			CacheHits:     st.CacheHits,
+			Recordings:    st.Recordings,
+			UpstreamCalls: st.UpstreamCalls,
+			UptimeSec:     int64(time.Since(start).Seconds()),
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

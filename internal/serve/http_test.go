@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	g := testGraph(t, 20)
+	e := testEngine(t, g, Config{Budget: 300})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func TestHTTPEstimate(t *testing.T) {
+	srv, e := testServer(t)
+
+	resp, err := http.Post(srv.URL+"/estimate", "application/json",
+		strings.NewReader(`{"pairs": [[1,2],[1,1]], "seed": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body estimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Pairs) != 2 {
+		t.Fatalf("got %d pairs", len(body.Pairs))
+	}
+	if body.Pairs[0].T1 != 1 || body.Pairs[0].T2 != 2 {
+		t.Errorf("pair echo wrong: %+v", body.Pairs[0])
+	}
+	for _, m := range Methods() {
+		if _, ok := body.Pairs[0].Estimates[m]; !ok {
+			t.Errorf("method %s missing", m)
+		}
+	}
+	if body.APICalls == 0 || body.Samples == 0 || body.CacheHit {
+		t.Errorf("first query accounting wrong: %+v", body)
+	}
+
+	// Same configuration again: served from cache, zero charge.
+	resp2, err := http.Post(srv.URL+"/estimate", "application/json",
+		strings.NewReader(`{"pairs": [[2,2]], "seed": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var body2 estimateResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&body2); err != nil {
+		t.Fatal(err)
+	}
+	if !body2.CacheHit || body2.Charged != 0 {
+		t.Errorf("second query should be a cache hit: %+v", body2)
+	}
+	if st := e.Stats(); st.Recordings != 1 || st.PairsServed != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHTTPEstimateErrors(t *testing.T) {
+	srv, _ := testServer(t)
+
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"no pairs", `{"pairs": []}`, http.StatusBadRequest},
+		{"negative label", `{"pairs": [[-1,2]]}`, http.StatusBadRequest},
+		{"budget too small", `{"pairs": [[1,2]], "seed": 99, "max_cost": 5}`, http.StatusPaymentRequired},
+	} {
+		resp, err := http.Post(srv.URL+"/estimate", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /estimate: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPMethodsAndHealth(t *testing.T) {
+	srv, _ := testServer(t)
+
+	resp, err := http.Get(srv.URL + "/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var methods map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&methods); err != nil {
+		t.Fatal(err)
+	}
+	if len(methods["methods"]) != 5 {
+		t.Errorf("methods = %v", methods)
+	}
+
+	// Drive one query so the counters move.
+	r, err := http.Post(srv.URL+"/estimate", "application/json", strings.NewReader(`{"pairs": [[1,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var health healthResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Nodes == 0 || health.Edges == 0 {
+		t.Errorf("health = %+v", health)
+	}
+	if health.Queries != 1 || health.Recordings != 1 || health.UpstreamCalls == 0 {
+		t.Errorf("health counters = %+v", health)
+	}
+}

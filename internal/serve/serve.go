@@ -1,0 +1,447 @@
+// Package serve is the multi-client query front end over the
+// shared-trajectory estimation engine: it owns one graph behind the
+// restricted access model and answers concurrent label-pair queries by
+// recording one random-walk trajectory per (budget, walkers, seed)
+// configuration and replaying it through the paper's estimators for every
+// pair anyone asks about. Queries arriving within a batching window share a
+// single fleet recording; finished trajectories stay cached with a TTL, so a
+// popular configuration serves any number of pairs and clients at the API
+// cost of one walk — the amortization that lets the paper's estimators serve
+// heavy traffic.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// ErrQueryBudget is returned when a query's MaxCost cannot pay for the
+// trajectory it would trigger and no cached trajectory can serve it.
+var ErrQueryBudget = errors.New("serve: query budget smaller than the trajectory cost")
+
+// Methods returns the estimator names a query answer carries, in stable
+// order. The names match repro.Method values.
+func Methods() []string {
+	return []string{
+		"NeighborSample-HH",
+		"NeighborSample-HT",
+		"NeighborExploration-HH",
+		"NeighborExploration-HT",
+		"NeighborExploration-RW",
+	}
+}
+
+// Config describes an Engine.
+type Config struct {
+	// Graph is the served graph. Required.
+	Graph *graph.Graph
+	// BurnIn is the walk burn-in in steps; 0 measures the mixing time
+	// T(1e-3) once at engine construction (Section 5.1).
+	BurnIn int
+	// Budget is the default per-trajectory API-call budget; 0 means 5% of
+	// |V| (the paper's largest evaluated budget).
+	Budget int
+	// Walkers is the default fleet size per recording; 0 means 1.
+	Walkers int
+	// Seed is the default trajectory seed; queries may override it to force
+	// an independent walk.
+	Seed int64
+	// BatchWindow is how long the first query of a configuration waits
+	// before recording, so that concurrent queries join the same fleet run.
+	// 0 records immediately (concurrent queries still coalesce while the
+	// recording is in flight).
+	BatchWindow time.Duration
+	// TTL bounds a cached trajectory's age; 0 caches forever (until
+	// Invalidate).
+	TTL time.Duration
+	// MaxCached bounds how many trajectories the cache holds at once; 0
+	// means 64. At the cap, expired entries are dropped first, then the
+	// least-recently-used completed one — recordings in flight are never
+	// evicted. The cap bounds both memory (a trajectory retains its whole
+	// sample stream) and the API amplification an adversarial seed sweep
+	// could otherwise drive.
+	MaxCached int
+
+	// now is a test hook for the TTL clock; nil means time.Now.
+	now func() time.Time
+}
+
+// Query is one client request: estimate F for every listed pair.
+type Query struct {
+	// Pairs are the label pairs to estimate. Required.
+	Pairs []graph.LabelPair
+	// Budget overrides the engine's per-trajectory API budget when positive.
+	Budget int
+	// Walkers overrides the engine's fleet size when positive.
+	Walkers int
+	// Seed overrides the engine's trajectory seed when non-zero. Queries
+	// with equal (Budget, Walkers, Seed) share a trajectory.
+	Seed int64
+	// MaxCost caps the API calls this query may be charged; 0 means
+	// unlimited. A query that can only be served by recording a trajectory
+	// costlier than MaxCost is rejected with ErrQueryBudget before any call
+	// is spent.
+	MaxCost int64
+}
+
+// PairAnswer is one pair's estimates, keyed by method name (see Methods).
+type PairAnswer struct {
+	Pair      graph.LabelPair
+	Estimates map[string]float64
+}
+
+// Answer is the engine's response to one Query.
+type Answer struct {
+	Pairs []PairAnswer
+	// APICalls is the sampling cost of the trajectory that served the query.
+	APICalls int64
+	// Charged is this query's accounted share of that cost: 0 on a cache
+	// hit, APICalls split evenly across the queries that co-triggered the
+	// recording otherwise.
+	Charged int64
+	// CacheHit reports whether a previously recorded trajectory served the
+	// query without any API spend.
+	CacheHit bool
+	// SharedBy is how many queries split the recording bill (1 when this
+	// query paid alone; 0 on a cache hit).
+	SharedBy int
+	// Walkers and Samples describe the serving trajectory.
+	Walkers int
+	Samples int
+}
+
+// Stats counts engine activity since construction.
+type Stats struct {
+	// Queries is the number of Estimate calls admitted.
+	Queries int64
+	// PairsServed is the total number of pair estimates returned.
+	PairsServed int64
+	// Recordings is how many trajectories were recorded.
+	Recordings int64
+	// CacheHits is how many queries were served without triggering or
+	// joining a recording.
+	CacheHits int64
+	// UpstreamCalls is the total API-call spend across recordings.
+	UpstreamCalls int64
+}
+
+// trajKey identifies a shareable trajectory configuration.
+type trajKey struct {
+	budget  int
+	walkers int
+	seed    int64
+}
+
+// entry is one cache slot: a recording in flight (ready open) or done
+// (ready closed). sharers counts the queries that joined before completion
+// and split the bill; the recording goroutine freezes it under mu before
+// closing ready.
+type entry struct {
+	ready    chan struct{}
+	traj     *core.Trajectory
+	err      error
+	expires  time.Time
+	hasTTL   bool
+	lastUsed time.Time
+	sharers  int
+	frozen   bool
+}
+
+// Engine owns the graph and serves estimate queries over shared
+// trajectories. All methods are safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	burnIn int
+
+	mu    sync.Mutex
+	cache map[trajKey]*entry
+	stats Stats
+}
+
+// New builds an engine over cfg.Graph, measuring the mixing time once when
+// cfg.BurnIn is zero.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("serve: Config.Graph is required")
+	}
+	if cfg.Graph.NumNodes() == 0 || cfg.Graph.NumEdges() == 0 {
+		return nil, fmt.Errorf("serve: graph has no edges to sample")
+	}
+	if cfg.Budget < 0 || cfg.Walkers < 0 || cfg.BatchWindow < 0 || cfg.TTL < 0 || cfg.MaxCached < 0 {
+		return nil, fmt.Errorf("serve: negative Budget/Walkers/BatchWindow/TTL/MaxCached")
+	}
+	if cfg.MaxCached == 0 {
+		cfg.MaxCached = 64
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = cfg.Graph.NumNodes() / 20
+		if cfg.Budget < 100 {
+			cfg.Budget = 100
+		}
+	}
+	if cfg.Walkers == 0 {
+		cfg.Walkers = 1
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	burn := cfg.BurnIn
+	if burn <= 0 {
+		mixed, err := walk.MixingTime(cfg.Graph, 1e-3, walk.MixingOptions{
+			MaxSteps:   5000,
+			StartNodes: walk.DefaultMixingStarts(cfg.Graph, 4),
+		})
+		if err != nil {
+			return nil, err
+		}
+		burn = mixed.Steps
+		if burn < 10 {
+			burn = 10
+		}
+	}
+	return &Engine{cfg: cfg, burnIn: burn, cache: make(map[trajKey]*entry)}, nil
+}
+
+// Graph returns the served graph.
+func (e *Engine) Graph() *graph.Graph { return e.cfg.Graph }
+
+// BurnIn returns the burn-in applied to every recorded trajectory.
+func (e *Engine) BurnIn() int { return e.burnIn }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Invalidate drops every cached trajectory, e.g. after the served graph's
+// ground truth is known to have drifted. Recordings in flight complete and
+// answer their waiting queries but are not re-cached for later ones.
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[trajKey]*entry)
+}
+
+// Estimate answers one query, recording a trajectory, joining one in
+// flight, or replaying a cached one as the cache dictates.
+func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(q.Pairs) == 0 {
+		return nil, fmt.Errorf("serve: query needs at least one label pair")
+	}
+	if q.Budget < 0 || q.Walkers < 0 || q.MaxCost < 0 {
+		return nil, fmt.Errorf("serve: negative Budget/Walkers/MaxCost")
+	}
+	key := trajKey{budget: e.cfg.Budget, walkers: e.cfg.Walkers, seed: e.cfg.Seed}
+	if q.Budget > 0 {
+		key.budget = q.Budget
+	}
+	if q.Walkers > 0 {
+		key.walkers = q.Walkers
+	}
+	if q.Seed != 0 {
+		key.seed = q.Seed
+	}
+
+	ent, hit, err := e.acquire(ctx, q, key)
+	if err != nil {
+		return nil, err
+	}
+	if ent.err != nil {
+		return nil, ent.err
+	}
+
+	prs, err := core.EstimateManyPairs(ent.traj, q.Pairs)
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{
+		Pairs:    make([]PairAnswer, 0, len(prs)),
+		APICalls: ent.traj.APICalls,
+		CacheHit: hit,
+		Walkers:  ent.traj.Walkers,
+		Samples:  ent.traj.Samples(),
+	}
+	if !hit {
+		ans.SharedBy = ent.sharers
+		ans.Charged = ent.traj.APICalls / int64(ent.sharers)
+	}
+	for _, pe := range prs {
+		ans.Pairs = append(ans.Pairs, PairAnswer{
+			Pair: pe.Pair,
+			Estimates: map[string]float64{
+				"NeighborSample-HH":      pe.NS.HH,
+				"NeighborSample-HT":      pe.NS.HT,
+				"NeighborExploration-HH": pe.NE.HH,
+				"NeighborExploration-HT": pe.NE.HT,
+				"NeighborExploration-RW": pe.NE.RW,
+			},
+		})
+	}
+
+	e.mu.Lock()
+	e.stats.Queries++
+	e.stats.PairsServed += int64(len(prs))
+	if hit {
+		e.stats.CacheHits++
+	}
+	e.mu.Unlock()
+	return ans, nil
+}
+
+// acquire resolves the query's trajectory: a valid cached one (hit), an
+// in-flight recording to join, or a fresh recording this query triggers.
+func (e *Engine) acquire(ctx context.Context, q Query, key trajKey) (*entry, bool, error) {
+	for {
+		e.mu.Lock()
+		ent := e.cache[key]
+		if ent != nil {
+			select {
+			case <-ent.ready:
+				// A completed recording that failed, or outlived its TTL, is
+				// dropped and this query retries with a fresh one. Only the
+				// queries that actually waited on a failed recording see its
+				// error (through the join and miss paths below).
+				if ent.err != nil || (ent.hasTTL && e.cfg.now().After(ent.expires)) {
+					delete(e.cache, key)
+					e.mu.Unlock()
+					continue
+				}
+				ent.lastUsed = e.cfg.now()
+				e.mu.Unlock()
+				return ent, true, nil
+			default:
+				// Recording in flight: join the batch and split the bill. A
+				// query that slips in after the sharer set froze (the
+				// recording just completed) rides along as a cache hit.
+				joined := false
+				if !ent.frozen {
+					if q.MaxCost > 0 && q.MaxCost < int64(key.budget)/int64(ent.sharers+1) {
+						e.mu.Unlock()
+						return nil, false, fmt.Errorf("%w: MaxCost %d, trajectory budget %d", ErrQueryBudget, q.MaxCost, key.budget)
+					}
+					ent.sharers++
+					joined = true
+				}
+				e.mu.Unlock()
+				select {
+				case <-ent.ready:
+					return ent, !joined && ent.err == nil, nil
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+			}
+		}
+		// Miss: this query triggers the recording.
+		if q.MaxCost > 0 && q.MaxCost < int64(key.budget) {
+			e.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: MaxCost %d, trajectory budget %d", ErrQueryBudget, q.MaxCost, key.budget)
+		}
+		ent = &entry{ready: make(chan struct{}), sharers: 1}
+		e.evictLocked()
+		e.cache[key] = ent
+		e.mu.Unlock()
+
+		// record blocks through the batching window and the fleet run, and
+		// closes ent.ready before returning; co-batched queries wake with us.
+		e.record(ctx, key, ent)
+		return ent, false, nil
+	}
+}
+
+// evictLocked makes room for one more cache entry when the cap is reached:
+// expired entries are swept first, then the least-recently-used completed
+// entry. Recordings in flight are never evicted (their waiters hold them).
+// Callers hold e.mu.
+func (e *Engine) evictLocked() {
+	if len(e.cache) < e.cfg.MaxCached {
+		return
+	}
+	now := e.cfg.now()
+	var lruKey trajKey
+	var lruEnt *entry
+	for k, ent := range e.cache {
+		select {
+		case <-ent.ready:
+		default:
+			continue // in flight
+		}
+		if ent.hasTTL && now.After(ent.expires) {
+			delete(e.cache, k)
+			continue
+		}
+		if lruEnt == nil || ent.lastUsed.Before(lruEnt.lastUsed) {
+			lruKey, lruEnt = k, ent
+		}
+	}
+	if len(e.cache) >= e.cfg.MaxCached && lruEnt != nil {
+		delete(e.cache, lruKey)
+	}
+}
+
+// record waits out the batching window, runs the fleet recording, and
+// publishes the result to every query waiting on ent. The recording itself
+// is not bound to the triggering query's context: co-batched queries are
+// still waiting on it.
+func (e *Engine) record(ctx context.Context, key trajKey, ent *entry) {
+	if e.cfg.BatchWindow > 0 {
+		select {
+		case <-time.After(e.cfg.BatchWindow):
+		case <-ctx.Done():
+			// The triggering client gave up; run anyway for any co-batched
+			// queries — the window already elapsed for them too.
+		}
+	}
+
+	s, err := osn.NewSession(e.cfg.Graph, osn.Config{})
+	var traj *core.Trajectory
+	if err == nil {
+		seed := stats.Derive(key.seed, "serve/trajectory")
+		traj, err = core.RecordTrajectory(s, key.budget, core.Options{
+			BurnIn:       e.burnIn,
+			Rng:          stats.NewSeedSequence(seed).NextRand(),
+			Start:        -1,
+			BudgetDriven: true,
+			Walkers:      key.walkers,
+			Seed:         stats.Derive(seed, "fleet"),
+		})
+	}
+
+	e.mu.Lock()
+	ent.traj = traj
+	ent.err = err
+	ent.frozen = true
+	ent.lastUsed = e.cfg.now()
+	if err == nil {
+		e.stats.Recordings++
+		e.stats.UpstreamCalls += traj.APICalls
+		if e.cfg.TTL > 0 {
+			ent.expires = e.cfg.now().Add(e.cfg.TTL)
+			ent.hasTTL = true
+		}
+	} else {
+		// Failed recordings answer their waiters but are not kept for later
+		// queries — those should retry with a fresh walk.
+		if e.cache[key] == ent {
+			delete(e.cache, key)
+		}
+	}
+	e.mu.Unlock()
+	close(ent.ready)
+}

@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// testGraph builds a small labeled graph shared by the serve tests.
+func testGraph(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g0, err := gen.BarabasiAlbert(1200, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Apply(g0, &gen.GenderLabeler{PFemale: 0.3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc, _ := graph.LargestComponent(g)
+	return lcc
+}
+
+func testEngine(t testing.TB, g *graph.Graph, cfg Config) *Engine {
+	t.Helper()
+	cfg.Graph = g
+	if cfg.BurnIn == 0 {
+		cfg.BurnIn = 100
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("want error for nil graph")
+	}
+	g := testGraph(t, 1)
+	if _, err := New(Config{Graph: g, Budget: -1}); err == nil {
+		t.Error("want error for negative budget")
+	}
+	e := testEngine(t, g, Config{})
+	if _, err := e.Estimate(context.Background(), Query{}); err == nil {
+		t.Error("want error for empty pair list")
+	}
+	if _, err := e.Estimate(context.Background(), Query{Pairs: []graph.LabelPair{{T1: 1, T2: 2}}, Budget: -3}); err == nil {
+		t.Error("want error for negative query budget")
+	}
+}
+
+// TestEngineAnswersAndCaches: the first query records, the second is a free
+// cache hit, and both see the same estimates for the same configuration.
+func TestEngineAnswersAndCaches(t *testing.T) {
+	g := testGraph(t, 2)
+	e := testEngine(t, g, Config{Budget: 400})
+	pair := graph.LabelPair{T1: 1, T2: 2}
+
+	a1, err := e.Estimate(context.Background(), Query{Pairs: []graph.LabelPair{pair}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.CacheHit || a1.Charged == 0 || a1.SharedBy != 1 {
+		t.Errorf("first query should pay for its recording: %+v", a1)
+	}
+	if a1.APICalls == 0 || a1.APICalls > 401 {
+		t.Errorf("trajectory cost %d outside budget 400", a1.APICalls)
+	}
+	truth := float64(exact.CountTargetEdges(g, pair))
+	est := a1.Pairs[0].Estimates["NeighborExploration-HH"]
+	if est <= 0 || est > 4*truth || est < truth/4 {
+		t.Errorf("NE-HH estimate %.0f wildly off truth %.0f", est, truth)
+	}
+	for _, m := range Methods() {
+		if _, ok := a1.Pairs[0].Estimates[m]; !ok {
+			t.Errorf("method %s missing from answer", m)
+		}
+	}
+
+	a2, err := e.Estimate(context.Background(), Query{Pairs: []graph.LabelPair{pair}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.CacheHit || a2.Charged != 0 {
+		t.Errorf("second query should be a free cache hit: %+v", a2)
+	}
+	if a2.Pairs[0].Estimates["NeighborSample-HH"] != a1.Pairs[0].Estimates["NeighborSample-HH"] {
+		t.Error("cache hit returned different estimates for the same trajectory")
+	}
+
+	st := e.Stats()
+	if st.Queries != 2 || st.Recordings != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.UpstreamCalls != a1.APICalls {
+		t.Errorf("upstream calls %d != trajectory cost %d", st.UpstreamCalls, a1.APICalls)
+	}
+}
+
+// TestEngineSeedsIsolateTrajectories: different seeds record different
+// walks; same seed shares.
+func TestEngineSeedsIsolateTrajectories(t *testing.T) {
+	g := testGraph(t, 3)
+	e := testEngine(t, g, Config{Budget: 300})
+	pair := []graph.LabelPair{{T1: 1, T2: 2}}
+
+	a1, err := e.Estimate(context.Background(), Query{Pairs: pair, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.Estimate(context.Background(), Query{Pairs: pair, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.CacheHit {
+		t.Error("different seed must not share a trajectory")
+	}
+	if a1.Pairs[0].Estimates["NeighborSample-HH"] == a2.Pairs[0].Estimates["NeighborSample-HH"] &&
+		a1.Pairs[0].Estimates["NeighborExploration-HH"] == a2.Pairs[0].Estimates["NeighborExploration-HH"] {
+		t.Error("independent walks produced identical estimates — suspicious")
+	}
+	if st := e.Stats(); st.Recordings != 2 {
+		t.Errorf("recordings = %d, want 2", st.Recordings)
+	}
+}
+
+// TestEngineBudgetRejection: a query that cannot pay for the walk it would
+// trigger is refused before any API spend; a cached walk still serves it.
+func TestEngineBudgetRejection(t *testing.T) {
+	g := testGraph(t, 4)
+	e := testEngine(t, g, Config{Budget: 500})
+	pair := []graph.LabelPair{{T1: 1, T2: 2}}
+
+	_, err := e.Estimate(context.Background(), Query{Pairs: pair, MaxCost: 100})
+	if !errors.Is(err, ErrQueryBudget) {
+		t.Fatalf("want ErrQueryBudget, got %v", err)
+	}
+	if st := e.Stats(); st.Recordings != 0 || st.UpstreamCalls != 0 {
+		t.Errorf("rejected query spent API calls: %+v", st)
+	}
+
+	if _, err := e.Estimate(context.Background(), Query{Pairs: pair}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Estimate(context.Background(), Query{Pairs: pair, MaxCost: 100})
+	if err != nil {
+		t.Fatalf("cache hit should serve a tiny budget: %v", err)
+	}
+	if !a.CacheHit || a.Charged != 0 {
+		t.Errorf("expected free cache hit: %+v", a)
+	}
+}
+
+// TestEngineTTLAndInvalidate: trajectories expire after the TTL and
+// Invalidate drops them immediately.
+func TestEngineTTLAndInvalidate(t *testing.T) {
+	g := testGraph(t, 5)
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	e := testEngine(t, g, Config{Budget: 200, TTL: time.Minute, now: clock})
+	pair := []graph.LabelPair{{T1: 1, T2: 2}}
+
+	if _, err := e.Estimate(context.Background(), Query{Pairs: pair}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Estimate(context.Background(), Query{Pairs: pair})
+	if err != nil || !a.CacheHit {
+		t.Fatalf("within TTL: want cache hit, got %+v err %v", a, err)
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	a, err = e.Estimate(context.Background(), Query{Pairs: pair})
+	if err != nil || a.CacheHit {
+		t.Fatalf("past TTL: want re-recording, got %+v err %v", a, err)
+	}
+
+	e.Invalidate()
+	a, err = e.Estimate(context.Background(), Query{Pairs: pair})
+	if err != nil || a.CacheHit {
+		t.Fatalf("after Invalidate: want re-recording, got %+v err %v", a, err)
+	}
+	if st := e.Stats(); st.Recordings != 3 {
+		t.Errorf("recordings = %d, want 3", st.Recordings)
+	}
+}
+
+// TestEngineBatchesConcurrentQueries: queries arriving within the batching
+// window share one recording and split its bill.
+func TestEngineBatchesConcurrentQueries(t *testing.T) {
+	g := testGraph(t, 6)
+	e := testEngine(t, g, Config{Budget: 400, BatchWindow: 150 * time.Millisecond})
+	pair := []graph.LabelPair{{T1: 1, T2: 2}}
+
+	const clients = 8
+	answers := make([]*Answer, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers[i], errs[i] = e.Estimate(context.Background(), Query{Pairs: pair})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Recordings != 1 {
+		t.Fatalf("%d clients triggered %d recordings, want 1 (batched)", clients, st.Recordings)
+	}
+	var charged int64
+	sharers := 0
+	for _, a := range answers {
+		charged += a.Charged
+		if !a.CacheHit {
+			sharers++
+		}
+		if a.Pairs[0].Estimates["NeighborSample-HH"] != answers[0].Pairs[0].Estimates["NeighborSample-HH"] {
+			t.Error("co-batched clients saw different estimates")
+		}
+	}
+	if sharers == 0 {
+		t.Error("no client recorded as paying for the walk")
+	}
+	if charged > st.UpstreamCalls+int64(clients) {
+		t.Errorf("charged total %d exceeds upstream spend %d", charged, st.UpstreamCalls)
+	}
+}
+
+// TestEngineConcurrentMixedLoad hammers the engine from many goroutines
+// with differing configurations and pair sets — the race-detector contract
+// for the serving layer.
+func TestEngineConcurrentMixedLoad(t *testing.T) {
+	g := testGraph(t, 7)
+	e := testEngine(t, g, Config{Budget: 150, BatchWindow: 5 * time.Millisecond, TTL: 50 * time.Millisecond})
+	pairs := [][]graph.LabelPair{
+		{{T1: 1, T2: 2}},
+		{{T1: 1, T2: 1}, {T1: 2, T2: 2}},
+		{{T1: 1, T2: 2}, {T1: 1, T2: 1}, {T1: 2, T2: 2}},
+	}
+
+	const goroutines = 16
+	const perG = 6
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				q := Query{
+					Pairs:   pairs[(i+j)%len(pairs)],
+					Seed:    int64(1 + (i+j)%3),
+					Walkers: 1 + (i % 2), // exercise serial and fleet recordings
+				}
+				a, err := e.Estimate(context.Background(), q)
+				if err != nil {
+					t.Errorf("goroutine %d query %d: %v", i, j, err)
+					return
+				}
+				if len(a.Pairs) != len(q.Pairs) {
+					t.Errorf("got %d pair answers, want %d", len(a.Pairs), len(q.Pairs))
+					return
+				}
+				if j%3 == 0 {
+					e.Invalidate()
+				}
+				_ = e.Stats()
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Queries != goroutines*perG {
+		t.Errorf("admitted %d queries, want %d", st.Queries, goroutines*perG)
+	}
+	if st.Recordings == 0 {
+		t.Error("no recordings at all")
+	}
+}
+
+// TestEngineCacheBounded: the trajectory cache never grows past MaxCached —
+// a client sweeping seeds must not accumulate one recording's memory per
+// seed forever.
+func TestEngineCacheBounded(t *testing.T) {
+	g := testGraph(t, 9)
+	e := testEngine(t, g, Config{Budget: 150, MaxCached: 3})
+	pair := []graph.LabelPair{{T1: 1, T2: 2}}
+
+	for seed := int64(1); seed <= 10; seed++ {
+		if _, err := e.Estimate(context.Background(), Query{Pairs: pair, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.mu.Lock()
+	size := len(e.cache)
+	e.mu.Unlock()
+	if size > 3 {
+		t.Errorf("cache holds %d trajectories, cap 3", size)
+	}
+	// The most recent seed survived the LRU sweep: querying it is a hit.
+	a, err := e.Estimate(context.Background(), Query{Pairs: pair, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.CacheHit {
+		t.Error("most recently used trajectory was evicted")
+	}
+	// An evicted seed re-records rather than erroring.
+	a, err = e.Estimate(context.Background(), Query{Pairs: pair, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit {
+		t.Error("seed 1 should have been evicted by seeds 2..10")
+	}
+}
+
+// TestEngineFailedRecordingNotServedStale: a recording failure must not be
+// cached — queries arriving after the failure retry with a fresh walk
+// instead of inheriting the stale error.
+func TestEngineFailedRecordingNotServedStale(t *testing.T) {
+	g := testGraph(t, 10)
+	e := testEngine(t, g, Config{Budget: 150})
+	key := trajKey{budget: e.cfg.Budget, walkers: e.cfg.Walkers, seed: e.cfg.Seed}
+
+	// Manufacture a completed-but-failed recording in the cache, as record()
+	// would have left it before the fix.
+	ent := &entry{ready: make(chan struct{}), err: errors.New("transient recording failure"), frozen: true, sharers: 1}
+	close(ent.ready)
+	e.mu.Lock()
+	e.cache[key] = ent
+	e.mu.Unlock()
+
+	a, err := e.Estimate(context.Background(), Query{Pairs: []graph.LabelPair{{T1: 1, T2: 2}}})
+	if err != nil {
+		t.Fatalf("query inherited a stale recording error: %v", err)
+	}
+	if a.CacheHit {
+		t.Error("failed entry served as a cache hit")
+	}
+	if st := e.Stats(); st.Recordings != 1 {
+		t.Errorf("recordings = %d, want 1 (the retry)", st.Recordings)
+	}
+}
+
+// TestEngineCancelledQuery: a cancelled context aborts the caller promptly
+// and later queries still work.
+func TestEngineCancelledQuery(t *testing.T) {
+	g := testGraph(t, 8)
+	e := testEngine(t, g, Config{Budget: 200, BatchWindow: 200 * time.Millisecond})
+	pair := []graph.LabelPair{{T1: 1, T2: 2}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Estimate(ctx, Query{Pairs: pair}); err == nil {
+		t.Error("want error for pre-cancelled context")
+	}
+	if _, err := e.Estimate(context.Background(), Query{Pairs: pair}); err != nil {
+		t.Fatalf("engine wedged after cancelled query: %v", err)
+	}
+}

@@ -39,6 +39,112 @@ func TestSplitQuota(t *testing.T) {
 	}
 }
 
+// TestSplitQuotaRemainderDistribution pins the remainder arithmetic at the
+// edge the budget-driven fleet cares about: shares of 1 — smaller than one
+// sampling iteration's cost (a step plus a profile fetch can charge 2 calls)
+// — must still be positive, near-equal, and front-loaded.
+func TestSplitQuotaRemainderDistribution(t *testing.T) {
+	for k := 1; k <= 40; k++ {
+		for w := 1; w <= k; w++ {
+			got := SplitQuota(k, w)
+			if len(got) != w {
+				t.Fatalf("SplitQuota(%d,%d) has %d shares", k, w, len(got))
+			}
+			sum, min, max := 0, got[0], got[0]
+			for i, share := range got {
+				sum += share
+				if share < min {
+					min = share
+				}
+				if share > max {
+					max = share
+				}
+				if share <= 0 {
+					t.Fatalf("SplitQuota(%d,%d)[%d] = %d, want positive", k, w, i, share)
+				}
+				if i > 0 && share > got[i-1] {
+					t.Fatalf("SplitQuota(%d,%d) = %v not front-loaded", k, w, got)
+				}
+			}
+			if sum != k {
+				t.Fatalf("SplitQuota(%d,%d) sums to %d", k, w, sum)
+			}
+			if max-min > 1 {
+				t.Fatalf("SplitQuota(%d,%d) = %v spread > 1", k, w, got)
+			}
+		}
+	}
+}
+
+// TestRunFleetShareSmallerThanIteration runs a budget-driven fleet where
+// every walker's share (1 call) is smaller than one sampling iteration's
+// cost (up to 2 charges). The fleet's contract (see the RunFleet barrier
+// comment) is soft budgets: Done() is checked between iterations, so a
+// walker whose share is smaller than one iteration completes that iteration
+// — it is never starved — and overshoots its share by at most the
+// iteration's trailing charges, never by a whole extra iteration.
+func TestRunFleetShareSmallerThanIteration(t *testing.T) {
+	g := fleetGraph(t)
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const W = 4
+	sampled := make([]int, W)
+	calls, err := RunFleet(FleetConfig[graph.Node]{
+		Session:      s,
+		Seed:         9,
+		Walkers:      W,
+		K:            W, // one call per walker
+		BudgetDriven: true,
+		BurnIn:       5,
+		NewWalker: func(r *FleetRun[graph.Node]) (Walker[graph.Node], error) {
+			return NewSimple[graph.Node](NodeSpace{S: r.Meter}, graph.Node(r.ID), r.Rng), nil
+		},
+		Sample: func(r *FleetRun[graph.Node]) error {
+			// Each iteration costs up to two charges: the step and the
+			// arrived-at node's profile fetch — the NeighborExploration /
+			// trajectory-recording pattern.
+			maxIters := r.MaxIters()
+			for iter := 0; iter < maxIters && !r.Done(sampled[r.ID]); iter++ {
+				cur, err := r.W.Step()
+				if err != nil {
+					if errors.Is(err, osn.ErrBudgetExhausted) {
+						return nil
+					}
+					return err
+				}
+				if _, err := r.Meter.Degree(cur); err != nil {
+					if errors.Is(err, osn.ErrBudgetExhausted) {
+						return nil
+					}
+					return err
+				}
+				sampled[r.ID]++
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i, c := range calls {
+		total += c
+		if sampled[i] < 1 {
+			t.Errorf("walker %d starved: a 1-call share must still buy one iteration", i)
+		}
+		// Share 1 + at most 1 trailing charge from the iteration in flight.
+		if c > 2 {
+			t.Errorf("walker %d billed %d calls against a 1-call share (> one iteration's overshoot)", i, c)
+		}
+	}
+	// Fleet-wide: K plus at most one iteration's trailing charge per walker.
+	if total > 2*W {
+		t.Errorf("fleet billed %d calls, want <= %d (budget %d + one iteration of overshoot each)", total, 2*W, W)
+	}
+}
+
 func fleetGraph(t *testing.T) *graph.Graph {
 	t.Helper()
 	b := graph.NewBuilder(20)

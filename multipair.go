@@ -1,0 +1,142 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/osn"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// MultiPairOptions configures EstimateManyPairs.
+type MultiPairOptions struct {
+	// Budget is the shared walk's sample size as a fraction of |V| (the
+	// paper's axis); 0 means 0.05.
+	Budget float64
+	// Samples overrides Budget with an absolute sample count when positive.
+	Samples int
+	// BurnIn is the walk burn-in in steps; 0 means measure the mixing time
+	// T(1e-3) first (Section 5.1).
+	BurnIn int
+	// Seed drives all randomness.
+	Seed int64
+	// Walkers is the number of concurrent walkers recording the shared
+	// trajectory (see EstimateOptions.Walkers); 0 or 1 records serially.
+	Walkers int
+	// Ctx cancels the recording in flight; nil means context.Background().
+	Ctx context.Context
+}
+
+// PairResult is one pair's slice of a multi-pair estimate: every estimator
+// of both algorithms, replayed from the shared trajectory.
+type PairResult struct {
+	// Pair is the queried label pair.
+	Pair LabelPair
+	// Estimates holds the estimate of every proposed method for this pair,
+	// keyed by Method (NeighborSample-{HH,HT}, NeighborExploration-{HH,HT,RW}).
+	Estimates map[Method]float64
+	// TargetHits is how many sampled edges matched the pair (the
+	// NeighborSample view of the shared walk).
+	TargetHits int
+}
+
+// MultiPairResult reports one EstimateManyPairs run: P pair answers from one
+// walk's API spend.
+type MultiPairResult struct {
+	// Pairs holds one result per queried pair, in query order.
+	Pairs []PairResult
+	// APICalls is the total charged API calls — paid once, shared by every
+	// pair (a per-pair run would have paid ~len(Pairs)× this).
+	APICalls int64
+	// Samples is the shared walk's sample count.
+	Samples int
+	// BurnIn is the burn-in that was applied.
+	BurnIn int
+	// Walkers is the concurrent walker count the recording ran with.
+	Walkers int
+}
+
+// EstimateManyPairs estimates F for every given label pair from ONE shared
+// random walk: the walk is recorded once (with burn-in paid once) and
+// replayed through the paper's HH/HT/RW aggregators per pair. Because the
+// estimators weigh samples by label-pair membership only at aggregation
+// time, and label reads are free in the access model, P pairs cost the API
+// budget of a single-pair estimate instead of P× it.
+func EstimateManyPairs(g *Graph, pairs []LabelPair, opts MultiPairOptions) (*MultiPairResult, error) {
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		return nil, fmt.Errorf("repro: graph has no edges to sample")
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("repro: EstimateManyPairs needs at least one label pair")
+	}
+	k := opts.Samples
+	if k <= 0 {
+		budget := opts.Budget
+		if budget <= 0 {
+			budget = 0.05
+		}
+		k = int(math.Round(budget * float64(g.NumNodes())))
+		if k < 1 {
+			k = 1
+		}
+	}
+	burn := opts.BurnIn
+	if burn <= 0 {
+		mixed, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
+			MaxSteps:   5000,
+			StartNodes: walk.DefaultMixingStarts(g, 4),
+		})
+		if err != nil {
+			return nil, err
+		}
+		burn = mixed.Steps
+		if burn < 10 {
+			burn = 10
+		}
+	}
+
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		return nil, err
+	}
+	traj, err := core.RecordTrajectory(s, k, core.Options{
+		BurnIn:  burn,
+		Rng:     stats.NewSeedSequence(opts.Seed).NextRand(),
+		Start:   -1,
+		Walkers: opts.Walkers,
+		Seed:    stats.Derive(opts.Seed, "multipair"),
+		Ctx:     opts.Ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prs, err := core.EstimateManyPairs(traj, pairs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MultiPairResult{
+		Pairs:    make([]PairResult, 0, len(prs)),
+		APICalls: traj.APICalls,
+		Samples:  traj.Samples(),
+		BurnIn:   burn,
+		Walkers:  traj.Walkers,
+	}
+	for _, pe := range prs {
+		res.Pairs = append(res.Pairs, PairResult{
+			Pair: pe.Pair,
+			Estimates: map[Method]float64{
+				NeighborSampleHH:      pe.NS.HH,
+				NeighborSampleHT:      pe.NS.HT,
+				NeighborExplorationHH: pe.NE.HH,
+				NeighborExplorationHT: pe.NE.HT,
+				NeighborExplorationRW: pe.NE.RW,
+			},
+			TargetHits: pe.NS.TargetHits,
+		})
+	}
+	return res, nil
+}

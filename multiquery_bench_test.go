@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchMultiQueryPairs is how many label pairs the multi-query benchmark
+// answers per run — the acceptance scenario of the shared-trajectory engine.
+const benchMultiQueryPairs = 32
+
+// BenchmarkMultiQuery measures the API-call amortization of the
+// shared-trajectory engine: answering 32 label pairs from one recorded walk
+// (EstimateManyPairs) versus paying a full burn-in + sampling walk per pair
+// (the historical EstimateTargetEdges loop). It writes BENCH_multiquery.json
+// so CI can track the amortization ratio; the headline number is
+// call_ratio_shared_vs_single, which must stay ≤ 1.2 (one walk serves all
+// pairs), against ~32 for the per-pair loop.
+//
+// Run: go test -bench BenchmarkMultiQuery -benchtime 1x -run '^$' .
+func BenchmarkMultiQuery(b *testing.B) {
+	g, err := GenerateStandIn("facebook", 1.0, 2018)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := pairsFromCensus(b, g, benchMultiQueryPairs)
+	const (
+		samples = 2000
+		burnIn  = 300
+	)
+
+	var (
+		nsShared, nsPerPair               float64
+		callsShared, callsPerPair, single int64
+	)
+
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := EstimateManyPairs(g, pairs, MultiPairOptions{
+				Samples: samples, BurnIn: burnIn, Seed: int64(i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			callsShared = res.APICalls
+		}
+		nsShared = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	b.Run("perpair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var total int64
+			for pi, pair := range pairs {
+				res, err := EstimateTargetEdges(g, pair, EstimateOptions{
+					Method:  NeighborExplorationHH,
+					Samples: samples,
+					BurnIn:  burnIn,
+					Seed:    int64(i*benchMultiQueryPairs + pi),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.APICalls
+				if pi == 0 {
+					single = res.APICalls
+				}
+			}
+			callsPerPair = total
+		}
+		nsPerPair = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	if callsShared == 0 || callsPerPair == 0 {
+		return // a sub-benchmark was filtered out; skip the report
+	}
+	writeMultiQueryBench(b, multiQueryReport{
+		GoMaxProcs:             runtime.GOMAXPROCS(0),
+		Pairs:                  benchMultiQueryPairs,
+		Samples:                samples,
+		APICallsSinglePair:     single,
+		APICallsShared:         callsShared,
+		APICallsPerPair:        callsPerPair,
+		CallRatioSharedSingle:  float64(callsShared) / float64(single),
+		CallRatioPerPairSingle: float64(callsPerPair) / float64(single),
+		NsPerOpShared:          nsShared,
+		NsPerOpPerPair:         nsPerPair,
+	})
+}
+
+// multiQueryReport is the schema of BENCH_multiquery.json.
+type multiQueryReport struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	Pairs      int `json:"pairs"`
+	Samples    int `json:"samples_per_walk"`
+	// APICallsSinglePair is one pair's standalone cost — the amortization
+	// baseline.
+	APICallsSinglePair int64 `json:"api_calls_single_pair"`
+	// APICallsShared is what all pairs cost through the shared trajectory.
+	APICallsShared int64 `json:"api_calls_shared"`
+	// APICallsPerPair is what all pairs cost as standalone estimates.
+	APICallsPerPair int64 `json:"api_calls_per_pair"`
+	// CallRatioSharedSingle is the acceptance headline: ≤ 1.2 means the
+	// whole query set costs at most 1.2× one estimate.
+	CallRatioSharedSingle  float64 `json:"call_ratio_shared_vs_single"`
+	CallRatioPerPairSingle float64 `json:"call_ratio_perpair_vs_single"`
+	NsPerOpShared          float64 `json:"ns_per_op_shared"`
+	NsPerOpPerPair         float64 `json:"ns_per_op_perpair"`
+}
+
+func writeMultiQueryBench(b *testing.B, rep multiQueryReport) {
+	b.Helper()
+	if rep.CallRatioSharedSingle > 1.2 {
+		b.Errorf("shared trajectory cost %.2f× a single estimate, want <= 1.2×", rep.CallRatioSharedSingle)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_multiquery.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_multiquery.json: %d pairs at %.2fx one pair's API cost (per-pair loop: %.1fx)",
+		rep.Pairs, rep.CallRatioSharedSingle, rep.CallRatioPerPairSingle)
+}
