@@ -74,6 +74,59 @@ func TestCLIFlagValidation(t *testing.T) {
 	runExpectUsageError(t, reproduce, "-reps", "-table", "4", "-reps", "0")
 	runExpectUsageError(t, reproduce, "-walkers", "-table", "4", "-walkers", "-2")
 	runExpectUsageError(t, reproduce, "-scale", "-table", "4", "-scale", "-1")
+
+	// Snapshot input is exclusive with the other sources and embeds labels.
+	runExpectUsageError(t, edgecount, "-graph", "-dataset", "facebook", "-graph", "x.osnb")
+	runExpectUsageError(t, edgecount, "-labels", "-graph", "x.osnb", "-labels", "x.labels")
+	runExpectUsageError(t, census, "-graph", "-edges", "x.edges", "-graph", "x.osnb")
+}
+
+// TestCLISnapshotWorkflow exercises the preprocess-once/query-many split:
+// genosn writes a .osnb binary snapshot, and edgecount/census consume it via
+// -graph with results identical to the in-memory stand-in at the same seed.
+func TestCLISnapshotWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	genosn := buildTool(t, dir, "genosn")
+	edgecount := buildTool(t, dir, "edgecount")
+	census := buildTool(t, dir, "census")
+
+	snap := filepath.Join(dir, "net.osnb")
+	out := run(t, genosn, "-dataset", "facebook", "-scale", "0.1", "-seed", "7",
+		"-graph", snap, "-text=false", "-census", "0")
+	if !strings.Contains(out, "wrote "+snap) {
+		t.Fatalf("genosn output unexpected:\n%s", out)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("missing snapshot: %v", err)
+	}
+
+	// Snapshot-backed estimates are deterministic: two runs at the same
+	// seed over the same .osnb file must print the same estimate and exact
+	// count. (In-process bit-identity of loaded-vs-built graphs is pinned
+	// by TestSnapshotEstimateBitIdentical.)
+	args := []string{"-graph", snap, "-t1", "1", "-t2", "2",
+		"-method", "NeighborSample-HH", "-budget", "0.2", "-burnin", "100", "-seed", "3"}
+	extract := func(out string) (est string) {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "estimate F̂") || strings.Contains(line, "exact F") {
+				est += line + "\n"
+			}
+		}
+		return est
+	}
+	first := extract(run(t, edgecount, args...))
+	second := extract(run(t, edgecount, args...))
+	if first == "" || first != second {
+		t.Fatalf("snapshot-backed estimate not deterministic:\n first: %q\n second: %q", first, second)
+	}
+
+	out = run(t, census, "-graph", snap, "-budget", "0.2", "-top", "3", "-seed", "7")
+	if !strings.Contains(out, "discovered") {
+		t.Fatalf("census -graph output unexpected:\n%s", out)
+	}
 }
 
 // TestCLIEndToEnd builds every command-line tool and exercises a realistic

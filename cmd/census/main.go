@@ -7,6 +7,7 @@
 //
 //	census -dataset pokec -budget 0.05 -top 15
 //	census -edges graph.txt -labels labels.txt -budget 0.02
+//	census -graph pokec.osnb -budget 0.01
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "stand-in scale factor")
 		edges   = flag.String("edges", "", "edge list file (alternative to -dataset)")
 		labels  = flag.String("labels", "", "label file (with -edges)")
+		graphF  = flag.String("graph", "", ".osnb binary snapshot (alternative to -dataset/-edges)")
 		budget  = flag.Float64("budget", 0.05, "walk samples as a fraction of |V|")
 		top     = flag.Int("top", 20, "how many pairs to print")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -37,10 +39,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "census: "+format+"\n", args...)
 		os.Exit(2)
 	}
-	if *dataset == "" && *edges == "" {
-		fmt.Fprintln(os.Stderr, "census: need -dataset or -edges")
+	inputs := 0
+	for _, set := range []bool{*dataset != "", *edges != "", *graphF != ""} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		fmt.Fprintln(os.Stderr, "census: need exactly one of -dataset, -edges, -graph")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *graphF != "" && *labels != "" {
+		fail("-graph snapshots embed labels; drop -labels")
 	}
 	if *walkers < 0 {
 		fail("-walkers must be non-negative (0/1 = serial), got %d", *walkers)
@@ -58,9 +69,12 @@ func main() {
 		g   *repro.Graph
 		err error
 	)
-	if *dataset != "" {
+	switch {
+	case *dataset != "":
 		g, err = repro.GenerateStandIn(*dataset, *scale, *seed)
-	} else {
+	case *graphF != "":
+		g, err = repro.LoadSnapshot(*graphF)
+	default:
 		g, err = repro.LoadGraph(*edges, *labels)
 	}
 	if err != nil {

@@ -7,6 +7,7 @@
 //
 //	edgecount -dataset pokec -t1 2 -t2 51 -method auto -budget 0.05
 //	edgecount -edges graph.txt -labels labels.txt -t1 1 -t2 2
+//	edgecount -graph pokec.osnb -t1 2 -t2 51 -budget 0.01
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"repro"
 )
@@ -24,6 +26,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "stand-in scale factor")
 		edges   = flag.String("edges", "", "edge list file (alternative to -dataset)")
 		labels  = flag.String("labels", "", "label file (with -edges)")
+		graphF  = flag.String("graph", "", ".osnb binary snapshot (alternative to -dataset/-edges)")
 		t1      = flag.Int("t1", 1, "first target label")
 		t2      = flag.Int("t2", 2, "second target label")
 		method  = flag.String("method", "auto", "estimation method (auto, NeighborSample-HH, NeighborSample-HT, NeighborExploration-{HH,HT,RW}, EX-{RW,MHRW,MDRW,RCMH,GMD})")
@@ -40,10 +43,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edgecount: "+format+"\n", args...)
 		os.Exit(2)
 	}
-	if *dataset == "" && *edges == "" {
-		fmt.Fprintln(os.Stderr, "edgecount: need -dataset or -edges")
+	inputs := 0
+	for _, set := range []bool{*dataset != "", *edges != "", *graphF != ""} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		fmt.Fprintln(os.Stderr, "edgecount: need exactly one of -dataset, -edges, -graph")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *graphF != "" && *labels != "" {
+		fail("-graph snapshots embed labels; drop -labels")
 	}
 	if *walkers < 0 {
 		fail("-walkers must be non-negative (0/1 = serial), got %d", *walkers)
@@ -68,9 +80,16 @@ func main() {
 		g   *repro.Graph
 		err error
 	)
-	if *dataset != "" {
+	switch {
+	case *dataset != "":
 		g, err = repro.GenerateStandIn(*dataset, *scale, *seed)
-	} else {
+	case *graphF != "":
+		start := time.Now()
+		g, err = repro.LoadSnapshot(*graphF)
+		if err == nil {
+			fmt.Printf("loaded %s in %.3fs\n", *graphF, time.Since(start).Seconds())
+		}
+	default:
 		g, err = repro.LoadGraph(*edges, *labels)
 	}
 	if err != nil {

@@ -1,17 +1,21 @@
 // Command genosn generates a synthetic online social network stand-in and
-// writes it as a SNAP-style edge list plus a label file, so the other tools
-// (and external software) can consume it.
+// writes it as a SNAP-style edge list plus a label file, and/or as a .osnb
+// binary snapshot that the other tools load in O(file size) via their
+// -graph flag.
 //
 // Usage:
 //
 //	genosn -dataset pokec -scale 1.0 -seed 42 -out pokec
 //	  -> pokec.edges  pokec.labels
+//	genosn -dataset pokec -scale 50 -seed 42 -graph pokec.osnb -text=false
+//	  -> pokec.osnb (1M-node binary snapshot, no text files)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/exact"
@@ -20,13 +24,26 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "pokec", "stand-in to generate (facebook, googleplus, pokec, orkut, livejournal)")
-		scale   = flag.Float64("scale", 1.0, "scale factor")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output file prefix (default: dataset name)")
-		census  = flag.Int("census", 10, "print the N rarest and N most frequent label pairs (0 = skip)")
+		dataset  = flag.String("dataset", "pokec", "stand-in to generate (facebook, googleplus, pokec, orkut, livejournal)")
+		scale    = flag.Float64("scale", 1.0, "scale factor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file prefix (default: dataset name)")
+		graphOut = flag.String("graph", "", "also write a .osnb binary snapshot to this path")
+		text     = flag.Bool("text", true, "write the .edges/.labels text files")
+		census   = flag.Int("census", 10, "print the N rarest and N most frequent label pairs (0 = skip)")
 	)
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "genosn: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *scale <= 0 {
+		fail("-scale must be positive, got %g", *scale)
+	}
+	if !*text && *graphOut == "" {
+		fail("nothing to write: -text=false needs -graph")
+	}
 
 	prefix := *out
 	if prefix == "" {
@@ -40,27 +57,43 @@ func main() {
 	fmt.Printf("generated %s: |V|=%d |E|=%d max_deg=%d\n",
 		*dataset, g.NumNodes(), g.NumEdges(), exact.MaxDegree(g))
 
-	ef, err := os.Create(prefix + ".edges")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "genosn:", err)
-		os.Exit(1)
+	if *text {
+		ef, err := os.Create(prefix + ".edges")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genosn:", err)
+			os.Exit(1)
+		}
+		defer ef.Close()
+		if err := textio.WriteEdgeList(ef, g); err != nil {
+			fmt.Fprintln(os.Stderr, "genosn:", err)
+			os.Exit(1)
+		}
+		lf, err := os.Create(prefix + ".labels")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genosn:", err)
+			os.Exit(1)
+		}
+		defer lf.Close()
+		if err := textio.WriteLabels(lf, g); err != nil {
+			fmt.Fprintln(os.Stderr, "genosn:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s.edges and %s.labels\n", prefix, prefix)
 	}
-	defer ef.Close()
-	if err := textio.WriteEdgeList(ef, g); err != nil {
-		fmt.Fprintln(os.Stderr, "genosn:", err)
-		os.Exit(1)
+
+	if *graphOut != "" {
+		start := time.Now()
+		if err := repro.SaveSnapshot(*graphOut, g); err != nil {
+			fmt.Fprintln(os.Stderr, "genosn:", err)
+			os.Exit(1)
+		}
+		st, err := os.Stat(*graphOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genosn:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes in %.2fs)\n", *graphOut, st.Size(), time.Since(start).Seconds())
 	}
-	lf, err := os.Create(prefix + ".labels")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "genosn:", err)
-		os.Exit(1)
-	}
-	defer lf.Close()
-	if err := textio.WriteLabels(lf, g); err != nil {
-		fmt.Fprintln(os.Stderr, "genosn:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s.edges and %s.labels\n", prefix, prefix)
 
 	if *census > 0 {
 		rows := exact.LabelPairCensus(g)

@@ -9,6 +9,7 @@
 //
 //	serve -dataset pokec -scale 0.5 -addr :8080
 //	serve -edges graph.txt -labels labels.txt -budget 0.05 -walkers 4
+//	serve -graph pokec.osnb -budget 0.01 -walkers 8
 //
 // Then:
 //
@@ -35,6 +36,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "stand-in scale factor")
 		edges   = flag.String("edges", "", "edge list file (alternative to -dataset)")
 		labels  = flag.String("labels", "", "label file (with -edges)")
+		graphF  = flag.String("graph", "", ".osnb binary snapshot (alternative to -dataset/-edges)")
 		addr    = flag.String("addr", ":8080", "listen address")
 		budget  = flag.Float64("budget", 0.05, "default trajectory API budget as a fraction of |V|")
 		walkers = flag.Int("walkers", 1, "default concurrent walkers per trajectory recording")
@@ -49,10 +51,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
 		os.Exit(2)
 	}
-	if *dataset == "" && *edges == "" {
-		fmt.Fprintln(os.Stderr, "serve: need -dataset or -edges")
+	inputs := 0
+	for _, set := range []bool{*dataset != "", *edges != "", *graphF != ""} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		fmt.Fprintln(os.Stderr, "serve: need exactly one of -dataset, -edges, -graph")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *graphF != "" && *labels != "" {
+		fail("-graph snapshots embed labels; drop -labels")
 	}
 	if *budget <= 0 {
 		fail("-budget must be positive (a fraction of |V|), got %g", *budget)
@@ -74,9 +85,16 @@ func main() {
 		g   *repro.Graph
 		err error
 	)
-	if *dataset != "" {
+	switch {
+	case *dataset != "":
 		g, err = repro.GenerateStandIn(*dataset, *scale, *seed)
-	} else {
+	case *graphF != "":
+		start := time.Now()
+		g, err = repro.LoadSnapshot(*graphF)
+		if err == nil {
+			log.Printf("loaded %s in %.3fs", *graphF, time.Since(start).Seconds())
+		}
+	default:
 		g, err = repro.LoadGraph(*edges, *labels)
 	}
 	if err != nil {

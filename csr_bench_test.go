@@ -1,0 +1,229 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// csrEstimateOpts is the fixed-seed estimation configuration shared by the
+// bit-identity test and the load bench: explicit burn-in (no mixing-time
+// measurement) and a serial walk, so the result is a pure function of the
+// graph bytes.
+var csrEstimateOpts = EstimateOptions{
+	Method:  NeighborSampleHH,
+	Samples: 2000,
+	BurnIn:  300,
+	Seed:    11,
+}
+
+// TestSnapshotEstimateBitIdentical pins the acceptance contract of the
+// snapshot backend: an estimate on a graph loaded from .osnb is bit-identical
+// (same estimate, same API bill) to the same estimate on the originally
+// built graph, because the loaded CSR arrays are byte-equal to the built
+// ones.
+func TestSnapshotEstimateBitIdentical(t *testing.T) {
+	g, err := GenerateStandIn("pokec", 0.2, 2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pokec.osnb")
+	if err := SaveSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := LabelPair{T1: 1, T2: 2}
+	want, err := EstimateTargetEdges(g, pair, csrEstimateOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimateTargetEdges(loaded, pair, csrEstimateOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate != want.Estimate || got.APICalls != want.APICalls || got.Samples != want.Samples {
+		t.Fatalf("snapshot-backed estimate diverges: got (F̂=%v calls=%d samples=%d), want (F̂=%v calls=%d samples=%d)",
+			got.Estimate, got.APICalls, got.Samples, want.Estimate, want.APICalls, want.Samples)
+	}
+	if CountTargetEdgesExact(loaded, pair) != CountTargetEdgesExact(g, pair) {
+		t.Fatal("exact counts diverge between built and loaded graph")
+	}
+}
+
+// csrScales is the measurement grid of BenchmarkLoadAndEstimate. Scales are
+// relative to the pokec stand-in's 20k base nodes; the 1M-node row is the
+// ROADMAP's production-scale target and is skipped in -short mode.
+var csrScales = []struct {
+	name     string
+	scale    float64
+	bigGraph bool
+}{
+	{"10k", 0.5, false},
+	{"100k", 5, false},
+	{"1M", 50, true},
+}
+
+// csrRow is one scale's measurements in BENCH_csr.json.
+type csrRow struct {
+	Nodes           int     `json:"nodes"`
+	Edges           int64   `json:"edges"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	GenerateSeconds float64 `json:"generate_seconds"`
+	SaveSeconds     float64 `json:"save_seconds"`
+	LoadSeconds     float64 `json:"load_seconds"`
+	// LoadedHeapBytes is the heap growth attributable to the loaded graph
+	// (GC-settled delta), i.e. the resident cost of serving this graph.
+	LoadedHeapBytes uint64 `json:"loaded_heap_bytes"`
+	// MaxRSSBytes is the process high-water mark after the load+estimate.
+	MaxRSSBytes     int64   `json:"max_rss_bytes"`
+	EstimateSeconds float64 `json:"estimate_seconds"`
+	Estimate        float64 `json:"estimate"`
+	// BitIdentical reports whether the fixed-seed estimate on the loaded
+	// graph matched the one on the originally built graph exactly.
+	BitIdentical bool `json:"estimate_bit_identical"`
+}
+
+// csrBenchReport is the schema of BENCH_csr.json.
+type csrBenchReport struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Samples    int                `json:"samples_per_estimate"`
+	Scales     map[string]*csrRow `json:"scales"`
+}
+
+// BenchmarkLoadAndEstimate measures the preprocess-once/query-many split at
+// 10k, 100k and 1M nodes: generate a pokec stand-in, save it as a .osnb
+// snapshot, load it back (the benchmarked operation), and run a fixed-seed
+// edge-count estimate, verifying the result is bit-identical to the
+// in-memory build. Writes BENCH_csr.json so future PRs can track the load
+// path.
+//
+// Run: go test -bench BenchmarkLoadAndEstimate -benchtime 1x -run '^$' .
+// The 1M row needs ~2 GB of RAM and is skipped under -short.
+func BenchmarkLoadAndEstimate(b *testing.B) {
+	dir := b.TempDir()
+	rows := map[string]*csrRow{}
+	for _, sc := range csrScales {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			if testing.Short() && sc.bigGraph {
+				b.Skip("1M-node graph skipped in -short mode")
+			}
+			row := &csrRow{}
+
+			t0 := time.Now()
+			g, err := GenerateStandIn("pokec", sc.scale, 2018)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row.GenerateSeconds = time.Since(t0).Seconds()
+			row.Nodes = g.NumNodes()
+			row.Edges = g.NumEdges()
+
+			path := filepath.Join(dir, sc.name+".osnb")
+			t0 = time.Now()
+			if err := SaveSnapshot(path, g); err != nil {
+				b.Fatal(err)
+			}
+			row.SaveSeconds = time.Since(t0).Seconds()
+			st, err := os.Stat(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row.SnapshotBytes = st.Size()
+
+			// One instrumented load for the report: wall time plus the
+			// GC-settled heap delta the loaded graph retains.
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 = time.Now()
+			loaded, err := LoadSnapshot(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row.LoadSeconds = time.Since(t0).Seconds()
+			runtime.GC()
+			runtime.ReadMemStats(&m1)
+			if m1.HeapInuse > m0.HeapInuse {
+				row.LoadedHeapBytes = m1.HeapInuse - m0.HeapInuse
+			}
+
+			pair := LabelPair{T1: 1, T2: 2}
+			want, err := EstimateTargetEdges(g, pair, csrEstimateOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t0 = time.Now()
+			got, err := EstimateTargetEdges(loaded, pair, csrEstimateOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row.EstimateSeconds = time.Since(t0).Seconds()
+			row.Estimate = got.Estimate
+			row.BitIdentical = got.Estimate == want.Estimate && got.APICalls == want.APICalls
+			if !row.BitIdentical {
+				b.Fatalf("estimate on loaded graph diverges: got F̂=%v calls=%d, want F̂=%v calls=%d",
+					got.Estimate, got.APICalls, want.Estimate, want.APICalls)
+			}
+
+			row.MaxRSSBytes = maxRSSBytes()
+
+			// The benchmarked operation proper: repeated snapshot loads.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := LoadSnapshot(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(row.LoadSeconds*1000, "ms/load")
+			rows[sc.name] = row
+		})
+	}
+	writeCSRBench(b, rows)
+}
+
+// writeCSRBench emits BENCH_csr.json for whichever scales actually ran (the
+// 1M row is absent under -short).
+func writeCSRBench(b *testing.B, rows map[string]*csrRow) {
+	b.Helper()
+	if len(rows) == 0 {
+		return // everything was filtered out; nothing to report
+	}
+	rep := csrBenchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Samples:    csrEstimateOpts.Samples,
+		Scales:     rows,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_csr.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_csr.json (%s)", summarizeCSR(rows))
+}
+
+// summarizeCSR renders the one-line log summary of a bench run.
+func summarizeCSR(rows map[string]*csrRow) string {
+	out := ""
+	for _, sc := range csrScales {
+		row, ok := rows[sc.name]
+		if !ok {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s: load %.0fms / %d MB file", sc.name, row.LoadSeconds*1000, row.SnapshotBytes>>20)
+	}
+	return out
+}

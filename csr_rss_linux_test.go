@@ -1,0 +1,15 @@
+//go:build linux
+
+package repro
+
+import "syscall"
+
+// maxRSSBytes returns the process's resident-set high-water mark, for the
+// CSR bench report. ru_maxrss is KiB on Linux.
+func maxRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

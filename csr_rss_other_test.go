@@ -1,0 +1,7 @@
+//go:build !linux
+
+package repro
+
+// maxRSSBytes is unavailable off Linux; the bench report records 0 and the
+// heap-delta field remains the portable memory signal.
+func maxRSSBytes() int64 { return 0 }

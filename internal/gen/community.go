@@ -132,17 +132,9 @@ func CommunityGraph(degrees []int, sizes []int, pGlobal float64, rng *rand.Rand)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Strip the all-male gender labels the helper attached.
-	b := graph.NewBuilder(g.NumNodes())
-	g.Edges(func(u, v graph.Node) bool {
-		_ = b.AddEdge(u, v)
-		return true
-	})
-	plain, err := b.Build()
-	if err != nil {
-		return nil, nil, err
-	}
-	return plain, community, nil
+	// Strip the all-male gender labels the helper attached; the topology
+	// arrays are shared, so this is free even at millions of nodes.
+	return graph.StripLabels(g), community, nil
 }
 
 // BimodalProbs draws k community-level probabilities from a two-point

@@ -18,22 +18,12 @@ type Labeler interface {
 }
 
 // Apply attaches the labeler's output to every node of g, returning a new
-// graph with identical structure.
+// graph that shares g's topology (no edge replay — labeling a million-node
+// graph costs only the label pass itself).
 func Apply(g *graph.Graph, l Labeler) (*graph.Graph, error) {
-	b := graph.NewBuilder(g.NumNodes())
-	g.Edges(func(u, v graph.Node) bool {
-		// In-range by construction; AddEdge cannot fail here.
-		_ = b.AddEdge(u, v)
-		return true
+	return graph.ReplaceLabels(g, func(u graph.Node) []graph.Label {
+		return l.Label(g, u)
 	})
-	for u := graph.Node(0); int(u) < g.NumNodes(); u++ {
-		for _, lab := range l.Label(g, u) {
-			if err := b.AddLabel(u, lab); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return b.Build()
 }
 
 // GenderLabeler assigns each node exactly one of two labels (1 = female,

@@ -2,28 +2,47 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
+
+// labelRec is one pending node/label attachment inside a Builder.
+type labelRec struct {
+	u Node
+	l Label
+}
 
 // Builder accumulates edges and labels and produces an immutable Graph.
 // Mirroring the paper's preprocessing (Section 5.1), Build removes edge
 // directions, self-loops and multi-edges.
+//
+// The builder is sized for million-node streaming generation: edges and
+// labels are held in flat append-only arrays (8 bytes per edge, no maps),
+// and Build packs them into CSR with a counting sort plus per-node
+// sort/dedupe instead of a global comparison sort, so generators can stream
+// 10M+ edges through it without materializing intermediate edge maps.
 type Builder struct {
-	n      int
-	edges  []Edge
-	labels map[Node][]Label
+	n     int
+	edges []Edge
+	// labels is the append-only (node, label) record stream; resetAt[u]
+	// (when allocated) discards every record for u that precedes it,
+	// implementing SetLabels without a per-node map.
+	labels  []labelRec
+	resetAt []int32
 }
 
 // NewBuilder returns a builder for a graph over n nodes (IDs 0..n-1).
 func NewBuilder(n int) *Builder {
-	return &Builder{
-		n:      n,
-		labels: make(map[Node][]Label),
-	}
+	return &Builder{n: n}
 }
 
 // NumNodes returns the node count the builder was created with.
 func (b *Builder) NumNodes() int { return b.n }
+
+// Grow pre-allocates capacity for the given number of additional edges, so
+// a generator that knows its edge count up front avoids append re-growth.
+func (b *Builder) Grow(edges int) {
+	b.edges = slices.Grow(b.edges, edges)
+}
 
 // AddEdge records an undirected edge. Self-loops and duplicates are accepted
 // here and removed at Build time, matching the dataset cleanup in the paper.
@@ -41,7 +60,7 @@ func (b *Builder) AddLabel(u Node, l Label) error {
 	if u < 0 || int(u) >= b.n {
 		return fmt.Errorf("graph: node %d out of range [0,%d)", u, b.n)
 	}
-	b.labels[u] = append(b.labels[u], l)
+	b.labels = append(b.labels, labelRec{u: u, l: l})
 	return nil
 }
 
@@ -50,78 +69,146 @@ func (b *Builder) SetLabels(u Node, ls ...Label) error {
 	if u < 0 || int(u) >= b.n {
 		return fmt.Errorf("graph: node %d out of range [0,%d)", u, b.n)
 	}
-	b.labels[u] = append([]Label(nil), ls...)
+	if b.resetAt == nil {
+		b.resetAt = make([]int32, b.n)
+	}
+	b.resetAt[u] = int32(len(b.labels))
+	for _, l := range ls {
+		b.labels = append(b.labels, labelRec{u: u, l: l})
+	}
 	return nil
 }
 
 // Build produces the immutable CSR graph: directions dropped, self-loops and
-// multi-edges removed, adjacency and label lists sorted.
+// multi-edges removed, adjacency and label lists sorted. The builder may be
+// reused (Build does not consume its inputs).
 func (b *Builder) Build() (*Graph, error) {
-	// Sort and deduplicate canonical edges; drop self-loops.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].U != b.edges[j].U {
-			return b.edges[i].U < b.edges[j].U
-		}
-		return b.edges[i].V < b.edges[j].V
-	})
-	dedup := b.edges[:0]
-	var prev Edge
-	havePrev := false
+	g := &Graph{}
+
+	// Pass 1: count incidences per node (self-loops dropped here, duplicate
+	// edges counted and removed after the per-node sort).
+	g.off = make([]int64, b.n+1)
 	for _, e := range b.edges {
 		if e.U == e.V {
-			continue // self-loop
+			continue
 		}
-		if havePrev && e == prev {
-			continue // multi-edge
-		}
-		dedup = append(dedup, e)
-		prev, havePrev = e, true
-	}
-
-	g := &Graph{numEdges: int64(len(dedup))}
-	g.off = make([]int64, b.n+1)
-	for _, e := range dedup {
 		g.off[e.U+1]++
 		g.off[e.V+1]++
 	}
 	for i := 1; i <= b.n; i++ {
 		g.off[i] += g.off[i-1]
 	}
-	g.adj = make([]Node, 2*len(dedup))
-	cursor := make([]int64, b.n)
-	for _, e := range dedup {
-		g.adj[g.off[e.U]+cursor[e.U]] = e.V
-		cursor[e.U]++
-		g.adj[g.off[e.V]+cursor[e.V]] = e.U
-		cursor[e.V]++
-	}
-	for u := 0; u < b.n; u++ {
-		ns := g.adj[g.off[u]:g.off[u+1]]
-		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
-	}
 
-	// Labels: sort + dedupe per node, then pack into CSR.
-	g.labelOff = make([]int32, b.n+1)
-	total := 0
-	cleaned := make(map[Node][]Label, len(b.labels))
-	for u, ls := range b.labels {
-		sorted := append([]Label(nil), ls...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		out := sorted[:0]
-		for i, l := range sorted {
-			if i > 0 && sorted[i-1] == l {
+	// Pass 2: scatter endpoints; off[u] advances to the end of u's segment
+	// and is shifted back afterwards (the classic cursor-free counting sort).
+	g.adj = make([]Node, g.off[b.n])
+	for _, e := range b.edges {
+		if e.U == e.V {
+			continue
+		}
+		g.adj[g.off[e.U]] = e.V
+		g.off[e.U]++
+		g.adj[g.off[e.V]] = e.U
+		g.off[e.V]++
+	}
+	for u := b.n; u > 0; u-- {
+		g.off[u] = g.off[u-1]
+	}
+	g.off[0] = 0
+
+	// Pass 3: sort each adjacency list, drop duplicates, and compact the
+	// array in place (the write cursor never overtakes the read cursor).
+	var w int64
+	read := g.off[0]
+	for u := 0; u < b.n; u++ {
+		seg := g.adj[read:g.off[u+1]]
+		read = g.off[u+1]
+		slices.Sort(seg)
+		g.off[u] = w
+		for i, v := range seg {
+			if i > 0 && seg[i-1] == v {
 				continue
 			}
-			out = append(out, l)
+			g.adj[w] = v
+			w++
 		}
-		cleaned[u] = out
-		total += len(out)
 	}
-	g.labelVal = make([]Label, 0, total)
+	g.off[b.n] = w
+	g.adj = rightSize(g.adj, int(w))
+	g.numEdges = w / 2
+
+	// Labels: drop records superseded by a SetLabels reset, pack the rest
+	// into CSR with the same counting sort, then sort + dedupe per node.
+	g.labelOff = make([]int32, b.n+1)
+	kept := func(i int, rec labelRec) bool {
+		return b.resetAt == nil || int32(i) >= b.resetAt[rec.u]
+	}
+	for i, rec := range b.labels {
+		if kept(i, rec) {
+			g.labelOff[rec.u+1]++
+		}
+	}
+	for i := 1; i <= b.n; i++ {
+		g.labelOff[i] += g.labelOff[i-1]
+	}
+	g.labelVal = make([]Label, g.labelOff[b.n])
+	for i, rec := range b.labels {
+		if kept(i, rec) {
+			g.labelVal[g.labelOff[rec.u]] = rec.l
+			g.labelOff[rec.u]++
+		}
+	}
+	for u := b.n; u > 0; u-- {
+		g.labelOff[u] = g.labelOff[u-1]
+	}
+	g.labelOff[0] = 0
+	var lw int32
+	lread := g.labelOff[0]
 	for u := 0; u < b.n; u++ {
-		g.labelOff[u] = int32(len(g.labelVal))
-		g.labelVal = append(g.labelVal, cleaned[Node(u)]...)
+		seg := g.labelVal[lread:g.labelOff[u+1]]
+		lread = g.labelOff[u+1]
+		slices.Sort(seg)
+		g.labelOff[u] = lw
+		for i, l := range seg {
+			if i > 0 && seg[i-1] == l {
+				continue
+			}
+			g.labelVal[lw] = l
+			lw++
+		}
 	}
-	g.labelOff[b.n] = int32(len(g.labelVal))
+	g.labelOff[b.n] = lw
+	g.labelVal = rightSize(g.labelVal, int(lw))
 	return g, nil
+}
+
+// rightSize trims s to length n, reallocating when dedupe left substantial
+// dead capacity behind (e.g. a SNAP edge list that states every edge in
+// both directions) — the graph is immutable and long-lived, so it should
+// not pin a duplicate-inclusive backing array.
+func rightSize[T any](s []T, n int) []T {
+	if cap(s)-n <= cap(s)/8 {
+		return s[:n]
+	}
+	out := make([]T, n)
+	copy(out, s[:n])
+	return out
+}
+
+// appendSortedUnique appends a sorted, deduplicated copy of ls to dst and
+// returns the extended slice; ls itself is not modified.
+func appendSortedUnique(dst []Label, ls []Label) []Label {
+	start := len(dst)
+	dst = append(dst, ls...)
+	seg := dst[start:]
+	slices.Sort(seg)
+	w := 0
+	for i, l := range seg {
+		if i > 0 && seg[i-1] == l {
+			continue
+		}
+		seg[w] = l
+		w++
+	}
+	return dst[:start+w]
 }

@@ -1,0 +1,102 @@
+package graph
+
+import "fmt"
+
+// CSR exposes the graph's raw compressed-sparse-row arrays:
+//
+//   - off has length NumNodes()+1; the neighbors of node u occupy
+//     adj[off[u]:off[u+1]].
+//   - adj holds each undirected edge twice (u->v and v->u), sorted per node.
+//   - labelOff/labelVal is the per-node label CSR, sorted per node.
+//
+// The returned slices are the graph's own backing arrays, shared, and must
+// not be modified. The snapshot writer serializes them directly; everything
+// else should go through the accessor methods.
+func (g *Graph) CSR() (off []int64, adj []Node, labelOff []int32, labelVal []Label) {
+	return g.off, g.adj, g.labelOff, g.labelVal
+}
+
+// NewFromCSR adopts pre-built CSR arrays as an immutable Graph, taking
+// ownership of the slices (callers must not modify them afterwards). It is
+// the snapshot loader's constructor: the arrays come straight out of a
+// binary file, so the whole load is O(file) with no per-edge work.
+//
+// Only O(NumNodes) structural invariants are verified here: consistent array
+// lengths, monotone offsets, and offset/array agreement. Per-edge invariants
+// (sortedness, symmetry, no self-loops) are NOT re-checked — snapshot
+// integrity is covered by the file checksum, and callers holding arrays of
+// unknown provenance should run Validate afterwards.
+func NewFromCSR(off []int64, adj []Node, labelOff []int32, labelVal []Label) (*Graph, error) {
+	if len(off) == 0 {
+		if len(adj) != 0 || len(labelVal) != 0 {
+			return nil, fmt.Errorf("graph: empty offsets with %d adjacency / %d label entries", len(adj), len(labelVal))
+		}
+		return &Graph{}, nil
+	}
+	n := len(off) - 1
+	if len(labelOff) != n+1 {
+		return nil, fmt.Errorf("graph: label offsets length %d, want %d", len(labelOff), n+1)
+	}
+	if off[0] != 0 || labelOff[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets must start at 0 (got %d and %d)", off[0], labelOff[0])
+	}
+	for u := 0; u < n; u++ {
+		if off[u] > off[u+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at node %d", u)
+		}
+		if labelOff[u] > labelOff[u+1] {
+			return nil, fmt.Errorf("graph: label offsets not monotone at node %d", u)
+		}
+	}
+	if off[n] != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: final offset %d, want adjacency length %d", off[n], len(adj))
+	}
+	if labelOff[n] != int32(len(labelVal)) {
+		return nil, fmt.Errorf("graph: final label offset %d, want label array length %d", labelOff[n], len(labelVal))
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd adjacency length %d (each undirected edge appears twice)", len(adj))
+	}
+	return &Graph{
+		off:      off,
+		adj:      adj,
+		labelOff: labelOff,
+		labelVal: labelVal,
+		numEdges: int64(len(adj)) / 2,
+	}, nil
+}
+
+// StripLabels returns a label-free view of g that shares its topology
+// arrays. It is O(NumNodes) and allocation-light — the generators use it to
+// derive an unlabeled graph without replaying every edge through a Builder.
+func StripLabels(g *Graph) *Graph {
+	n := g.NumNodes()
+	return &Graph{
+		off:      g.off,
+		adj:      g.adj,
+		labelOff: make([]int32, n+1),
+		labelVal: nil,
+		numEdges: g.numEdges,
+	}
+}
+
+// ReplaceLabels returns a graph sharing g's topology with the label sets
+// produced by labelsOf, which is called once per node and may return nil for
+// an unlabeled node. The returned sets are copied, sorted and deduplicated,
+// so callers may reuse their buffer across calls. Topology arrays are shared
+// with g; only the label CSR is rebuilt — O(total labels), no edge replay.
+func ReplaceLabels(g *Graph, labelsOf func(u Node) []Label) (*Graph, error) {
+	n := g.NumNodes()
+	out := &Graph{
+		off:      g.off,
+		adj:      g.adj,
+		labelOff: make([]int32, n+1),
+		numEdges: g.numEdges,
+	}
+	for u := 0; u < n; u++ {
+		ls := labelsOf(Node(u))
+		out.labelVal = appendSortedUnique(out.labelVal, ls)
+		out.labelOff[u+1] = int32(len(out.labelVal))
+	}
+	return out, nil
+}

@@ -7,6 +7,11 @@
 // Node labels follow the paper's model (Section 3): each node carries a set
 // of integer labels (gender, location, degree bucket, ...). An edge (u, v)
 // carries label pair (a, b) if u has a and v has b, or v has a and u has b.
+//
+// Graphs are produced by a streaming Builder (counting-sort packing, flat
+// label records — no per-node maps, so million-node graphs build in
+// seconds) or adopted wholesale from pre-built arrays via NewFromCSR, the
+// constructor behind the graph/snapshot binary format.
 package graph
 
 import (

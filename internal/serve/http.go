@@ -93,6 +93,8 @@ func NewHandler(e *Engine) http.Handler {
 			status := http.StatusInternalServerError
 			if errors.Is(err, ErrQueryBudget) {
 				status = http.StatusPaymentRequired
+			} else if errors.Is(err, ErrBadQuery) {
+				status = http.StatusBadRequest
 			} else if r.Context().Err() != nil {
 				status = 499 // client closed request
 			}

@@ -28,6 +28,10 @@ import (
 // trajectory it would trigger and no cached trajectory can serve it.
 var ErrQueryBudget = errors.New("serve: query budget smaller than the trajectory cost")
 
+// ErrBadQuery marks a structurally invalid query (no pairs, negative
+// parameters); the HTTP layer maps it to 400 Bad Request.
+var ErrBadQuery = errors.New("serve: bad query")
+
 // Methods returns the estimator names a query answer carries, in stable
 // order. The names match repro.Method values.
 func Methods() []string {
@@ -243,10 +247,10 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 		return nil, err
 	}
 	if len(q.Pairs) == 0 {
-		return nil, fmt.Errorf("serve: query needs at least one label pair")
+		return nil, fmt.Errorf("%w: needs at least one label pair", ErrBadQuery)
 	}
 	if q.Budget < 0 || q.Walkers < 0 || q.MaxCost < 0 {
-		return nil, fmt.Errorf("serve: negative Budget/Walkers/MaxCost")
+		return nil, fmt.Errorf("%w: negative Budget/Walkers/MaxCost", ErrBadQuery)
 	}
 	key := trajKey{budget: e.cfg.Budget, walkers: e.cfg.Walkers, seed: e.cfg.Seed}
 	if q.Budget > 0 {

@@ -92,21 +92,24 @@ func readEdgeListInternal(r io.Reader) (*graph.Graph, []int64, map[int64]graph.N
 	return g, orig, toNew, nil
 }
 
+// labelRec is one parsed node/label attachment, in compacted ID space.
+type labelRec struct {
+	u graph.Node
+	l graph.Label
+}
+
 // ReadLabeledGraph parses an edge list and a label file together, returning
-// a labeled graph. Labels referencing unknown node IDs are an error.
+// a labeled graph. Labels referencing unknown node IDs are an error. The
+// label pass attaches to the already-built topology (graph.ReplaceLabels),
+// so the edge list is parsed and packed exactly once.
 func ReadLabeledGraph(edges io.Reader, labels io.Reader) (*graph.Graph, []int64, error) {
 	g, orig, toNew, err := readEdgeListInternal(edges)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Rebuild with labels attached.
-	b := graph.NewBuilder(g.NumNodes())
-	g.Edges(func(u, v graph.Node) bool {
-		_ = b.AddEdge(u, v)
-		return true
-	})
 	sc := bufio.NewScanner(labels)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var recs []labelRec
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -131,15 +134,23 @@ func ReadLabeledGraph(edges io.Reader, labels io.Reader) (*graph.Graph, []int64,
 			if err != nil {
 				return nil, nil, fmt.Errorf("textio: labels line %d: bad label %q: %w", lineNo, f, err)
 			}
-			if err := b.AddLabel(u, graph.Label(l)); err != nil {
-				return nil, nil, err
-			}
+			recs = append(recs, labelRec{u: u, l: graph.Label(l)})
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, fmt.Errorf("textio: reading labels: %w", err)
 	}
-	lg, err := b.Build()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].u < recs[j].u })
+	var buf []graph.Label
+	cursor := 0
+	lg, err := graph.ReplaceLabels(g, func(u graph.Node) []graph.Label {
+		buf = buf[:0]
+		for cursor < len(recs) && recs[cursor].u == u {
+			buf = append(buf, recs[cursor].l)
+			cursor++
+		}
+		return buf
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -11,6 +11,16 @@
 // paper's datasets, and the experiment harness that regenerates every table
 // and figure of the evaluation.
 //
+// Beyond the reproduction, the library scales the estimators toward
+// production use: EstimateOptions.Walkers parallelizes one estimate across
+// concurrent walkers at equal API budget, EstimateManyPairs answers any
+// number of label-pair queries from one recorded walk at zero extra API
+// cost, EstimateToPrecision adaptively extends a single walk until a target
+// precision (or a hard budget cap) is hit, and SaveSnapshot/LoadSnapshot
+// persist preprocessed million-node graphs in the .osnb binary format for
+// millisecond loads. See docs/ARCHITECTURE.md for the layer map and
+// docs/API.md for the HTTP service built on the same machinery.
+//
 // Quick start:
 //
 //	g, _ := repro.GenerateStandIn("pokec", 1.0, 42)
@@ -24,6 +34,7 @@ package repro
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -31,6 +42,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/graph/snapshot"
 	"repro/internal/osn"
 	"repro/internal/sizeest"
 	"repro/internal/stats"
@@ -83,10 +95,41 @@ func StandInNames() []string {
 	return names
 }
 
+// SaveSnapshot writes g to path in the .osnb binary snapshot format
+// (versioned, checksummed CSR; see docs/API.md for the layout). The write
+// is atomic: a crash mid-save never leaves a truncated snapshot behind.
+// Preprocess once with SaveSnapshot, then LoadSnapshot in O(file size) on
+// every subsequent run — the split that makes million-node graphs practical.
+func SaveSnapshot(path string, g *Graph) error {
+	return snapshot.Save(path, g)
+}
+
+// LoadSnapshot reads a .osnb snapshot written by SaveSnapshot. The graph is
+// loaded exactly as saved — no largest-component extraction or other
+// preprocessing is reapplied, since a snapshot is by convention already
+// preprocessed.
+func LoadSnapshot(path string) (*Graph, error) {
+	return snapshot.Load(path)
+}
+
 // LoadGraph reads a SNAP-style edge list plus an optional label file
 // (empty labelPath means unlabeled) and returns the graph's largest
-// connected component, matching the paper's preprocessing.
+// connected component, matching the paper's preprocessing. If edgePath ends
+// in ".osnb" it is instead loaded as a binary snapshot via LoadSnapshot
+// (labelPath must then be empty; snapshots embed their labels and skip the
+// largest-component pass).
 func LoadGraph(edgePath, labelPath string) (*Graph, error) {
+	if filepath.Ext(edgePath) == snapshot.Ext {
+		if labelPath != "" {
+			return nil, fmt.Errorf("repro: %s is a binary snapshot; it embeds labels, drop the label file %s", edgePath, labelPath)
+		}
+		return LoadSnapshot(edgePath)
+	}
+	return loadTextGraph(edgePath, labelPath)
+}
+
+// loadTextGraph is the SNAP-style text loading path of LoadGraph.
+func loadTextGraph(edgePath, labelPath string) (*Graph, error) {
 	ef, err := os.Open(edgePath)
 	if err != nil {
 		return nil, fmt.Errorf("repro: opening edge list: %w", err)
