@@ -62,6 +62,9 @@ func TestCLIFlagValidation(t *testing.T) {
 	edgecount := buildTool(t, dir, "edgecount")
 	census := buildTool(t, dir, "census")
 	reproduce := buildTool(t, dir, "reproduce")
+	mixtime := buildTool(t, dir, "mixtime")
+	genosn := buildTool(t, dir, "genosn")
+	sizeest := buildTool(t, dir, "sizeest")
 
 	runExpectUsageError(t, edgecount, "-walkers", "-dataset", "facebook", "-scale", "0.1", "-walkers", "-3")
 	runExpectUsageError(t, edgecount, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "0")
@@ -75,10 +78,33 @@ func TestCLIFlagValidation(t *testing.T) {
 	runExpectUsageError(t, reproduce, "-walkers", "-table", "4", "-walkers", "-2")
 	runExpectUsageError(t, reproduce, "-scale", "-table", "4", "-scale", "-1")
 
+	// mixtime and genosn follow the same exit-2 contract (PR 4).
+	runExpectUsageError(t, mixtime, "-eps", "-dataset", "facebook", "-scale", "0.1", "-eps", "0")
+	runExpectUsageError(t, mixtime, "-eps", "-dataset", "facebook", "-scale", "0.1", "-eps", "1.5")
+	runExpectUsageError(t, mixtime, "-scale", "-dataset", "facebook", "-scale", "-2")
+	runExpectUsageError(t, mixtime, "-starts", "-dataset", "facebook", "-scale", "0.1", "-starts", "0")
+	runExpectUsageError(t, mixtime, "-maxsteps", "-dataset", "facebook", "-scale", "0.1", "-maxsteps", "0")
+	runExpectUsageError(t, mixtime, "-workers", "-dataset", "facebook", "-scale", "0.1", "-workers", "-1")
+	runExpectUsageError(t, mixtime, "-dataset", "-eps", "1e-3") // no input at all
+	runExpectUsageError(t, genosn, "-scale", "-dataset", "facebook", "-scale", "0")
+	runExpectUsageError(t, genosn, "-census", "-dataset", "facebook", "-scale", "0.1", "-census", "-1")
+	runExpectUsageError(t, genosn, "-dataset", "-dataset", "")
+	runExpectUsageError(t, genosn, "-graph", "-dataset", "facebook", "-text=false")
+
+	// sizeest (new in PR 4) validates like its siblings.
+	runExpectUsageError(t, sizeest, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "0")
+	runExpectUsageError(t, sizeest, "-samples", "-dataset", "facebook", "-scale", "0.1", "-samples", "-5")
+	runExpectUsageError(t, sizeest, "-walkers", "-dataset", "facebook", "-scale", "0.1", "-walkers", "-2")
+	runExpectUsageError(t, sizeest, "-burnin", "-dataset", "facebook", "-scale", "0.1", "-burnin", "-3")
+	runExpectUsageError(t, sizeest, "-gap", "-dataset", "facebook", "-scale", "0.1", "-gap", "-1")
+	runExpectUsageError(t, sizeest, "-dataset", "-budget", "0.1") // no input at all
+
 	// Snapshot input is exclusive with the other sources and embeds labels.
 	runExpectUsageError(t, edgecount, "-graph", "-dataset", "facebook", "-graph", "x.osnb")
 	runExpectUsageError(t, edgecount, "-labels", "-graph", "x.osnb", "-labels", "x.labels")
 	runExpectUsageError(t, census, "-graph", "-edges", "x.edges", "-graph", "x.osnb")
+	runExpectUsageError(t, sizeest, "-graph", "-dataset", "facebook", "-graph", "x.osnb")
+	runExpectUsageError(t, sizeest, "-labels", "-graph", "x.osnb", "-labels", "x.labels")
 }
 
 // TestCLISnapshotWorkflow exercises the preprocess-once/query-many split:
@@ -167,6 +193,14 @@ func TestCLIEndToEnd(t *testing.T) {
 		"-t1", "1", "-t2", "2", "-method", "NeighborExploration-HH", "-budget", "0.2", "-burnin", "100", "-seed", "3")
 	if !strings.Contains(out, "estimate F̂") || !strings.Contains(out, "exact F") {
 		t.Fatalf("edgecount output unexpected:\n%s", out)
+	}
+
+	// 3b. Estimate the graph's size from the same files — the no-priors
+	// first step of a real crawl.
+	sizeest := buildTool(t, dir, "sizeest")
+	out = run(t, sizeest, "-edges", prefix+".edges", "-budget", "0.3", "-burnin", "100", "-seed", "3")
+	if !strings.Contains(out, "estimated |V|") || !strings.Contains(out, "true |E|") {
+		t.Fatalf("sizeest output unexpected:\n%s", out)
 	}
 
 	// 4. Mixing time with the spectral bound.

@@ -1,13 +1,21 @@
 // Command census discovers which label pairs are common in a hidden graph
 // from a single random walk — the exploratory step before committing an API
-// budget to one pair with edgecount. Optionally compares against the exact
-// census when the full graph is available locally.
+// budget to one pair with edgecount. The walk is recorded once and
+// dispatched through the estimation-task registry, so -size rides a graph
+// size estimate along on the SAME walk at zero extra API cost. Optionally
+// compares against the exact census when the full graph is available
+// locally.
+//
+// Serial (-walkers 0/1) estimates at a fixed seed are unchanged from the
+// pre-registry tool; multi-walker runs derive their per-walker streams via
+// the shared batch recording, so a -walkers N run re-randomizes relative to
+// older releases (estimates remain unbiased).
 //
 // Usage:
 //
 //	census -dataset pokec -budget 0.05 -top 15
 //	census -edges graph.txt -labels labels.txt -budget 0.02
-//	census -graph pokec.osnb -budget 0.01
+//	census -graph pokec.osnb -budget 0.01 -size
 package main
 
 import (
@@ -31,6 +39,7 @@ func main() {
 		top     = flag.Int("top", 20, "how many pairs to print")
 		seed    = flag.Int64("seed", 1, "random seed")
 		walkers = flag.Int("walkers", 0, "concurrent walkers splitting the census walk (0/1 = serial)")
+		size    = flag.Bool("size", false, "also estimate |V| and |E| from the same walk (free: the trajectory is shared)")
 		exactF  = flag.Bool("exact", true, "also print the exact counts for comparison")
 	)
 	flag.Parse()
@@ -83,16 +92,33 @@ func main() {
 	}
 	fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumNodes(), g.NumEdges())
 
-	pairs, err := repro.DiscoverLabelPairsOpts(g, repro.CensusOptions{
-		Budget:  *budget,
+	// One recorded walk answers every requested task kind. The sample
+	// count keeps the historical census floor of 10 — a near-zero budget
+	// on a tiny graph should still see a handful of edges.
+	samples := int(*budget * float64(g.NumNodes()))
+	if samples < 10 {
+		samples = 10
+	}
+	reqs := []repro.TaskRequest{{Kind: "census"}}
+	if *size {
+		reqs = append(reqs, repro.TaskRequest{Kind: "size"})
+	}
+	batch, err := repro.EstimateBatch(g, repro.MultiPairOptions{
+		Samples: samples,
 		Seed:    *seed,
 		Walkers: *walkers,
-	})
+	}, reqs...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "census:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("discovered %d label pairs from a %.1f%%|V| walk\n\n", len(pairs), *budget*100)
+	if err := batch.Answers[0].Err; err != nil {
+		fmt.Fprintln(os.Stderr, "census:", err)
+		os.Exit(1)
+	}
+	pairs := batch.Answers[0].Census
+	fmt.Printf("discovered %d label pairs from a %.1f%%|V| walk (%d API calls, shared by %d task(s))\n\n",
+		len(pairs), *budget*100, batch.APICalls, len(batch.Answers))
 
 	var truth map[graph.LabelPair]int64
 	if *exactF {
@@ -128,6 +154,19 @@ func main() {
 		if missed > 0 {
 			fmt.Printf("\n%d rare pairs never hit by the walk — estimate those with\n", missed)
 			fmt.Println("NeighborExploration (edgecount -method NeighborExploration-HH).")
+		}
+	}
+
+	if *size {
+		// The size rider is free but can fail on its own (too short a walk
+		// for collisions) — the census above is unaffected.
+		if err := batch.Answers[1].Err; err != nil {
+			fmt.Fprintf(os.Stderr, "\ncensus: size estimate unavailable from this walk: %v\n", err)
+		} else {
+			sz := batch.Answers[1].Size
+			fmt.Printf("\nsize estimate off the same walk (0 extra API calls):\n")
+			fmt.Printf("  |V| ≈ %.0f (true %d), |E| ≈ %.0f (true %d), mean degree ≈ %.2f, %d collisions\n",
+				sz.Nodes, g.NumNodes(), sz.Edges, g.NumEdges(), sz.MeanDegree, sz.Collisions)
 		}
 	}
 }

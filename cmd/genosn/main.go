@@ -38,8 +38,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "genosn: "+format+"\n", args...)
 		os.Exit(2)
 	}
+	if *dataset == "" {
+		fail("-dataset must name a stand-in (facebook, googleplus, pokec, orkut, livejournal)")
+	}
 	if *scale <= 0 {
 		fail("-scale must be positive, got %g", *scale)
+	}
+	if *census < 0 {
+		fail("-census must be non-negative (0 = skip), got %d", *census)
 	}
 	if !*text && *graphOut == "" {
 		fail("nothing to write: -text=false needs -graph")

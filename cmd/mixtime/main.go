@@ -31,10 +31,29 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mixtime: "+format+"\n", args...)
+		os.Exit(2)
+	}
 	if *dataset == "" && *edges == "" {
 		fmt.Fprintln(os.Stderr, "mixtime: need -dataset or -edges")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *eps <= 0 || *eps >= 1 {
+		fail("-eps must be a total-variation threshold in (0, 1), got %g", *eps)
+	}
+	if *scale <= 0 {
+		fail("-scale must be positive, got %g", *scale)
+	}
+	if *starts < 1 {
+		fail("-starts must be at least 1, got %d", *starts)
+	}
+	if *maxSteps < 1 {
+		fail("-maxsteps must be at least 1, got %d", *maxSteps)
+	}
+	if *workers < 0 {
+		fail("-workers must be non-negative (0 = one per core), got %d", *workers)
 	}
 	var (
 		g   *repro.Graph

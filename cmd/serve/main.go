@@ -1,9 +1,13 @@
-// Command serve runs the label-pair estimation query service: an HTTP JSON
-// API over one graph behind the restricted access model, answering many
-// concurrent label-pair queries from shared random-walk trajectories. One
-// recorded walk serves every pair any client asks about at a given (budget,
-// walkers, seed) configuration; queries arriving within the batching window
-// share a single fleet run, and finished trajectories stay cached for -ttl.
+// Command serve runs the estimation query service: an HTTP JSON API over
+// one graph behind the restricted access model, answering many concurrent
+// estimation queries from shared random-walk trajectories. Every query
+// names an estimation-task kind — label-pair counts ("pairs", the default),
+// graph size ("size"), a label-pair census ("census") or motif counts
+// ("motif") — and one recorded walk serves EVERY kind any client asks about
+// at a given (budget, walkers, seed) configuration: the kind is not part of
+// the trajectory cache key, so a mixed-kind batch costs the API calls of a
+// single estimate. Queries arriving within the batching window share a
+// single fleet run, and finished trajectories stay cached for -ttl.
 //
 // Usage:
 //
@@ -16,6 +20,9 @@
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/methods
 //	curl -s -X POST localhost:8080/estimate -d '{"pairs": [[1,2],[2,3]]}'
+//	curl -s -X POST localhost:8080/estimate -d '{"kind": "size"}'
+//	curl -s -X POST localhost:8080/estimate -d '{"kind": "census", "top": 10}'
+//	curl -s -X POST localhost:8080/estimate -d '{"kind": "motif", "motif": "triangles", "pairs": [[1,2]]}'
 package main
 
 import (

@@ -39,61 +39,53 @@ type CensusResult struct {
 //
 // An edge with multi-label endpoints contributes one hit to every label
 // pair it carries, matching exact.LabelPairCensus.
+//
+// The walk is recorded as a shared Trajectory and replayed through
+// CensusFromTrajectory — the same sample stream the historical private
+// census loop drew (identical RNG consumption), so sample-driven estimates
+// and hit counts are bit-identical to the pre-registry implementation.
+// APICalls now reports the trajectory's recording cost, which prepays each
+// arrived-at node's friend list (the NeighborExploration charging pattern)
+// so the same recording can also serve degree-reading tasks; a census-only
+// walk would have paid for one fewer list.
 func EstimateCensus(s *osn.Session, k int, opts Options) (CensusResult, error) {
 	var res CensusResult
-	if err := opts.validate(); err != nil {
-		return res, err
-	}
 	if k <= 0 {
 		return res, fmt.Errorf("core: EstimateCensus needs k > 0, got %d", k)
 	}
-	if opts.Walkers > 1 {
-		return estimateCensusParallel(s, k, opts)
-	}
-	w, err := newBurnedInWalk(s, opts)
+	traj, err := RecordTrajectory(s, k, opts)
 	if err != nil {
 		return res, err
 	}
+	return CensusFromTrajectory(traj, 0)
+}
 
-	ctx := opts.ctx()
+// CensusFromTrajectory replays a recorded trajectory through the census
+// estimator: every recorded transition is a uniform edge sample, label reads
+// are free, so the census rides along on any trajectory at zero additional
+// API cost. top > 0 truncates the (descending) result to the top rows.
+// Per-walker hit counts are summed in walker order, exactly like the
+// historical fleet census.
+func CensusFromTrajectory(t *Trajectory, top int) (CensusResult, error) {
+	var res CensusResult
+	if t == nil || len(t.Steps) == 0 {
+		return res, fmt.Errorf("core: census replay needs a recorded trajectory")
+	}
+	if top < 0 {
+		return res, fmt.Errorf("core: census replay needs top >= 0, got %d", top)
+	}
 	hits := make(map[graph.LabelPair]int)
 	seen := make(map[graph.LabelPair]struct{}, 8)
-	prev := w.Current()
-	maxIters := k
-	if opts.BudgetDriven {
-		maxIters = 50 * k
-	}
-	for iter := 0; iter < maxIters; iter++ {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
-		if opts.BudgetDriven && s.Calls() >= int64(k) {
-			break
-		}
-		cur, err := w.Step()
-		if err != nil {
-			return res, fmt.Errorf("core: EstimateCensus step %d: %w", iter, err)
-		}
-		u, v := prev, cur
-		prev = cur
-		res.Samples++
-		clear(seen)
-		for _, a := range s.Labels(u) {
-			for _, b := range s.Labels(v) {
-				p := graph.LabelPair{T1: a, T2: b}.Canonical()
-				if _, dup := seen[p]; dup {
-					continue
-				}
-				seen[p] = struct{}{}
-				hits[p]++
-			}
+	for _, steps := range t.Steps {
+		for _, st := range steps {
+			res.Samples++
+			censusHits(t.labels, st.Prev, st.Node, hits, seen)
 		}
 	}
 	if res.Samples == 0 {
-		return res, fmt.Errorf("core: EstimateCensus drew no samples")
+		return res, errCensusEmpty()
 	}
-
-	numEdges := float64(s.NumEdges())
+	numEdges := float64(t.NumEdges)
 	res.Pairs = make([]PairEstimate, 0, len(hits))
 	for p, h := range hits {
 		res.Pairs = append(res.Pairs, PairEstimate{
@@ -103,7 +95,27 @@ func EstimateCensus(s *osn.Session, k int, opts Options) (CensusResult, error) {
 		})
 	}
 	sortPairEstimates(res.Pairs)
-	res.APICalls = s.Calls()
-	res.Walkers = 1
+	if top > 0 && top < len(res.Pairs) {
+		res.Pairs = res.Pairs[:top]
+	}
+	res.APICalls = t.APICalls
+	res.Walkers = t.Walkers
 	return res, nil
+}
+
+// censusHits credits one hit to every label pair the edge (u, v) carries,
+// deduplicating pairs that arise from several label combinations of the
+// same edge.
+func censusHits(labels LabelReader, u, v graph.Node, hits map[graph.LabelPair]int, seen map[graph.LabelPair]struct{}) {
+	clear(seen)
+	for _, a := range labels.Labels(u) {
+		for _, b := range labels.Labels(v) {
+			p := graph.LabelPair{T1: a, T2: b}.Canonical()
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			hits[p]++
+		}
+	}
 }

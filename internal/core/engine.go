@@ -186,84 +186,6 @@ func neighborExplorationParallel(s *osn.Session, pair graph.LabelPair, k int, op
 	return res, nil
 }
 
-// estimateCensusParallel is EstimateCensus with W concurrent walkers: the
-// per-walker pair-hit maps are summed, so the pooled census is the same
-// HH estimator over the union of all walkers' edge samples.
-func estimateCensusParallel(s *osn.Session, k int, opts Options) (CensusResult, error) {
-	var res CensusResult
-	W := clampWalkers(opts.Walkers, k)
-	perHits := make([]map[graph.LabelPair]int, W)
-	perCount := make([]int, W)
-
-	cfg := nodeFleetConfig(s, k, opts, W, func(r *walk.FleetRun[graph.Node]) error {
-		hits := make(map[graph.LabelPair]int)
-		seen := make(map[graph.LabelPair]struct{}, 8)
-		count := 0
-		prev := r.W.Current()
-		maxIters := r.MaxIters()
-		for iter := 0; iter < maxIters; iter++ {
-			if err := r.Ctx.Err(); err != nil {
-				return err
-			}
-			if r.Done(count) {
-				break
-			}
-			cur, err := r.W.Step()
-			if err != nil {
-				if stopWalker(err) {
-					break
-				}
-				return err
-			}
-			u, v := prev, cur
-			prev = cur
-			count++
-			clear(seen)
-			for _, a := range r.Meter.Labels(u) {
-				for _, b := range r.Meter.Labels(v) {
-					p := graph.LabelPair{T1: a, T2: b}.Canonical()
-					if _, dup := seen[p]; dup {
-						continue
-					}
-					seen[p] = struct{}{}
-					hits[p]++
-				}
-			}
-		}
-		perHits[r.ID] = hits
-		perCount[r.ID] = count
-		return nil
-	})
-	calls, err := walk.RunFleet(cfg)
-	if err != nil {
-		return res, err
-	}
-
-	hits := make(map[graph.LabelPair]int)
-	for i, wh := range perHits {
-		res.Samples += perCount[i]
-		for p, h := range wh {
-			hits[p] += h
-		}
-	}
-	if res.Samples == 0 {
-		return res, errCensusEmpty()
-	}
-	numEdges := float64(s.NumEdges())
-	res.Pairs = make([]PairEstimate, 0, len(hits))
-	for p, h := range hits {
-		res.Pairs = append(res.Pairs, PairEstimate{
-			Pair:     p,
-			Estimate: numEdges * float64(h) / float64(res.Samples),
-			Hits:     h,
-		})
-	}
-	sortPairEstimates(res.Pairs)
-	res.APICalls = sum64(calls)
-	res.Walkers = W
-	return res, nil
-}
-
 // sortPairEstimates orders a census descending by estimate, breaking ties
 // by pair for determinism.
 func sortPairEstimates(pairs []PairEstimate) {

@@ -24,6 +24,21 @@ import (
 // run bit for bit in sample-driven mode (in budget-driven mode NeighborSample
 // alone would have spent the neighbor-fetch call on one extra walk step).
 
+// TrajStart is one walker's post-burn-in starting state: the node its first
+// recorded step moves from, with that node's degree and friend list.
+// Recording it lets replays that need BOTH endpoints' neighborhoods (e.g.
+// triangle counting) process the first step too. Fetching it prepays the
+// first step's neighbor-list charge, so the recording bill is unchanged.
+type TrajStart struct {
+	// Node is the walker's position when sampling began.
+	Node graph.Node
+	// Degree is d(Node).
+	Degree int
+	// Neighbors is Node's friend list. Shared with the session's response
+	// store; must not be modified.
+	Neighbors []graph.Node
+}
+
 // TrajStep is one recorded post-burn-in walk transition: the traversed edge,
 // plus the arrived-at node's degree and friend list so every estimator of
 // both algorithms can be replayed without further API access.
@@ -39,13 +54,17 @@ type TrajStep struct {
 	Neighbors []graph.Node
 }
 
-// labelAPI is the free slice of the access model a replay needs: label reads
-// cost nothing (see the osn package comment), so replaying a trajectory for
-// another pair charges no API calls.
-type labelAPI interface {
+// LabelReader is the free slice of the access model a replay needs: label
+// reads cost nothing (see the osn package comment), so replaying a
+// trajectory for another pair — or another task kind entirely — charges no
+// API calls.
+type LabelReader interface {
 	Labels(u graph.Node) []graph.Label
 	HasLabel(u graph.Node, l graph.Label) bool
 }
+
+// labelAPI is kept as the historical internal name.
+type labelAPI = LabelReader
 
 // Trajectory is a recorded multi-walker sample stream, reusable across label
 // pairs. It is immutable once recorded: EstimateManyPairs only reads it, so
@@ -54,6 +73,9 @@ type Trajectory struct {
 	// Steps holds each walker's recorded transitions in walk order; serial
 	// recordings have exactly one stream.
 	Steps [][]TrajStep
+	// Starts holds each walker's post-burn-in start state, index-aligned
+	// with Steps.
+	Starts []TrajStart
 	// Walkers is the fleet size the trajectory was recorded with.
 	Walkers int
 	// APICalls is the total billed sampling cost of the recording (summed
@@ -81,6 +103,11 @@ func (t *Trajectory) Samples() int {
 	}
 	return n
 }
+
+// Labels exposes the free label-read surface a replay may consult. The
+// estimation tasks registered in other packages (size, motif) replay through
+// it without touching the metered API.
+func (t *Trajectory) Labels() LabelReader { return t.labels }
 
 // PairEstimates is one label pair's full replay: every estimator of both
 // algorithms computed from the shared trajectory. The APICalls fields of both
@@ -114,6 +141,10 @@ func RecordTrajectory(s *osn.Session, k int, opts Options) (*Trajectory, error) 
 	}
 
 	ctx := opts.ctx()
+	start, err := recordStart(s, w.Current())
+	if err != nil {
+		return nil, err
+	}
 	steps := make([]TrajStep, 0, k)
 	prev := w.Current()
 	maxIters := k
@@ -124,7 +155,12 @@ func RecordTrajectory(s *osn.Session, k int, opts Options) (*Trajectory, error) 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if opts.BudgetDriven && s.Calls() >= int64(k) {
+		// A budget-driven recording always takes at least one step, even
+		// when recordStart's prepaid call already consumed a budget of 1 —
+		// matching the historical loop, which checked the budget only
+		// after its first iteration's spend. The overshoot is the same one
+		// trailing-iteration overshoot the serial algorithms have.
+		if opts.BudgetDriven && s.Calls() >= int64(k) && len(steps) > 0 {
 			break
 		}
 		cur, err := w.Step()
@@ -144,6 +180,7 @@ func RecordTrajectory(s *osn.Session, k int, opts Options) (*Trajectory, error) 
 	}
 	return &Trajectory{
 		Steps:          [][]TrajStep{steps},
+		Starts:         []TrajStart{start},
 		Walkers:        1,
 		APICalls:       s.Calls(),
 		PerWalkerCalls: []int64{s.Calls()},
@@ -155,6 +192,23 @@ func RecordTrajectory(s *osn.Session, k int, opts Options) (*Trajectory, error) 
 	}, nil
 }
 
+// recordStart fetches the start node's friend list through the metered
+// access handle. The charge is exactly the one the first sampling Step would
+// have paid for the same list (every later Step hits the crawl cache because
+// the previous iteration's Degree call fetched the arrived-at node), so
+// recording the start state leaves the trajectory's total bill unchanged.
+func recordStart(api osn.API, u graph.Node) (TrajStart, error) {
+	d, err := api.Degree(u)
+	if err != nil {
+		return TrajStart{}, fmt.Errorf("core: recording start node %d: %w", u, err)
+	}
+	ns, err := api.Neighbors(u) // crawl-cache hit after Degree: free
+	if err != nil {
+		return TrajStart{}, err
+	}
+	return TrajStart{Node: u, Degree: d, Neighbors: ns}, nil
+}
+
 // recordTrajectoryParallel records W concurrent walkers over one shared
 // session, mirroring the fleet loops of engine.go (same RNG consumption per
 // iteration, so for a fixed seed the recorded streams are the exact streams a
@@ -162,8 +216,16 @@ func RecordTrajectory(s *osn.Session, k int, opts Options) (*Trajectory, error) 
 func recordTrajectoryParallel(s *osn.Session, k int, opts Options) (*Trajectory, error) {
 	W := clampWalkers(opts.Walkers, k)
 	perSteps := make([][]TrajStep, W)
+	perStarts := make([]TrajStart, W)
 
 	cfg := nodeFleetConfig(s, k, opts, W, func(r *walk.FleetRun[graph.Node]) error {
+		// Fleet meters are uncapped (budget shares are enforced softly by
+		// Done checks), so this can only fail on a real source error.
+		start, err := recordStart(r.Meter, r.W.Current())
+		if err != nil {
+			return err
+		}
+		perStarts[r.ID] = start
 		steps := make([]TrajStep, 0, r.Quota)
 		prev := r.W.Current()
 		maxIters := r.MaxIters()
@@ -171,7 +233,10 @@ func recordTrajectoryParallel(s *osn.Session, k int, opts Options) (*Trajectory,
 			if err := r.Ctx.Err(); err != nil {
 				return err
 			}
-			if r.Done(len(steps)) {
+			// As in the serial loop: the start prefetch must not starve a
+			// walker whose budget share it consumed — every walker records
+			// at least one step.
+			if len(steps) > 0 && r.Done(len(steps)) {
 				break
 			}
 			cur, err := r.W.Step()
@@ -207,6 +272,7 @@ func recordTrajectoryParallel(s *osn.Session, k int, opts Options) (*Trajectory,
 	}
 	return &Trajectory{
 		Steps:          perSteps,
+		Starts:         perStarts,
 		Walkers:        W,
 		APICalls:       sum64(calls),
 		PerWalkerCalls: calls,
@@ -248,7 +314,7 @@ func EstimateManyPairs(t *Trajectory, pairs []graph.LabelPair) ([]PairEstimates,
 				target := t.labels.HasLabel(e.U, pair.T1) && t.labels.HasLabel(e.V, pair.T2) ||
 					t.labels.HasLabel(e.U, pair.T2) && t.labels.HasLabel(e.V, pair.T1)
 				es = append(es, edgeSample{e: e, target: target})
-				tt, explores := replayTargetDegree(t.labels, st, pair)
+				tt, explores := ReplayTargetDegree(t.labels, st, pair)
 				if explores && !explored[st.Node] {
 					explored[st.Node] = true
 					explorations++
@@ -281,9 +347,11 @@ func EstimateManyPairs(t *Trajectory, pairs []graph.LabelPair) ([]PairEstimates,
 	return out, nil
 }
 
-// replayTargetDegree recomputes T(u) for a recorded step from the step's
-// stored friend list, mirroring targetDegree without any API access.
-func replayTargetDegree(labels labelAPI, st TrajStep, pair graph.LabelPair) (int, bool) {
+// ReplayTargetDegree recomputes T(u) for a recorded step from the step's
+// stored friend list, mirroring targetDegree without any API access. The
+// boolean reports whether the node carries a target label (i.e. whether a
+// live NeighborExploration run would have explored its neighborhood).
+func ReplayTargetDegree(labels LabelReader, st TrajStep, pair graph.LabelPair) (int, bool) {
 	hasT1 := labels.HasLabel(st.Node, pair.T1)
 	hasT2 := labels.HasLabel(st.Node, pair.T2)
 	if !hasT1 && !hasT2 {
@@ -314,6 +382,7 @@ type Recorder struct {
 	w      walk.Walker[graph.Node]
 	opts   Options
 	prev   graph.Node
+	start  TrajStart
 	steps  []TrajStep
 	nNodes int
 	nEdges int64
@@ -343,11 +412,16 @@ func NewRecorder(s *osn.Session, budget int64, opts Options) (*Recorder, error) 
 		return nil, fmt.Errorf("core: burn-in: %w", err)
 	}
 	m.Reset(budget)
+	ts, err := recordStart(m, w.Current())
+	if err != nil {
+		return nil, err
+	}
 	return &Recorder{
 		m:      m,
 		w:      w,
 		opts:   opts,
 		prev:   w.Current(),
+		start:  ts,
 		nNodes: s.NumNodes(),
 		nEdges: s.NumEdges(),
 		labels: s,
@@ -404,6 +478,7 @@ func (r *Recorder) Samples() int { return len(r.steps) }
 func (r *Recorder) Trajectory() *Trajectory {
 	return &Trajectory{
 		Steps:          [][]TrajStep{r.steps},
+		Starts:         []TrajStart{r.start},
 		Walkers:        1,
 		APICalls:       r.m.Calls(),
 		PerWalkerCalls: []int64{r.m.Calls()},

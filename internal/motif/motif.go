@@ -1,19 +1,40 @@
 // Package motif extends the paper's estimator framework to the future-work
 // direction its conclusion names: "estimate some other types of graph
 // properties such as numbers of wedges and triangles refined by users'
-// labels in OSNs". Both estimators reuse the core sampling machinery —
-// restricted API access, single burned-in walk, Hansen–Hurwitz weighting —
-// and are validated against the exact counters in internal/exact.
+// labels in OSNs". It also covers the unlabeled (global) wedge and triangle
+// counts. All estimators are validated against the exact counters in
+// internal/exact.
+//
+// Since the task-registry refactor the estimators are pure replays over a
+// recorded core.Trajectory (the recording keeps each step's degree and
+// friend list, plus each walker's start state, so both endpoints of every
+// traversed edge are known). LabeledWedges/LabeledTriangles record one walk
+// and replay it; callers holding a trajectory use the FromTrajectory
+// variants — the estimation task registered under kind "motif" — to ride
+// along on any recording at zero additional API cost, with parallel
+// walkers, cancellation, budget caps and confidence intervals inherited
+// from the shared fleet machinery. Single-walker results are bit-identical
+// to the historical private walk loops (pinned by the package golden test).
 package motif
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/graph"
 	"repro/internal/osn"
-	"repro/internal/walk"
+)
+
+// ciLevel is the nominal coverage of the multi-walker intervals.
+const ciLevel = 0.95
+
+// Shape names the supported motif shapes — the registry's Motif parameter.
+const (
+	ShapeWedges    = "wedges"
+	ShapeTriangles = "triangles"
 )
 
 // Options mirrors core.Options for the motif estimators.
@@ -24,6 +45,14 @@ type Options struct {
 	Rng *rand.Rand
 	// Start, when non-negative, fixes the walk's start node.
 	Start graph.Node
+	// Walkers is the number of concurrent walkers splitting the sample
+	// count (see core.Options.Walkers); 0 or 1 records serially, which is
+	// bit-identical to the historical single-walk implementation.
+	Walkers int
+	// Seed roots the per-walker RNG streams when Walkers >= 2.
+	Seed int64
+	// Ctx cancels a run in flight; nil means context.Background().
+	Ctx context.Context
 }
 
 func (o *Options) validate() error {
@@ -33,7 +62,22 @@ func (o *Options) validate() error {
 	if o.BurnIn < 0 {
 		return fmt.Errorf("motif: negative burn-in %d", o.BurnIn)
 	}
+	if o.Walkers < 0 {
+		return fmt.Errorf("motif: negative walker count %d", o.Walkers)
+	}
 	return nil
+}
+
+// coreOptions maps Options onto the shared recording configuration.
+func (o *Options) coreOptions() core.Options {
+	return core.Options{
+		BurnIn:  o.BurnIn,
+		Rng:     o.Rng,
+		Start:   o.Start,
+		Walkers: o.Walkers,
+		Seed:    o.Seed,
+		Ctx:     o.Ctx,
+	}
 }
 
 // Result reports one motif estimation run.
@@ -42,34 +86,29 @@ type Result struct {
 	Estimate float64
 	// Samples is the number of walk samples used.
 	Samples int
-	// APICalls is the number of charged API calls during sampling.
+	// APICalls is the number of charged API calls during sampling (summed
+	// per-walker bills for a multi-walker run).
 	APICalls int64
+	// Walkers is how many concurrent walkers produced the sample.
+	Walkers int
+	// CI is a variance-based confidence interval from the per-walker
+	// estimates; zero (Valid() == false) on serial runs.
+	CI core.CI
 }
 
-// startWalk builds a burned-in simple walk (shared by both estimators).
-func startWalk(s *osn.Session, o Options) (*walk.Simple[graph.Node], error) {
-	start := o.Start
-	if start < 0 {
-		for attempts := 0; ; attempts++ {
-			start = s.RandomNode(o.Rng)
-			d, err := s.Degree(start)
-			if err != nil {
-				return nil, err
-			}
-			if d > 0 {
-				break
-			}
-			if attempts > 1000 {
-				return nil, fmt.Errorf("motif: no non-isolated start node found")
-			}
-		}
+// record runs one recorded walk for k samples under opts.
+func record(s *osn.Session, k int, opts Options) (*core.Trajectory, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
-	w := walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, o.Rng)
-	if err := walk.Burnin[graph.Node](w, o.BurnIn); err != nil {
-		return nil, fmt.Errorf("motif: burn-in: %w", err)
+	if k <= 0 {
+		return nil, fmt.Errorf("motif: need k > 0 samples, got %d", k)
 	}
-	s.ResetAccounting()
-	return w, nil
+	traj, err := core.RecordTrajectory(s, k, opts.coreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("motif: %w", err)
+	}
+	return traj, nil
 }
 
 // LabeledWedges estimates the number of wedges (paths of length two) whose
@@ -78,42 +117,11 @@ func startWalk(s *osn.Session, o Options) (*walk.Simple[graph.Node], error) {
 // by random walk and Hansen–Hurwitz-weights the per-node wedge count
 // C(T(u), 2) by the stationary probability d(u)/2|E|.
 func LabeledWedges(s *osn.Session, pair graph.LabelPair, k int, opts Options) (Result, error) {
-	var res Result
-	if err := opts.validate(); err != nil {
-		return res, err
-	}
-	if k <= 0 {
-		return res, fmt.Errorf("motif: LabeledWedges needs k > 0, got %d", k)
-	}
-	w, err := startWalk(s, opts)
+	traj, err := record(s, k, opts)
 	if err != nil {
-		return res, err
+		return Result{}, err
 	}
-	numEdges := float64(s.NumEdges())
-	hh := &estimate.HansenHurwitz{}
-	for i := 0; i < k; i++ {
-		u, err := w.Step()
-		if err != nil {
-			return res, fmt.Errorf("motif: LabeledWedges step %d: %w", i, err)
-		}
-		res.Samples++
-		d, err := s.Degree(u)
-		if err != nil {
-			return res, err
-		}
-		t, err := targetDegree(s, u, pair)
-		if err != nil {
-			return res, err
-		}
-		wedges := float64(t) * float64(t-1) / 2
-		// HH term: value / π(u) with π(u) = d(u)/2|E|.
-		if err := hh.Add(wedges*2*numEdges/float64(d), 1); err != nil {
-			return res, err
-		}
-	}
-	res.Estimate = hh.Estimate()
-	res.APICalls = s.Calls()
-	return res, nil
+	return WedgesFromTrajectory(traj, &pair)
 }
 
 // LabeledTriangles estimates the number of triangles containing at least
@@ -123,56 +131,116 @@ func LabeledWedges(s *osn.Session, pair graph.LabelPair, k int, opts Options) (R
 // credits each triangle 1/t where t is the triangle's number of target
 // edges, so triangles with several target edges are not over-counted.
 func LabeledTriangles(s *osn.Session, pair graph.LabelPair, k int, opts Options) (Result, error) {
-	var res Result
-	if err := opts.validate(); err != nil {
-		return res, err
-	}
-	if k <= 0 {
-		return res, fmt.Errorf("motif: LabeledTriangles needs k > 0, got %d", k)
-	}
-	w, err := startWalk(s, opts)
+	traj, err := record(s, k, opts)
 	if err != nil {
-		return res, err
+		return Result{}, err
 	}
-	numEdges := float64(s.NumEdges())
+	return TrianglesFromTrajectory(traj, &pair)
+}
+
+// WedgesFromTrajectory replays a recorded trajectory through the wedge
+// estimator at zero additional API cost. A nil pair counts all wedges;
+// otherwise only wedges whose both edges carry the pair. Walker streams
+// pool in walker order; serial replays are bit-identical to the historical
+// sampling loop.
+func WedgesFromTrajectory(t *core.Trajectory, pair *graph.LabelPair) (Result, error) {
+	var res Result
+	if t == nil || t.Samples() == 0 {
+		return res, fmt.Errorf("motif: wedge replay needs a recorded trajectory")
+	}
+	labels := t.Labels()
+	numEdges := float64(t.NumEdges)
 	hh := &estimate.HansenHurwitz{}
-	prev := w.Current()
-	for i := 0; i < k; i++ {
-		cur, err := w.Step()
-		if err != nil {
-			return res, fmt.Errorf("motif: LabeledTriangles step %d: %w", i, err)
-		}
-		u, v := prev, cur
-		prev = cur
-		res.Samples++
-		value := 0.0
-		if isTarget(s, u, v, pair) {
-			value, err = triangleCredit(s, u, v, pair)
-			if err != nil {
+	perWalker := make([]float64, 0, len(t.Steps))
+	for _, steps := range t.Steps {
+		whh := &estimate.HansenHurwitz{}
+		for _, st := range steps {
+			res.Samples++
+			tt := st.Degree
+			if pair != nil {
+				tt, _ = core.ReplayTargetDegree(labels, st, *pair)
+			}
+			wedges := float64(tt) * float64(tt-1) / 2
+			// HH term: value / π(u) with π(u) = d(u)/2|E|.
+			term := wedges * 2 * numEdges / float64(st.Degree)
+			if err := hh.Add(term, 1); err != nil {
+				return res, err
+			}
+			if err := whh.Add(term, 1); err != nil {
 				return res, err
 			}
 		}
-		// Sampled edge is uniform over E: π = 1/|E|.
-		if err := hh.Add(value*numEdges, 1); err != nil {
-			return res, err
+		if len(steps) > 0 {
+			perWalker = append(perWalker, whh.Estimate())
 		}
 	}
 	res.Estimate = hh.Estimate()
-	res.APICalls = s.Calls()
+	res.APICalls = t.APICalls
+	res.Walkers = t.Walkers
+	if t.Walkers > 1 {
+		res.CI = estimate.CIFromEstimates(perWalker, ciLevel)
+	}
+	return res, nil
+}
+
+// TrianglesFromTrajectory replays a recorded trajectory through the
+// triangle estimator at zero additional API cost. A nil pair counts all
+// triangles (each credited 1/3 per sampled edge); otherwise triangles
+// containing at least one target edge, credited 1/t per sampled target edge
+// where t is the triangle's target-edge count. It needs the trajectory's
+// per-walker start states (recorded since the task-registry refactor) to
+// know both endpoints of each walker's first edge.
+func TrianglesFromTrajectory(t *core.Trajectory, pair *graph.LabelPair) (Result, error) {
+	var res Result
+	if t == nil || t.Samples() == 0 {
+		return res, fmt.Errorf("motif: triangle replay needs a recorded trajectory")
+	}
+	if len(t.Starts) != len(t.Steps) {
+		return res, fmt.Errorf("motif: trajectory lacks per-walker start states; re-record it")
+	}
+	labels := t.Labels()
+	numEdges := float64(t.NumEdges)
+	hh := &estimate.HansenHurwitz{}
+	perWalker := make([]float64, 0, len(t.Steps))
+	for wi, steps := range t.Steps {
+		whh := &estimate.HansenHurwitz{}
+		prevNeighbors := t.Starts[wi].Neighbors
+		for _, st := range steps {
+			res.Samples++
+			u, v := st.Prev, st.Node
+			value := 0.0
+			if pair == nil {
+				value = triangleCreditAll(prevNeighbors, st.Neighbors)
+			} else if isTarget(labels, u, v, *pair) {
+				value = triangleCredit(labels, u, v, prevNeighbors, st.Neighbors, *pair)
+			}
+			// Sampled edge is uniform over E: π = 1/|E|.
+			term := value * numEdges
+			if err := hh.Add(term, 1); err != nil {
+				return res, err
+			}
+			if err := whh.Add(term, 1); err != nil {
+				return res, err
+			}
+			prevNeighbors = st.Neighbors
+		}
+		if len(steps) > 0 {
+			perWalker = append(perWalker, whh.Estimate())
+		}
+	}
+	res.Estimate = hh.Estimate()
+	res.APICalls = t.APICalls
+	res.Walkers = t.Walkers
+	if t.Walkers > 1 {
+		res.CI = estimate.CIFromEstimates(perWalker, ciLevel)
+	}
 	return res, nil
 }
 
 // triangleCredit returns Σ_{w ∈ N(u)∩N(v)} 1/t(u,v,w), where t counts the
-// target edges of the triangle (at least 1 since (u,v) is one).
-func triangleCredit(s *osn.Session, u, v graph.Node, pair graph.LabelPair) (float64, error) {
-	nu, err := s.Neighbors(u)
-	if err != nil {
-		return 0, err
-	}
-	nv, err := s.Neighbors(v)
-	if err != nil {
-		return 0, err
-	}
+// target edges of the triangle (at least 1 since (u,v) is one). nu and nv
+// are the recorded (sorted) friend lists of u and v.
+func triangleCredit(labels core.LabelReader, u, v graph.Node, nu, nv []graph.Node, pair graph.LabelPair) float64 {
 	var credit float64
 	i, j := 0, 0
 	for i < len(nu) && j < len(nv) {
@@ -184,10 +252,10 @@ func triangleCredit(s *osn.Session, u, v graph.Node, pair graph.LabelPair) (floa
 		default:
 			w := nu[i]
 			t := 1 // (u,v) is a target edge by precondition
-			if isTarget(s, u, w, pair) {
+			if isTarget(labels, u, w, pair) {
 				t++
 			}
-			if isTarget(s, v, w, pair) {
+			if isTarget(labels, v, w, pair) {
 				t++
 			}
 			credit += 1 / float64(t)
@@ -195,34 +263,30 @@ func triangleCredit(s *osn.Session, u, v graph.Node, pair graph.LabelPair) (floa
 			j++
 		}
 	}
-	return credit, nil
+	return credit
 }
 
-func isTarget(s *osn.Session, u, v graph.Node, pair graph.LabelPair) bool {
-	return s.HasLabel(u, pair.T1) && s.HasLabel(v, pair.T2) ||
-		s.HasLabel(u, pair.T2) && s.HasLabel(v, pair.T1)
+// triangleCreditAll is the unlabeled credit: every common neighbor closes a
+// triangle whose three edges are all sampleable, so each counts 1/3.
+func triangleCreditAll(nu, nv []graph.Node) float64 {
+	common := 0
+	i, j := 0, 0
+	for i < len(nu) && j < len(nv) {
+		switch {
+		case nu[i] < nv[j]:
+			i++
+		case nu[i] > nv[j]:
+			j++
+		default:
+			common++
+			i++
+			j++
+		}
+	}
+	return float64(common) / 3
 }
 
-// targetDegree computes T(u), exploring only when u carries a target label.
-func targetDegree(s *osn.Session, u graph.Node, pair graph.LabelPair) (int, error) {
-	hasT1 := s.HasLabel(u, pair.T1)
-	hasT2 := s.HasLabel(u, pair.T2)
-	if !hasT1 && !hasT2 {
-		return 0, nil
-	}
-	ns, err := s.Neighbors(u)
-	if err != nil {
-		return 0, err
-	}
-	t := 0
-	for _, v := range ns {
-		if hasT1 && s.HasLabel(v, pair.T2) {
-			t++
-			continue
-		}
-		if hasT2 && s.HasLabel(v, pair.T1) {
-			t++
-		}
-	}
-	return t, nil
+func isTarget(labels core.LabelReader, u, v graph.Node, pair graph.LabelPair) bool {
+	return labels.HasLabel(u, pair.T1) && labels.HasLabel(v, pair.T2) ||
+		labels.HasLabel(u, pair.T2) && labels.HasLabel(v, pair.T1)
 }

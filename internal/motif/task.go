@@ -1,0 +1,85 @@
+package motif
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TaskRow is one motif answer of a registry-dispatched task: the estimate
+// for one label pair, or the unlabeled count when Pair is nil.
+type TaskRow struct {
+	Pair     *graph.LabelPair
+	Estimate float64
+	// CI is the between-walker interval (valid only for fleet recordings).
+	CI core.CI
+}
+
+// TaskResult is the result type of task kind "motif": one row per queried
+// pair (or a single unlabeled row), all replayed from the same trajectory.
+type TaskResult struct {
+	// Shape is "wedges" or "triangles".
+	Shape string
+	// Rows holds one answer per queried pair, in query order; a single
+	// pair-less row when no pairs were given.
+	Rows []TaskRow
+	// Samples, APICalls and Walkers describe the shared trajectory.
+	Samples  int
+	APICalls int64
+	Walkers  int
+}
+
+// motifTask adapts the replay estimators to the estimation-task registry.
+type motifTask struct {
+	shape string
+	pairs []graph.LabelPair
+}
+
+func (motifTask) Kind() string { return "motif" }
+
+func (mt motifTask) Estimate(t *core.Trajectory) (any, error) {
+	replay := WedgesFromTrajectory
+	if mt.shape == ShapeTriangles {
+		replay = TrianglesFromTrajectory
+	}
+	res := TaskResult{Shape: mt.shape}
+	run := func(pair *graph.LabelPair) error {
+		r, err := replay(t, pair)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, TaskRow{Pair: pair, Estimate: r.Estimate, CI: r.CI})
+		res.Samples = r.Samples
+		res.APICalls = r.APICalls
+		res.Walkers = r.Walkers
+		return nil
+	}
+	if len(mt.pairs) == 0 {
+		if err := run(nil); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	for i := range mt.pairs {
+		if err := run(&mt.pairs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func init() {
+	core.RegisterTask(core.TaskSpec{
+		Kind: "motif",
+		NewTask: func(p core.TaskParams) (core.EstimationTask, error) {
+			switch p.Motif {
+			case ShapeWedges, ShapeTriangles:
+			default:
+				return nil, fmt.Errorf("motif: task kind \"motif\" needs Motif %q or %q, got %q",
+					ShapeWedges, ShapeTriangles, p.Motif)
+			}
+			return motifTask{shape: p.Motif, pairs: p.Pairs}, nil
+		},
+	})
+}

@@ -3,8 +3,8 @@ package motif
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/estimate"
-	"repro/internal/graph"
 	"repro/internal/osn"
 )
 
@@ -14,76 +14,22 @@ import (
 // of LabeledWedges and part of the Hardiman–Katzir [11] substrate the paper
 // builds on.
 func Wedges(s *osn.Session, k int, opts Options) (Result, error) {
-	var res Result
-	if err := opts.validate(); err != nil {
-		return res, err
-	}
-	if k <= 0 {
-		return res, fmt.Errorf("motif: Wedges needs k > 0, got %d", k)
-	}
-	w, err := startWalk(s, opts)
+	traj, err := record(s, k, opts)
 	if err != nil {
-		return res, err
+		return Result{}, err
 	}
-	numEdges := float64(s.NumEdges())
-	hh := &estimate.HansenHurwitz{}
-	for i := 0; i < k; i++ {
-		u, err := w.Step()
-		if err != nil {
-			return res, fmt.Errorf("motif: Wedges step %d: %w", i, err)
-		}
-		res.Samples++
-		d, err := s.Degree(u)
-		if err != nil {
-			return res, err
-		}
-		wedges := float64(d) * float64(d-1) / 2
-		if err := hh.Add(wedges*2*numEdges/float64(d), 1); err != nil {
-			return res, err
-		}
-	}
-	res.Estimate = hh.Estimate()
-	res.APICalls = s.Calls()
-	return res, nil
+	return WedgesFromTrajectory(traj, nil)
 }
 
 // Triangles estimates the total triangle count by edge sampling: each
 // sampled (uniform) edge contributes |N(u) ∩ N(v)| / 3, since every
 // triangle is charged once per its three edges.
 func Triangles(s *osn.Session, k int, opts Options) (Result, error) {
-	var res Result
-	if err := opts.validate(); err != nil {
-		return res, err
-	}
-	if k <= 0 {
-		return res, fmt.Errorf("motif: Triangles needs k > 0, got %d", k)
-	}
-	w, err := startWalk(s, opts)
+	traj, err := record(s, k, opts)
 	if err != nil {
-		return res, err
+		return Result{}, err
 	}
-	numEdges := float64(s.NumEdges())
-	hh := &estimate.HansenHurwitz{}
-	prev := w.Current()
-	for i := 0; i < k; i++ {
-		cur, err := w.Step()
-		if err != nil {
-			return res, fmt.Errorf("motif: Triangles step %d: %w", i, err)
-		}
-		u, v := prev, cur
-		prev = cur
-		res.Samples++
-		common, err := commonNeighbors(s, u, v)
-		if err != nil {
-			return res, err
-		}
-		if err := hh.Add(float64(common)/3*numEdges, 1); err != nil {
-			return res, err
-		}
-	}
-	res.Estimate = hh.Estimate()
-	res.APICalls = s.Calls()
-	return res, nil
+	return TrianglesFromTrajectory(traj, nil)
 }
 
 // ClusteringResult reports a global clustering coefficient estimate.
@@ -96,8 +42,13 @@ type ClusteringResult struct {
 	Wedges    float64
 	// Samples is the number of walk samples used (shared by both parts).
 	Samples int
-	// APICalls is the number of charged API calls during sampling.
+	// APICalls is the number of charged API calls during sampling (summed
+	// per-walker bills for a multi-walker run).
 	APICalls int64
+	// Walkers is how many concurrent walkers produced the sample.
+	Walkers int
+	// CI is a between-walker interval on the coefficient (fleet runs only).
+	CI core.CI
 }
 
 // GlobalClustering estimates the global clustering coefficient
@@ -106,43 +57,53 @@ type ClusteringResult struct {
 // feeds the wedge estimator — the one-walk-two-estimators trick of
 // Hardiman & Katzir [11].
 func GlobalClustering(s *osn.Session, k int, opts Options) (ClusteringResult, error) {
-	var res ClusteringResult
-	if err := opts.validate(); err != nil {
-		return res, err
-	}
-	if k <= 0 {
-		return res, fmt.Errorf("motif: GlobalClustering needs k > 0, got %d", k)
-	}
-	w, err := startWalk(s, opts)
+	traj, err := record(s, k, opts)
 	if err != nil {
-		return res, err
+		return ClusteringResult{}, err
 	}
-	numEdges := float64(s.NumEdges())
+	return GlobalClusteringFromTrajectory(traj)
+}
+
+// GlobalClusteringFromTrajectory replays a recorded trajectory through both
+// the triangle and wedge estimators and forms their ratio — the clustering
+// coefficient rides along on any recording at zero additional API cost.
+func GlobalClusteringFromTrajectory(t *core.Trajectory) (ClusteringResult, error) {
+	var res ClusteringResult
+	if t == nil || t.Samples() == 0 {
+		return res, fmt.Errorf("motif: clustering replay needs a recorded trajectory")
+	}
+	if len(t.Starts) != len(t.Steps) {
+		return res, fmt.Errorf("motif: trajectory lacks per-walker start states; re-record it")
+	}
+	numEdges := float64(t.NumEdges)
 	triHH := &estimate.HansenHurwitz{}
 	wedgeHH := &estimate.HansenHurwitz{}
-	prev := w.Current()
-	for i := 0; i < k; i++ {
-		cur, err := w.Step()
-		if err != nil {
-			return res, fmt.Errorf("motif: GlobalClustering step %d: %w", i, err)
+	perCoeff := make([]float64, 0, len(t.Steps))
+	for wi, steps := range t.Steps {
+		wtri := &estimate.HansenHurwitz{}
+		wwedge := &estimate.HansenHurwitz{}
+		prevNeighbors := t.Starts[wi].Neighbors
+		for _, st := range steps {
+			res.Samples++
+			triTerm := triangleCreditAll(prevNeighbors, st.Neighbors) * numEdges
+			if err := triHH.Add(triTerm, 1); err != nil {
+				return res, err
+			}
+			if err := wtri.Add(triTerm, 1); err != nil {
+				return res, err
+			}
+			wedges := float64(st.Degree) * float64(st.Degree-1) / 2
+			wedgeTerm := wedges * 2 * numEdges / float64(st.Degree)
+			if err := wedgeHH.Add(wedgeTerm, 1); err != nil {
+				return res, err
+			}
+			if err := wwedge.Add(wedgeTerm, 1); err != nil {
+				return res, err
+			}
+			prevNeighbors = st.Neighbors
 		}
-		u, v := prev, cur
-		prev = cur
-		res.Samples++
-		common, err := commonNeighbors(s, u, v)
-		if err != nil {
-			return res, err
-		}
-		if err := triHH.Add(float64(common)/3*numEdges, 1); err != nil {
-			return res, err
-		}
-		d, err := s.Degree(v)
-		if err != nil {
-			return res, err
-		}
-		wedges := float64(d) * float64(d-1) / 2
-		if err := wedgeHH.Add(wedges*2*numEdges/float64(d), 1); err != nil {
-			return res, err
+		if len(steps) > 0 && wwedge.Estimate() > 0 {
+			perCoeff = append(perCoeff, 3*wtri.Estimate()/wwedge.Estimate())
 		}
 	}
 	res.Triangles = triHH.Estimate()
@@ -150,33 +111,10 @@ func GlobalClustering(s *osn.Session, k int, opts Options) (ClusteringResult, er
 	if res.Wedges > 0 {
 		res.Coefficient = 3 * res.Triangles / res.Wedges
 	}
-	res.APICalls = s.Calls()
+	res.APICalls = t.APICalls
+	res.Walkers = t.Walkers
+	if t.Walkers > 1 {
+		res.CI = estimate.CIFromEstimates(perCoeff, ciLevel)
+	}
 	return res, nil
-}
-
-// commonNeighbors counts |N(u) ∩ N(v)| by merging the sorted lists.
-func commonNeighbors(s *osn.Session, u, v graph.Node) (int, error) {
-	nu, err := s.Neighbors(u)
-	if err != nil {
-		return 0, err
-	}
-	nv, err := s.Neighbors(v)
-	if err != nil {
-		return 0, err
-	}
-	count := 0
-	i, j := 0, 0
-	for i < len(nu) && j < len(nv) {
-		switch {
-		case nu[i] < nv[j]:
-			i++
-		case nu[i] > nv[j]:
-			j++
-		default:
-			count++
-			i++
-			j++
-		}
-	}
-	return count, nil
 }

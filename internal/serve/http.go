@@ -7,13 +7,25 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/estimate"
 	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/sizeest"
 )
 
 // estimateRequest is the POST /estimate body.
 type estimateRequest struct {
-	// Pairs lists the queried label pairs as [t1, t2] arrays.
+	// Kind selects the estimation task: "pairs" (default), "size",
+	// "census" or "motif".
+	Kind string `json:"kind,omitempty"`
+	// Pairs lists the queried label pairs as [t1, t2] arrays (kinds
+	// "pairs" and "motif").
 	Pairs [][2]int `json:"pairs"`
+	// Motif is the motif shape for kind "motif": "wedges" or "triangles".
+	Motif string `json:"motif,omitempty"`
+	// Top bounds how many census rows kind "census" returns (0 = all).
+	Top int `json:"top,omitempty"`
 	// Budget, Walkers, Seed, MaxCost mirror Query.
 	Budget  int   `json:"budget,omitempty"`
 	Walkers int   `json:"walkers,omitempty"`
@@ -21,16 +33,68 @@ type estimateRequest struct {
 	MaxCost int64 `json:"max_cost,omitempty"`
 }
 
-// pairAnswerJSON is one pair's row in the /estimate response.
+// pairAnswerJSON is one pair's row in the kind="pairs" response.
 type pairAnswerJSON struct {
 	T1        int                `json:"t1"`
 	T2        int                `json:"t2"`
 	Estimates map[string]float64 `json:"estimates"`
 }
 
-// estimateResponse is the POST /estimate response body.
+// ciJSON renders a between-walker confidence interval; omitted when the
+// recording was serial.
+type ciJSON struct {
+	Low  float64 `json:"low"`
+	High float64 `json:"high"`
+}
+
+func ciPtr(ci estimate.CI) *ciJSON {
+	if !ci.Valid() {
+		return nil
+	}
+	return &ciJSON{Low: ci.Low, High: ci.High}
+}
+
+// sizeJSON is the kind="size" result.
+type sizeJSON struct {
+	Nodes      float64 `json:"nodes"`
+	Edges      float64 `json:"edges"`
+	MeanDegree float64 `json:"mean_degree"`
+	Collisions int     `json:"collisions"`
+	NodesCI    *ciJSON `json:"nodes_ci,omitempty"`
+	EdgesCI    *ciJSON `json:"edges_ci,omitempty"`
+}
+
+// censusRowJSON is one row of the kind="census" result.
+type censusRowJSON struct {
+	T1       int     `json:"t1"`
+	T2       int     `json:"t2"`
+	Estimate float64 `json:"estimate"`
+	Hits     int     `json:"hits"`
+}
+
+// motifRowJSON is one row of the kind="motif" result; t1/t2 are absent on
+// the unlabeled row.
+type motifRowJSON struct {
+	T1       *int    `json:"t1,omitempty"`
+	T2       *int    `json:"t2,omitempty"`
+	Estimate float64 `json:"estimate"`
+	CI       *ciJSON `json:"ci,omitempty"`
+}
+
+// motifJSON is the kind="motif" result.
+type motifJSON struct {
+	Shape string         `json:"shape"`
+	Rows  []motifRowJSON `json:"rows"`
+}
+
+// estimateResponse is the POST /estimate response body. Exactly one of
+// Pairs/Size/Census/Motif is populated, per the request kind.
 type estimateResponse struct {
-	Pairs    []pairAnswerJSON `json:"pairs"`
+	Kind     string           `json:"kind"`
+	Pairs    []pairAnswerJSON `json:"pairs,omitempty"`
+	Size     *sizeJSON        `json:"size,omitempty"`
+	Census   []censusRowJSON  `json:"census,omitempty"`
+	Motif    *motifJSON       `json:"motif,omitempty"`
 	APICalls int64            `json:"api_calls"`
 	Charged  int64            `json:"charged"`
 	CacheHit bool             `json:"cache_hit"`
@@ -41,22 +105,30 @@ type estimateResponse struct {
 
 // healthResponse is the GET /healthz body.
 type healthResponse struct {
-	Status        string `json:"status"`
-	Nodes         int    `json:"graph_nodes"`
-	Edges         int64  `json:"graph_edges"`
-	BurnIn        int    `json:"burn_in"`
-	Queries       int64  `json:"queries"`
-	CacheHits     int64  `json:"cache_hits"`
-	Recordings    int64  `json:"recordings"`
-	UpstreamCalls int64  `json:"upstream_api_calls"`
-	UptimeSec     int64  `json:"uptime_seconds"`
+	Status        string           `json:"status"`
+	Nodes         int              `json:"graph_nodes"`
+	Edges         int64            `json:"graph_edges"`
+	BurnIn        int              `json:"burn_in"`
+	Queries       int64            `json:"queries"`
+	CacheHits     int64            `json:"cache_hits"`
+	Recordings    int64            `json:"recordings"`
+	UpstreamCalls int64            `json:"upstream_api_calls"`
+	TasksByKind   map[string]int64 `json:"tasks_by_kind,omitempty"`
+	UptimeSec     int64            `json:"uptime_seconds"`
 }
 
 // NewHandler exposes an Engine as an HTTP JSON API:
 //
-//	POST /estimate  {"pairs": [[1,2],[3,4]], "budget": 0, "walkers": 0, "seed": 0, "max_cost": 0}
-//	GET  /methods   the estimator names every answer carries
+//	POST /estimate  {"kind": "pairs", "pairs": [[1,2],[3,4]], "budget": 0, "walkers": 0, "seed": 0, "max_cost": 0}
+//	                {"kind": "size"}
+//	                {"kind": "census", "top": 10}
+//	                {"kind": "motif", "motif": "wedges", "pairs": [[1,2]]}
+//	GET  /methods   the estimator names a "pairs" answer carries, plus the task kinds
 //	GET  /healthz   liveness plus engine counters
+//
+// Queries of different kinds at one (budget, walkers, seed) configuration
+// share a single recorded trajectory, so a mixed batch costs the API calls
+// of one walk.
 func NewHandler(e *Engine) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
@@ -71,15 +143,18 @@ func NewHandler(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
 			return
 		}
-		if len(req.Pairs) == 0 {
-			httpError(w, http.StatusBadRequest, "need at least one [t1,t2] pair")
-			return
-		}
 		q := Query{
+			Kind:    req.Kind,
+			Motif:   req.Motif,
+			Top:     req.Top,
 			Budget:  req.Budget,
 			Walkers: req.Walkers,
 			Seed:    req.Seed,
 			MaxCost: req.MaxCost,
+		}
+		if (req.Kind == "" || req.Kind == "pairs") && len(req.Pairs) == 0 {
+			httpError(w, http.StatusBadRequest, "need at least one [t1,t2] pair")
+			return
 		}
 		for _, p := range req.Pairs {
 			if p[0] < 0 || p[1] < 0 {
@@ -95,29 +170,15 @@ func NewHandler(e *Engine) http.Handler {
 				status = http.StatusPaymentRequired
 			} else if errors.Is(err, ErrBadQuery) {
 				status = http.StatusBadRequest
+			} else if errors.Is(err, ErrEstimation) {
+				status = http.StatusUnprocessableEntity
 			} else if r.Context().Err() != nil {
 				status = 499 // client closed request
 			}
 			httpError(w, status, err.Error())
 			return
 		}
-		resp := estimateResponse{
-			Pairs:    make([]pairAnswerJSON, 0, len(ans.Pairs)),
-			APICalls: ans.APICalls,
-			Charged:  ans.Charged,
-			CacheHit: ans.CacheHit,
-			SharedBy: ans.SharedBy,
-			Walkers:  ans.Walkers,
-			Samples:  ans.Samples,
-		}
-		for _, pa := range ans.Pairs {
-			resp.Pairs = append(resp.Pairs, pairAnswerJSON{
-				T1:        int(pa.Pair.T1),
-				T2:        int(pa.Pair.T2),
-				Estimates: pa.Estimates,
-			})
-		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, renderAnswer(ans))
 	})
 
 	mux.HandleFunc("/methods", func(w http.ResponseWriter, r *http.Request) {
@@ -125,7 +186,10 @@ func NewHandler(e *Engine) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string][]string{"methods": Methods()})
+		writeJSON(w, http.StatusOK, map[string][]string{
+			"methods": Methods(),
+			"kinds":   Kinds(),
+		})
 	})
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -143,11 +207,69 @@ func NewHandler(e *Engine) http.Handler {
 			CacheHits:     st.CacheHits,
 			Recordings:    st.Recordings,
 			UpstreamCalls: st.UpstreamCalls,
+			TasksByKind:   st.TasksByKind,
 			UptimeSec:     int64(time.Since(start).Seconds()),
 		})
 	})
 
 	return mux
+}
+
+// renderAnswer maps an engine Answer onto the kind-specific wire schema.
+func renderAnswer(ans *Answer) estimateResponse {
+	resp := estimateResponse{
+		Kind:     ans.Kind,
+		APICalls: ans.APICalls,
+		Charged:  ans.Charged,
+		CacheHit: ans.CacheHit,
+		SharedBy: ans.SharedBy,
+		Walkers:  ans.Walkers,
+		Samples:  ans.Samples,
+	}
+	if ans.Pairs != nil {
+		resp.Pairs = make([]pairAnswerJSON, 0, len(ans.Pairs))
+		for _, pa := range ans.Pairs {
+			resp.Pairs = append(resp.Pairs, pairAnswerJSON{
+				T1:        int(pa.Pair.T1),
+				T2:        int(pa.Pair.T2),
+				Estimates: pa.Estimates,
+			})
+		}
+		return resp
+	}
+	switch res := ans.Result.(type) {
+	case sizeest.Result:
+		resp.Size = &sizeJSON{
+			Nodes:      res.Nodes,
+			Edges:      res.Edges,
+			MeanDegree: res.MeanDegree,
+			Collisions: res.Collisions,
+			NodesCI:    ciPtr(res.NodesCI),
+			EdgesCI:    ciPtr(res.EdgesCI),
+		}
+	case core.CensusResult:
+		resp.Census = make([]censusRowJSON, 0, len(res.Pairs))
+		for _, pe := range res.Pairs {
+			resp.Census = append(resp.Census, censusRowJSON{
+				T1:       int(pe.Pair.T1),
+				T2:       int(pe.Pair.T2),
+				Estimate: pe.Estimate,
+				Hits:     pe.Hits,
+			})
+		}
+	case motif.TaskResult:
+		m := &motifJSON{Shape: res.Shape, Rows: make([]motifRowJSON, 0, len(res.Rows))}
+		for _, row := range res.Rows {
+			rj := motifRowJSON{Estimate: row.Estimate, CI: ciPtr(row.CI)}
+			if row.Pair != nil {
+				t1, t2 := int(row.Pair.T1), int(row.Pair.T2)
+				rj.T1, rj.T2 = &t1, &t2
+			}
+			m.Rows = append(m.Rows, rj)
+		}
+		resp.Motif = m
+	}
+	return resp
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,13 +1,18 @@
 // Package serve is the multi-client query front end over the
 // shared-trajectory estimation engine: it owns one graph behind the
-// restricted access model and answers concurrent label-pair queries by
+// restricted access model and answers concurrent estimation queries by
 // recording one random-walk trajectory per (budget, walkers, seed)
-// configuration and replaying it through the paper's estimators for every
-// pair anyone asks about. Queries arriving within a batching window share a
-// single fleet recording; finished trajectories stay cached with a TTL, so a
-// popular configuration serves any number of pairs and clients at the API
-// cost of one walk — the amortization that lets the paper's estimators serve
-// heavy traffic.
+// configuration and replaying it through the estimation-task registry
+// (core.RegisterTask) for whatever anyone asks about — label-pair counts
+// (kind "pairs"), graph size (kind "size"), a label-pair census (kind
+// "census") or motif counts (kind "motif"). The task kind is deliberately
+// NOT part of the trajectory cache key: a mixed-kind batch of queries at
+// one configuration shares a single recording, so heterogeneous workloads
+// cost the API calls of one walk. Queries arriving within a batching window
+// share a single fleet recording; finished trajectories stay cached with a
+// TTL, so a popular configuration serves any number of questions and
+// clients at the API cost of one walk — the amortization that lets the
+// paper's estimators serve heavy traffic.
 package serve
 
 import (
@@ -22,17 +27,35 @@ import (
 	"repro/internal/osn"
 	"repro/internal/stats"
 	"repro/internal/walk"
+
+	// sizeest is imported for its "size" task registration only; "pairs"
+	// and "census" register from core itself, motif's registration rides
+	// along on the direct import.
+	"repro/internal/motif"
+	_ "repro/internal/sizeest"
 )
 
 // ErrQueryBudget is returned when a query's MaxCost cannot pay for the
 // trajectory it would trigger and no cached trajectory can serve it.
 var ErrQueryBudget = errors.New("serve: query budget smaller than the trajectory cost")
 
-// ErrBadQuery marks a structurally invalid query (no pairs, negative
-// parameters); the HTTP layer maps it to 400 Bad Request.
+// ErrBadQuery marks a structurally invalid query (unknown kind, missing or
+// negative parameters); the HTTP layer maps it to 400 Bad Request.
 var ErrBadQuery = errors.New("serve: bad query")
 
-// Methods returns the estimator names a query answer carries, in stable
+// ErrEstimation marks a query whose replay could not produce an estimate
+// from the recorded trajectory (e.g. a size estimate with too small a
+// budget for collisions). The trajectory itself is fine and stays cached;
+// the client should retry with a larger budget. The HTTP layer maps it to
+// 422 Unprocessable Entity. A query that co-triggered the recording keeps
+// its seat in the bill split even when its replay then fails: the spend
+// happened on its behalf, and the surviving sharers' Charged shares were
+// computed against the frozen sharer count — so the sum of SUCCESSFUL
+// answers' Charged can fall short of APICalls by the failed queries'
+// shares.
+var ErrEstimation = errors.New("serve: estimation failed")
+
+// Methods returns the estimator names a "pairs" answer carries, in stable
 // order. The names match repro.Method values.
 func Methods() []string {
 	return []string{
@@ -43,6 +66,9 @@ func Methods() []string {
 		"NeighborExploration-RW",
 	}
 }
+
+// Kinds returns the estimation-task kinds the engine dispatches, sorted.
+func Kinds() []string { return core.TaskKinds() }
 
 // Config describes an Engine.
 type Config struct {
@@ -79,10 +105,22 @@ type Config struct {
 	now func() time.Time
 }
 
-// Query is one client request: estimate F for every listed pair.
+// Query is one client request: run one estimation task against a shared
+// trajectory.
 type Query struct {
-	// Pairs are the label pairs to estimate. Required.
+	// Kind selects the estimation task; empty means "pairs". The kind is
+	// not part of the trajectory cache key — queries of different kinds at
+	// one (Budget, Walkers, Seed) configuration share one recording.
+	Kind string
+	// Pairs are the queried label pairs. Required for kind "pairs";
+	// optional for kind "motif" (absent = the unlabeled count); ignored
+	// otherwise.
 	Pairs []graph.LabelPair
+	// Motif selects the motif shape for kind "motif": "wedges" or
+	// "triangles".
+	Motif string
+	// Top bounds how many census rows kind "census" returns; 0 returns all.
+	Top int
 	// Budget overrides the engine's per-trajectory API budget when positive.
 	Budget int
 	// Walkers overrides the engine's fleet size when positive.
@@ -105,7 +143,14 @@ type PairAnswer struct {
 
 // Answer is the engine's response to one Query.
 type Answer struct {
+	// Kind echoes the task kind that produced the answer.
+	Kind string
+	// Pairs is populated for kind "pairs" (the historical response shape).
 	Pairs []PairAnswer
+	// Result holds the task's typed result for every other kind:
+	// sizeest.Result for "size", core.CensusResult for "census",
+	// motif.TaskResult for "motif".
+	Result any
 	// APICalls is the sampling cost of the trajectory that served the query.
 	APICalls int64
 	// Charged is this query's accounted share of that cost: 0 on a cache
@@ -127,8 +172,11 @@ type Answer struct {
 type Stats struct {
 	// Queries is the number of Estimate calls admitted.
 	Queries int64
-	// PairsServed is the total number of pair estimates returned.
+	// PairsServed is the total number of result rows returned (pair
+	// estimates, census rows, motif rows; 1 per size answer).
 	PairsServed int64
+	// TasksByKind counts admitted queries per task kind.
+	TasksByKind map[string]int64
 	// Recordings is how many trajectories were recorded.
 	Recordings int64
 	// CacheHits is how many queries were served without triggering or
@@ -225,7 +273,12 @@ func (e *Engine) BurnIn() int { return e.burnIn }
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	snap := e.stats
+	snap.TasksByKind = make(map[string]int64, len(e.stats.TasksByKind))
+	for k, v := range e.stats.TasksByKind {
+		snap.TasksByKind[k] = v
+	}
+	return snap
 }
 
 // Invalidate drops every cached trajectory, e.g. after the served graph's
@@ -237,8 +290,10 @@ func (e *Engine) Invalidate() {
 	e.cache = make(map[trajKey]*entry)
 }
 
-// Estimate answers one query, recording a trajectory, joining one in
-// flight, or replaying a cached one as the cache dictates.
+// Estimate answers one query: it resolves the query's task kind through the
+// estimation-task registry, then records a trajectory, joins one in flight,
+// or replays a cached one as the cache dictates, and finally replays the
+// task over it. Parameter validation happens before any API spend.
 func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -246,8 +301,17 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if len(q.Pairs) == 0 {
-		return nil, fmt.Errorf("%w: needs at least one label pair", ErrBadQuery)
+	kind := q.Kind
+	if kind == "" {
+		kind = "pairs"
+	}
+	spec, ok := core.LookupTask(kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown kind %q (have %v)", ErrBadQuery, kind, core.TaskKinds())
+	}
+	task, err := spec.NewTask(core.TaskParams{Pairs: q.Pairs, Motif: q.Motif, Top: q.Top})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if q.Budget < 0 || q.Walkers < 0 || q.MaxCost < 0 {
 		return nil, fmt.Errorf("%w: negative Budget/Walkers/MaxCost", ErrBadQuery)
@@ -271,12 +335,12 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 		return nil, ent.err
 	}
 
-	prs, err := core.EstimateManyPairs(ent.traj, q.Pairs)
+	out, err := task.Estimate(ent.traj)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: kind %q: %v", ErrEstimation, kind, err)
 	}
 	ans := &Answer{
-		Pairs:    make([]PairAnswer, 0, len(prs)),
+		Kind:     kind,
 		APICalls: ent.traj.APICalls,
 		CacheHit: hit,
 		Walkers:  ent.traj.Walkers,
@@ -286,27 +350,52 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 		ans.SharedBy = ent.sharers
 		ans.Charged = ent.traj.APICalls / int64(ent.sharers)
 	}
-	for _, pe := range prs {
-		ans.Pairs = append(ans.Pairs, PairAnswer{
-			Pair: pe.Pair,
-			Estimates: map[string]float64{
-				"NeighborSample-HH":      pe.NS.HH,
-				"NeighborSample-HT":      pe.NS.HT,
-				"NeighborExploration-HH": pe.NE.HH,
-				"NeighborExploration-HT": pe.NE.HT,
-				"NeighborExploration-RW": pe.NE.RW,
-			},
-		})
+	rows := 1
+	if prs, isPairs := out.([]core.PairEstimates); isPairs {
+		// The historical pairs response shape.
+		ans.Pairs = make([]PairAnswer, 0, len(prs))
+		for _, pe := range prs {
+			ans.Pairs = append(ans.Pairs, PairAnswer{
+				Pair: pe.Pair,
+				Estimates: map[string]float64{
+					"NeighborSample-HH":      pe.NS.HH,
+					"NeighborSample-HT":      pe.NS.HT,
+					"NeighborExploration-HH": pe.NE.HH,
+					"NeighborExploration-HT": pe.NE.HT,
+					"NeighborExploration-RW": pe.NE.RW,
+				},
+			})
+		}
+		rows = len(prs)
+	} else {
+		ans.Result = out
+		rows = resultRows(out)
 	}
 
 	e.mu.Lock()
 	e.stats.Queries++
-	e.stats.PairsServed += int64(len(prs))
+	e.stats.PairsServed += int64(rows)
+	if e.stats.TasksByKind == nil {
+		e.stats.TasksByKind = make(map[string]int64)
+	}
+	e.stats.TasksByKind[kind]++
 	if hit {
 		e.stats.CacheHits++
 	}
 	e.mu.Unlock()
 	return ans, nil
+}
+
+// resultRows counts the rows of a non-pairs task result for the stats.
+func resultRows(out any) int {
+	switch r := out.(type) {
+	case core.CensusResult:
+		return len(r.Pairs)
+	case motif.TaskResult:
+		return len(r.Rows)
+	default:
+		return 1
+	}
 }
 
 // acquire resolves the query's trajectory: a valid cached one (hit), an

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/graph"
+	"repro/internal/core"
 	"repro/internal/osn"
-	"repro/internal/walk"
 )
 
 // DegreeBucket is one row of an estimated degree distribution.
@@ -23,54 +22,40 @@ type DegreeBucket struct {
 //
 //	P̂(d) = Σ_i 1{d_i = d}/d_i  /  Σ_i 1/d_i.
 //
-// Returned buckets are sorted by degree and sum to 1.
+// Returned buckets are sorted by degree and sum to 1. The walk is a
+// core.Trajectory recording replayed through DegreeDistributionFromTrajectory,
+// so a trajectory recorded for any other task yields the distribution free.
 func DegreeDistribution(s *osn.Session, k int, opts Options) ([]DegreeBucket, error) {
-	if opts.Rng == nil {
-		return nil, fmt.Errorf("sizeest: Options.Rng is required")
-	}
-	if opts.BurnIn < 0 {
-		return nil, fmt.Errorf("sizeest: negative burn-in %d", opts.BurnIn)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("sizeest: need k > 0 samples, got %d", k)
 	}
-	start := opts.Start
-	if start < 0 {
-		for attempts := 0; ; attempts++ {
-			start = s.RandomNode(opts.Rng)
-			d, err := s.Degree(start)
-			if err != nil {
-				return nil, err
-			}
-			if d > 0 {
-				break
-			}
-			if attempts > 1000 {
-				return nil, fmt.Errorf("sizeest: no non-isolated start node found")
-			}
-		}
+	traj, err := core.RecordTrajectory(s, k, opts.coreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("sizeest: %w", err)
 	}
-	w := walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, opts.Rng)
-	if err := walk.Burnin[graph.Node](w, opts.BurnIn); err != nil {
-		return nil, fmt.Errorf("sizeest: burn-in: %w", err)
-	}
-	s.ResetAccounting()
+	return DegreeDistributionFromTrajectory(traj)
+}
 
+// DegreeDistributionFromTrajectory replays a recorded trajectory through
+// the re-weighted degree-distribution estimator at zero additional API
+// cost. Walker streams pool in walker order; single-walker replays are
+// bit-identical to the historical serial loop.
+func DegreeDistributionFromTrajectory(t *core.Trajectory) ([]DegreeBucket, error) {
+	if t == nil || t.Samples() == 0 {
+		return nil, fmt.Errorf("sizeest: degree-distribution replay needs a recorded trajectory")
+	}
 	// One reweighted accumulator per degree value, all sharing the same
 	// denominator Σ1/d.
 	numer := make(map[int]float64)
 	var denom float64
-	for i := 0; i < k; i++ {
-		u, err := w.Step()
-		if err != nil {
-			return nil, fmt.Errorf("sizeest: degree distribution step %d: %w", i, err)
+	for _, steps := range t.Steps {
+		for _, st := range steps {
+			numer[st.Degree] += 1 / float64(st.Degree)
+			denom += 1 / float64(st.Degree)
 		}
-		d, err := s.Degree(u)
-		if err != nil {
-			return nil, err
-		}
-		numer[d] += 1 / float64(d)
-		denom += 1 / float64(d)
 	}
 	if denom == 0 {
 		return nil, fmt.Errorf("sizeest: no usable samples")

@@ -18,29 +18,51 @@
 // Pairs closer than a thinning gap along the walk are excluded from the
 // collision count (they are trivially correlated), the same r-spacing
 // heuristic the paper borrows from [11] for its Horvitz–Thompson variants.
+//
+// Since the task-registry refactor the walk itself is a core.Trajectory
+// recording: Estimate records once and replays through FromTrajectory, the
+// estimation task registered under kind "size". One recorded walk therefore
+// answers size questions alongside label-pair, census and motif queries,
+// and size estimation inherits the fleet machinery — parallel walkers,
+// context cancellation, budget caps, and between-walker confidence
+// intervals — for free. Single-walker results are bit-identical to the
+// historical private walk loop (pinned by the package's golden test).
 package sizeest
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/osn"
-	"repro/internal/walk"
 )
+
+// ciLevel is the nominal coverage of the multi-walker intervals.
+const ciLevel = 0.95
 
 // Options configures a size estimation run.
 type Options struct {
 	// BurnIn is the number of walk steps discarded before sampling.
 	BurnIn int
 	// ThinGap excludes sample pairs closer than this along the walk from
-	// the collision count; 0 means 2.5% of the sample count (the [11]
-	// default).
+	// the collision count; 0 means 2.5% of the (per-walker) sample count
+	// (the [11] default).
 	ThinGap int
 	// Rng drives all random choices. Required.
 	Rng *rand.Rand
 	// Start, when non-negative, fixes the walk's start node.
 	Start graph.Node
+	// Walkers is the number of concurrent walkers splitting the sample
+	// count (see core.Options.Walkers); 0 or 1 records serially, which is
+	// bit-identical to the historical single-walk implementation.
+	Walkers int
+	// Seed roots the per-walker RNG streams when Walkers >= 2.
+	Seed int64
+	// Ctx cancels a run in flight; nil means context.Background().
+	Ctx context.Context
 }
 
 // Result reports one size estimation run.
@@ -49,103 +71,217 @@ type Result struct {
 	Nodes float64
 	// Edges is the |E| estimate.
 	Edges float64
+	// MeanDegree is the harmonic-identity mean-degree estimate R/Ψ1
+	// (E_π[1/d]⁻¹ = 2|E|/|V|), free from the same samples.
+	MeanDegree float64
 	// Collisions is the number of colliding sample pairs the |V| estimate
 	// rests on; treat small values (< ~10) as unreliable.
 	Collisions int
 	// Samples is the number of retained walk samples.
 	Samples int
-	// APICalls is the number of charged API calls during sampling.
+	// APICalls is the number of charged API calls during sampling (summed
+	// per-walker bills for a multi-walker run).
 	APICalls int64
+	// Walkers is how many concurrent walkers produced the sample.
+	Walkers int
+	// NodesCI and EdgesCI are variance-based confidence intervals from the
+	// per-walker estimates; zero (Valid() == false) on serial runs or when
+	// fewer than two walkers saw a collision.
+	NodesCI core.CI
+	EdgesCI core.CI
+}
+
+func (o *Options) validate() error {
+	if o.Rng == nil {
+		return fmt.Errorf("sizeest: Options.Rng is required")
+	}
+	if o.BurnIn < 0 {
+		return fmt.Errorf("sizeest: negative burn-in %d", o.BurnIn)
+	}
+	if o.ThinGap < 0 {
+		return fmt.Errorf("sizeest: negative thinning gap %d", o.ThinGap)
+	}
+	if o.Walkers < 0 {
+		return fmt.Errorf("sizeest: negative walker count %d", o.Walkers)
+	}
+	return nil
+}
+
+// coreOptions maps Options onto the shared recording configuration.
+func (o *Options) coreOptions() core.Options {
+	return core.Options{
+		BurnIn:  o.BurnIn,
+		Rng:     o.Rng,
+		Start:   o.Start,
+		Walkers: o.Walkers,
+		Seed:    o.Seed,
+		Ctx:     o.Ctx,
+	}
 }
 
 // Estimate runs a k-sample walk and estimates |V| and |E|. It needs enough
 // samples for collisions to occur — k of order sqrt(|V|) gives a handful,
-// k of a few percent of |V| gives a sharp estimate.
+// k of a few percent of |V| gives a sharp estimate. The walk is recorded as
+// a core.Trajectory and replayed through FromTrajectory, so callers that
+// already hold a trajectory can skip straight to the replay.
 func Estimate(s *osn.Session, k int, opts Options) (Result, error) {
 	var res Result
-	if opts.Rng == nil {
-		return res, fmt.Errorf("sizeest: Options.Rng is required")
-	}
-	if opts.BurnIn < 0 {
-		return res, fmt.Errorf("sizeest: negative burn-in %d", opts.BurnIn)
+	if err := opts.validate(); err != nil {
+		return res, err
 	}
 	if k <= 1 {
 		return res, fmt.Errorf("sizeest: need k > 1 samples, got %d", k)
 	}
-
-	start := opts.Start
-	if start < 0 {
-		for attempts := 0; ; attempts++ {
-			start = s.RandomNode(opts.Rng)
-			d, err := s.Degree(start)
-			if err != nil {
-				return res, err
-			}
-			if d > 0 {
-				break
-			}
-			if attempts > 1000 {
-				return res, fmt.Errorf("sizeest: no non-isolated start node found")
-			}
-		}
+	traj, err := core.RecordTrajectory(s, k, opts.coreOptions())
+	if err != nil {
+		return res, fmt.Errorf("sizeest: %w", err)
 	}
-	w := walk.NewSimple[graph.Node](walk.NodeSpace{S: s}, start, opts.Rng)
-	if err := walk.Burnin[graph.Node](w, opts.BurnIn); err != nil {
-		return res, fmt.Errorf("sizeest: burn-in: %w", err)
-	}
-	s.ResetAccounting()
+	return FromTrajectory(traj, opts.ThinGap)
+}
 
-	nodes := make([]graph.Node, 0, k)
-	degrees := make([]int, 0, k)
+// FromTrajectory replays a recorded trajectory through the Katzir
+// collision-counting size estimator at zero additional API cost. thinGap 0
+// applies the 2.5%-of-samples spacing per walker. Ψ1/Ψ2 pool across
+// walkers in walker order; the collision count pools within-walker pairs
+// (subject to the spacing heuristic, which is defined along one walk) PLUS
+// every cross-walker pair hitting the same node — different walkers are
+// independent chains, so their coincidences need no spacing exclusion, and
+// dropping them would inflate n̂ by ~W (Ψ1·Ψ2 grows quadratically in the
+// pooled sample while within-walker pairs only grow as R²/W). Single-walker
+// replays have no cross-walker pairs and are bit-identical to the
+// historical serial estimator.
+func FromTrajectory(t *core.Trajectory, thinGap int) (Result, error) {
+	var res Result
+	if t == nil || t.Samples() == 0 {
+		return res, fmt.Errorf("sizeest: size replay needs a recorded trajectory")
+	}
+	if thinGap < 0 {
+		return res, fmt.Errorf("sizeest: negative thinning gap %d", thinGap)
+	}
+	k := t.Samples()
+	W := len(t.Steps)
 	var psi1, psi2 float64
-	for i := 0; i < k; i++ {
-		u, err := w.Step()
-		if err != nil {
-			return res, fmt.Errorf("sizeest: step %d: %w", i, err)
-		}
-		d, err := s.Degree(u)
-		if err != nil {
-			return res, err
-		}
-		nodes = append(nodes, u)
-		degrees = append(degrees, d)
-		psi1 += 1 / float64(d)
-		psi2 += float64(d)
-	}
-	res.Samples = k
-	res.APICalls = s.Calls()
-
-	gap := opts.ThinGap
-	if gap <= 0 {
-		gap = k / 40 // 2.5%·k, the [11] spacing
-		if gap < 1 {
-			gap = 1
-		}
-	}
-	// Count collisions among pairs at least gap apart. Hash by node; for
-	// each node's sorted position list, count far-apart pairs.
-	positions := make(map[graph.Node][]int, k)
-	for i, u := range nodes {
-		positions[u] = append(positions[u], i)
-	}
 	collisions := 0
-	for _, ps := range positions {
-		for a := 0; a < len(ps); a++ {
-			for b := a + 1; b < len(ps); b++ {
-				if ps[b]-ps[a] >= gap {
-					collisions++
+	perPsi1 := make([]float64, W)
+	perPsi2 := make([]float64, W)
+	perWithin := make([]int, W)
+	perCross := make([]int, W)
+	// visitCounts accumulates, per node, how many times each walker hit it
+	// — the input to the cross-walker collision count below.
+	type walkerCount struct{ walker, count int }
+	visitCounts := make(map[graph.Node][]walkerCount)
+	for wi, steps := range t.Steps {
+		var wp1, wp2 float64
+		positions := make(map[graph.Node][]int, len(steps))
+		for i, st := range steps {
+			wp1 += 1 / float64(st.Degree)
+			wp2 += float64(st.Degree)
+			positions[st.Node] = append(positions[st.Node], i)
+		}
+		gap := thinGap
+		if gap <= 0 {
+			gap = len(steps) / 40 // 2.5%·k, the [11] spacing
+			if gap < 1 {
+				gap = 1
+			}
+		}
+		// Count collisions among same-walk pairs at least gap apart. Hash
+		// by node; for each node's sorted position list, count far pairs.
+		wcol := 0
+		for u, ps := range positions {
+			for a := 0; a < len(ps); a++ {
+				for b := a + 1; b < len(ps); b++ {
+					if ps[b]-ps[a] >= gap {
+						wcol++
+					}
 				}
 			}
+			visitCounts[u] = append(visitCounts[u], walkerCount{walker: wi, count: len(ps)})
+		}
+		perPsi1[wi] = wp1
+		perPsi2[wi] = wp2
+		perWithin[wi] = wcol
+		psi1 += wp1
+		psi2 += wp2
+		collisions += wcol
+	}
+	if W > 1 {
+		// Cross-walker pairs: Σ_{i<j} c_i·c_j per node = (T² − Σc_i²)/2;
+		// each walker i is party to Σ_u c_{i,u}·(T_u − c_{i,u}) of them.
+		for _, counts := range visitCounts {
+			total, sq := 0, 0
+			for _, wc := range counts {
+				total += wc.count
+				sq += wc.count * wc.count
+			}
+			collisions += (total*total - sq) / 2
+			for _, wc := range counts {
+				perCross[wc.walker] += wc.count * (total - wc.count)
+			}
 		}
 	}
+	res.Samples = k
+	res.APICalls = t.APICalls
+	res.Walkers = t.Walkers
 	res.Collisions = collisions
+	res.MeanDegree = float64(k) / psi1
 	if collisions == 0 {
 		return res, fmt.Errorf("sizeest: no collisions among %d samples; increase k (graph too large for this budget)", k)
 	}
-
 	res.Nodes = psi1 * psi2 / (2 * float64(collisions))
 	res.Edges = res.Nodes * float64(k) / (2 * psi1)
+	if W > 1 {
+		// Leave-one-walker-out jackknife. The collision estimator is too
+		// nonlinear for per-walker subsample estimates (a 1/W-sized sample
+		// has a badly biased collision rate), so the error bar comes from
+		// W leave-one-out estimates — each using all samples except walker
+		// i's, keeping the nonlinearity at full sample size — and the
+		// interval is centered on the pooled estimate.
+		loNodes := make([]float64, 0, W)
+		loEdges := make([]float64, 0, W)
+		for wi := 0; wi < W; wi++ {
+			loCol := collisions - perWithin[wi] - perCross[wi]
+			loPsi1 := psi1 - perPsi1[wi]
+			loK := k - len(t.Steps[wi])
+			if loCol <= 0 || loPsi1 <= 0 || loK <= 0 {
+				continue
+			}
+			n := loPsi1 * (psi2 - perPsi2[wi]) / (2 * float64(loCol))
+			loNodes = append(loNodes, n)
+			loEdges = append(loEdges, n*float64(loK)/(2*loPsi1))
+		}
+		res.NodesCI = jackknifeCI(res.Nodes, loNodes)
+		res.EdgesCI = jackknifeCI(res.Edges, loEdges)
+	}
 	return res, nil
+}
+
+// jackknifeCI builds a level-ciLevel interval around the pooled estimate
+// from leave-one-out estimates: SE² = (W−1)/W · Σ(θ₍₋ᵢ₎ − θ̄₍₋·₎)².
+func jackknifeCI(pooled float64, leaveOneOut []float64) core.CI {
+	W := len(leaveOneOut)
+	if W < 2 {
+		return core.CI{Walkers: W}
+	}
+	mean := 0.0
+	for _, v := range leaveOneOut {
+		mean += v
+	}
+	mean /= float64(W)
+	ss := 0.0
+	for _, v := range leaveOneOut {
+		d := v - mean
+		ss += d * d
+	}
+	se := math.Sqrt(float64(W-1) / float64(W) * ss)
+	z := math.Sqrt2 * math.Erfinv(ciLevel)
+	return core.CI{
+		Low:     pooled - z*se,
+		High:    pooled + z*se,
+		StdErr:  se,
+		Level:   ciLevel,
+		Walkers: W,
+	}
 }
 
 // EstimateWithPriors mirrors the full no-prior pipeline the paper's
@@ -159,4 +295,26 @@ func EstimateWithPriors(s *osn.Session, k int, opts Options) (nHat, eHat float64
 		return 0, 0, err
 	}
 	return r.Nodes, r.Edges, nil
+}
+
+// sizeTask adapts FromTrajectory to the estimation-task registry.
+// Result type: Result.
+type sizeTask struct{ gap int }
+
+func (sizeTask) Kind() string { return "size" }
+
+func (st sizeTask) Estimate(t *core.Trajectory) (any, error) {
+	return FromTrajectory(t, st.gap)
+}
+
+func init() {
+	core.RegisterTask(core.TaskSpec{
+		Kind: "size",
+		NewTask: func(p core.TaskParams) (core.EstimationTask, error) {
+			if p.ThinGap < 0 {
+				return nil, fmt.Errorf("sizeest: task kind \"size\" needs ThinGap >= 0, got %d", p.ThinGap)
+			}
+			return sizeTask{gap: p.ThinGap}, nil
+		},
+	})
 }

@@ -2,19 +2,14 @@ package repro
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/exact"
-	"repro/internal/graph"
-	"repro/internal/motif"
-	"repro/internal/osn"
-	"repro/internal/stats"
-	"repro/internal/walk"
 )
 
 // MotifKind selects the label-refined motif to estimate — the paper's
 // future-work direction ("numbers of wedges and triangles refined by
-// users' labels"), implemented in this library as an extension.
+// users' labels"), implemented in this library as an extension. See
+// CountMotifs for the multi-pair and unlabeled variants sharing one walk.
 type MotifKind string
 
 const (
@@ -24,67 +19,41 @@ const (
 	LabeledTriangles MotifKind = "labeled-triangles"
 )
 
+// shape maps a MotifKind onto the task registry's motif shape.
+func (k MotifKind) shape() (string, error) {
+	switch k {
+	case LabeledWedges:
+		return MotifWedges, nil
+	case LabeledTriangles:
+		return MotifTriangles, nil
+	}
+	return "", fmt.Errorf("repro: unknown motif kind %q", k)
+}
+
 // EstimateLabeledMotif estimates the chosen label-refined motif count for
 // the pair via random walk, under the same restricted access model as
-// EstimateTargetEdges. Budget semantics match EstimateOptions.
+// EstimateTargetEdges. Budget semantics match EstimateOptions, including
+// Walkers/Seed/Ctx: a multi-walker run splits the walk and reports a
+// between-walker interval in Result.CI. It dispatches through the
+// estimation-task registry (see CountMotifs); single-walker results are
+// bit-identical to the historical implementation.
 func EstimateLabeledMotif(g *Graph, pair LabelPair, kind MotifKind, opts EstimateOptions) (Result, error) {
 	var res Result
-	if g.NumNodes() == 0 || g.NumEdges() == 0 {
-		return res, fmt.Errorf("repro: graph has no edges to sample")
+	shape, err := kind.shape()
+	if err != nil {
+		return res, err
 	}
-	k := opts.Samples
-	if k <= 0 {
-		budget := opts.Budget
-		if budget <= 0 {
-			budget = 0.05
-		}
-		k = int(math.Round(budget * float64(g.NumNodes())))
-		if k < 1 {
-			k = 1
-		}
+	mr, err := CountMotifs(g, shape, []LabelPair{pair}, opts)
+	if err != nil {
+		return res, err
 	}
-	burn := opts.BurnIn
-	if burn <= 0 {
-		mixed, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
-			MaxSteps:   5000,
-			StartNodes: walk.DefaultMixingStarts(g, 4),
-		})
-		if err != nil {
-			return res, err
-		}
-		burn = mixed.Steps
-		if burn < 10 {
-			burn = 10
-		}
-	}
-	res.BurnIn = burn
-	res.Samples = k
 	res.Method = Method(kind)
-
-	s, err := osn.NewSession(g, osn.Config{})
-	if err != nil {
-		return res, err
-	}
-	mopts := motif.Options{
-		BurnIn: burn,
-		Rng:    stats.NewSeedSequence(opts.Seed).NextRand(),
-		Start:  graph.Node(-1),
-	}
-	var r motif.Result
-	switch kind {
-	case LabeledWedges:
-		r, err = motif.LabeledWedges(s, pair, k, mopts)
-	case LabeledTriangles:
-		r, err = motif.LabeledTriangles(s, pair, k, mopts)
-	default:
-		return res, fmt.Errorf("repro: unknown motif kind %q", kind)
-	}
-	if err != nil {
-		return res, err
-	}
-	res.Estimate = r.Estimate
-	res.Samples = r.Samples
-	res.APICalls = r.APICalls
+	res.BurnIn = mr.BurnIn
+	res.Samples = mr.Samples
+	res.APICalls = mr.APICalls
+	res.Walkers = mr.Walkers
+	res.Estimate = mr.Rows[0].Estimate
+	res.CI = mr.Rows[0].CI
 	return res, nil
 }
 
@@ -98,4 +67,23 @@ func CountLabeledMotifExact(g *Graph, pair LabelPair, kind MotifKind) (int64, er
 		return exact.CountLabeledTriangles(g, pair), nil
 	}
 	return 0, fmt.Errorf("repro: unknown motif kind %q", kind)
+}
+
+// CountMotifsExact computes the exact count behind a CountMotifs row by full
+// traversal: the unlabeled total for a nil pair, the label-refined count
+// otherwise.
+func CountMotifsExact(g *Graph, shape string, pair *LabelPair) (int64, error) {
+	switch shape {
+	case MotifWedges:
+		if pair == nil {
+			return exact.CountWedges(g), nil
+		}
+		return exact.CountLabeledWedges(g, *pair), nil
+	case MotifTriangles:
+		if pair == nil {
+			return exact.CountTriangles(g), nil
+		}
+		return exact.CountLabeledTriangles(g, *pair), nil
+	}
+	return 0, fmt.Errorf("repro: unknown motif shape %q (want %q or %q)", shape, MotifWedges, MotifTriangles)
 }

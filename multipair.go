@@ -3,12 +3,10 @@ package repro
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 	"repro/internal/osn"
 	"repro/internal/stats"
-	"repro/internal/walk"
 )
 
 // MultiPairOptions configures EstimateManyPairs.
@@ -59,6 +57,35 @@ type MultiPairResult struct {
 	Walkers int
 }
 
+// recordShared resolves the sample count and burn-in from opts and records
+// one shared trajectory over a fresh session — the recording step behind
+// EstimateManyPairs and EstimateBatch (both derive the walk identically, so
+// a batch's trajectory is the exact walk EstimateManyPairs would record for
+// the same options).
+func recordShared(g *Graph, opts MultiPairOptions) (*core.Trajectory, int, error) {
+	k, burn, err := resolveWalkPlan(g, opts.Budget, opts.Samples, opts.BurnIn)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		return nil, 0, err
+	}
+	traj, err := core.RecordTrajectory(s, k, core.Options{
+		BurnIn:  burn,
+		Rng:     stats.NewSeedSequence(opts.Seed).NextRand(),
+		Start:   -1,
+		Walkers: opts.Walkers,
+		Seed:    stats.Derive(opts.Seed, "multipair"),
+		Ctx:     opts.Ctx,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return traj, burn, nil
+}
+
 // EstimateManyPairs estimates F for every given label pair from ONE shared
 // random walk: the walk is recorded once (with burn-in paid once) and
 // replayed through the paper's HH/HT/RW aggregators per pair. Because the
@@ -72,44 +99,7 @@ func EstimateManyPairs(g *Graph, pairs []LabelPair, opts MultiPairOptions) (*Mul
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("repro: EstimateManyPairs needs at least one label pair")
 	}
-	k := opts.Samples
-	if k <= 0 {
-		budget := opts.Budget
-		if budget <= 0 {
-			budget = 0.05
-		}
-		k = int(math.Round(budget * float64(g.NumNodes())))
-		if k < 1 {
-			k = 1
-		}
-	}
-	burn := opts.BurnIn
-	if burn <= 0 {
-		mixed, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
-			MaxSteps:   5000,
-			StartNodes: walk.DefaultMixingStarts(g, 4),
-		})
-		if err != nil {
-			return nil, err
-		}
-		burn = mixed.Steps
-		if burn < 10 {
-			burn = 10
-		}
-	}
-
-	s, err := osn.NewSession(g, osn.Config{})
-	if err != nil {
-		return nil, err
-	}
-	traj, err := core.RecordTrajectory(s, k, core.Options{
-		BurnIn:  burn,
-		Rng:     stats.NewSeedSequence(opts.Seed).NextRand(),
-		Start:   -1,
-		Walkers: opts.Walkers,
-		Seed:    stats.Derive(opts.Seed, "multipair"),
-		Ctx:     opts.Ctx,
-	})
+	traj, burn, err := recordShared(g, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -15,7 +15,10 @@
 // production use: EstimateOptions.Walkers parallelizes one estimate across
 // concurrent walkers at equal API budget, EstimateManyPairs answers any
 // number of label-pair queries from one recorded walk at zero extra API
-// cost, EstimateToPrecision adaptively extends a single walk until a target
+// cost, and EstimateBatch generalizes that to heterogeneous workloads — one
+// walk answers label-pair, graph-size (EstimateSize), census and motif
+// (CountMotifs) questions through the estimation-task registry (TaskKinds).
+// EstimateToPrecision adaptively extends a single walk until a target
 // precision (or a hard budget cap) is hit, and SaveSnapshot/LoadSnapshot
 // persist preprocessed million-node graphs in the .osnb binary format for
 // millisecond loads. See docs/ARCHITECTURE.md for the layer map and
@@ -44,7 +47,6 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graph/snapshot"
 	"repro/internal/osn"
-	"repro/internal/sizeest"
 	"repro/internal/stats"
 	"repro/internal/textio"
 	"repro/internal/walk"
@@ -195,31 +197,15 @@ func Derive(seed int64, tag string) int64 { return stats.Derive(seed, tag) }
 // collision counting plus inverse-degree weighting) — the substrate behind
 // the paper's assumption (2) for OSNs whose sizes are not published. budget
 // is the sample count as a fraction of the true |V| (only used to size the
-// walk; the estimator itself never reads |V|).
+// walk; the estimator itself never reads |V|). It is the two-value
+// convenience over EstimateSize, which adds Walkers/Seed/Ctx control and
+// returns the full diagnostics.
 func EstimateGraphSize(g *Graph, budget float64, seed int64) (nodes, edges float64, err error) {
-	if budget <= 0 {
-		budget = 0.1
-	}
-	k := int(budget * float64(g.NumNodes()))
-	if k < 50 {
-		k = 50
-	}
-	s, err := osn.NewSession(g, osn.Config{})
+	r, err := EstimateSize(g, SizeOptions{Budget: budget, Seed: seed})
 	if err != nil {
 		return 0, 0, err
 	}
-	burn, err := walk.MixingTime(g, 1e-3, walk.MixingOptions{
-		MaxSteps:   5000,
-		StartNodes: walk.DefaultMixingStarts(g, 4),
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	return sizeest.EstimateWithPriors(s, k, sizeest.Options{
-		BurnIn: burn.Steps + 10,
-		Rng:    stats.NewSeedSequence(seed).NextRand(),
-		Start:  graph.Node(-1),
-	})
+	return r.Nodes, r.Edges, nil
 }
 
 // Baseline names re-exported for callers that want to run the EX-*

@@ -1,0 +1,169 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// BenchmarkHeterogeneousTasks measures the acceptance scenario of the
+// estimation-task registry: a mixed batch — label pairs, graph size, motif
+// counts and a census — served through the query engine off ONE cached
+// trajectory, versus paying a separate recording per workload (the
+// pre-registry architecture, where sizeest and motif ran their own private
+// walk loops). All three measurements run through the engine at the same
+// (budget, walkers) configuration, so the API-call axis is identical. It
+// writes BENCH_tasks.json; the headline is call_ratio_shared_vs_single,
+// which must stay ≤ 1.2 (a mixed batch costs about one estimate; the
+// separate-walks architecture pays ~#workloads×).
+//
+// Run: go test -bench BenchmarkHeterogeneousTasks -benchtime 1x -run '^$' .
+func BenchmarkHeterogeneousTasks(b *testing.B) {
+	g, err := GenerateStandIn("facebook", 1.0, 2018)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := pairsFromCensus(b, g, 8)
+	const (
+		budget = 2000
+		burnIn = 300
+	)
+	ctx := context.Background()
+	newEngine := func(seed int64) *serve.Engine {
+		engine, err := serve.New(serve.Config{Graph: g, BurnIn: burnIn, Budget: budget, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return engine
+	}
+	mixedQueries := func() []serve.Query {
+		return []serve.Query{
+			{Kind: "pairs", Pairs: pairs},
+			{Kind: "size"},
+			{Kind: "motif", Motif: MotifWedges, Pairs: pairs[:1]},
+			{Kind: "motif", Motif: MotifTriangles},
+			{Kind: "census", Top: 10},
+		}
+	}
+
+	var (
+		nsSingle, nsShared, nsSeparate          float64
+		callsSingle, callsShared, callsSeparate int64
+	)
+
+	// Baseline: one engine answers ONE pairs query — the cost of a single
+	// estimate through the service.
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ans, err := newEngine(int64(1+i)).Estimate(ctx, mixedQueries()[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			callsSingle = ans.Charged
+		}
+		nsSingle = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	// Shared: one engine answers the whole mixed batch; every kind after
+	// the first rides the cached trajectory.
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine := newEngine(int64(1 + i))
+			var charged int64
+			for _, q := range mixedQueries() {
+				ans, err := engine.Estimate(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				charged += ans.Charged
+			}
+			if st := engine.Stats(); st.Recordings != 1 {
+				b.Fatalf("mixed batch triggered %d recordings, want 1", st.Recordings)
+			}
+			callsShared = charged
+		}
+		nsShared = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	// Separate: the pre-registry architecture — every workload pays for
+	// its own burn-in and walk (one fresh engine per query).
+	b.Run("separate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var total int64
+			for qi, q := range mixedQueries() {
+				ans, err := newEngine(int64(1+i)+int64(100*(qi+1))).Estimate(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += ans.Charged
+			}
+			callsSeparate = total
+		}
+		nsSeparate = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	if callsSingle == 0 || callsShared == 0 || callsSeparate == 0 {
+		return // a sub-benchmark was filtered out; skip the report
+	}
+	writeTasksBench(b, tasksReport{
+		GoMaxProcs:              runtime.GOMAXPROCS(0),
+		Kinds:                   4,
+		Queries:                 5,
+		Pairs:                   len(pairs),
+		Budget:                  budget,
+		APICallsSingle:          callsSingle,
+		APICallsShared:          callsShared,
+		APICallsSeparate:        callsSeparate,
+		CallRatioSharedSingle:   float64(callsShared) / float64(callsSingle),
+		CallRatioSeparateSingle: float64(callsSeparate) / float64(callsSingle),
+		NsPerOpSingle:           nsSingle,
+		NsPerOpShared:           nsShared,
+		NsPerOpSeparate:         nsSeparate,
+	})
+}
+
+// tasksReport is the schema of BENCH_tasks.json.
+type tasksReport struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Kinds and Queries describe the mixed batch (4 task kinds over 5
+	// queries).
+	Kinds   int `json:"kinds"`
+	Queries int `json:"queries"`
+	Pairs   int `json:"pairs"`
+	Budget  int `json:"budget_calls"`
+	// APICallsSingle is one pairs query's charge through the engine — the
+	// amortization baseline.
+	APICallsSingle int64 `json:"api_calls_single"`
+	// APICallsShared is the whole mixed batch's charge off one trajectory.
+	APICallsShared int64 `json:"api_calls_shared"`
+	// APICallsSeparate is the same workloads as separate recordings (the
+	// pre-registry architecture).
+	APICallsSeparate int64 `json:"api_calls_separate"`
+	// CallRatioSharedSingle is the acceptance headline: ≤ 1.2 means a
+	// mixed batch costs about one estimate.
+	CallRatioSharedSingle   float64 `json:"call_ratio_shared_vs_single"`
+	CallRatioSeparateSingle float64 `json:"call_ratio_separate_vs_single"`
+	NsPerOpSingle           float64 `json:"ns_per_op_single"`
+	NsPerOpShared           float64 `json:"ns_per_op_shared"`
+	NsPerOpSeparate         float64 `json:"ns_per_op_separate"`
+}
+
+func writeTasksBench(b *testing.B, rep tasksReport) {
+	b.Helper()
+	if rep.CallRatioSharedSingle > 1.2 {
+		b.Errorf("mixed-kind batch cost %.2f× a single estimate, want <= 1.2×", rep.CallRatioSharedSingle)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_tasks.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_tasks.json: %d queries over %d kinds at %.2fx one estimate's API cost (separate walks: %.1fx)",
+		rep.Queries, rep.Kinds, rep.CallRatioSharedSingle, rep.CallRatioSeparateSingle)
+}
