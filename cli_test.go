@@ -65,6 +65,7 @@ func TestCLIFlagValidation(t *testing.T) {
 	mixtime := buildTool(t, dir, "mixtime")
 	genosn := buildTool(t, dir, "genosn")
 	sizeest := buildTool(t, dir, "sizeest")
+	serve := buildTool(t, dir, "serve")
 
 	runExpectUsageError(t, edgecount, "-walkers", "-dataset", "facebook", "-scale", "0.1", "-walkers", "-3")
 	runExpectUsageError(t, edgecount, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "0")
@@ -98,6 +99,15 @@ func TestCLIFlagValidation(t *testing.T) {
 	runExpectUsageError(t, sizeest, "-burnin", "-dataset", "facebook", "-scale", "0.1", "-burnin", "-3")
 	runExpectUsageError(t, sizeest, "-gap", "-dataset", "facebook", "-scale", "0.1", "-gap", "-1")
 	runExpectUsageError(t, sizeest, "-dataset", "-budget", "0.1") // no input at all
+
+	// serve validates its workspace flags up front too (PR 5).
+	runExpectUsageError(t, serve, "-dataset", "-budget", "0.1") // no input at all
+	runExpectUsageError(t, serve, "-graphs", "-dataset", "facebook", "-graphs", dir)
+	runExpectUsageError(t, serve, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "0")
+	runExpectUsageError(t, serve, "-walkers", "-dataset", "facebook", "-scale", "0.1", "-walkers", "0")
+	runExpectUsageError(t, serve, "-cache-bytes", "-dataset", "facebook", "-scale", "0.1", "-cache-bytes", "-1")
+	runExpectUsageError(t, serve, "-drain", "-dataset", "facebook", "-scale", "0.1", "-drain", "0s")
+	runExpectUsageError(t, serve, "-labels", "-graph", "x.osnb", "-labels", "x.labels")
 
 	// Snapshot input is exclusive with the other sources and embeds labels.
 	runExpectUsageError(t, edgecount, "-graph", "-dataset", "facebook", "-graph", "x.osnb")

@@ -1,56 +1,76 @@
-// Command serve runs the estimation query service: an HTTP JSON API over
-// one graph behind the restricted access model, answering many concurrent
-// estimation queries from shared random-walk trajectories. Every query
-// names an estimation-task kind — label-pair counts ("pairs", the default),
-// graph size ("size"), a label-pair census ("census") or motif counts
-// ("motif") — and one recorded walk serves EVERY kind any client asks about
-// at a given (budget, walkers, seed) configuration: the kind is not part of
-// the trajectory cache key, so a mixed-kind batch costs the API calls of a
-// single estimate. Queries arriving within the batching window share a
-// single fleet run, and finished trajectories stay cached for -ttl.
+// Command serve runs the estimation query service: an HTTP JSON API over a
+// workspace of named graphs, each behind the restricted access model,
+// answering many concurrent estimation queries from shared random-walk
+// trajectories. Every query names an estimation-task kind — label-pair
+// counts ("pairs", the default), graph size ("size"), a label-pair census
+// ("census") or motif counts ("motif") — and one recorded walk serves EVERY
+// kind any client asks about at a given (budget, walkers, seed)
+// configuration of a graph: the kind is not part of the trajectory cache
+// key, so a mixed-kind batch costs the API calls of a single estimate.
+//
+// With -store, completed trajectories persist as .osnt files and are
+// reloaded on restart: the first query after a restart is served from disk
+// at zero API spend, bit-identical to the pre-restart answer. Graphs can be
+// loaded and unloaded at runtime through PUT/DELETE /graphs/{name}.
+// SIGINT/SIGTERM drain in-flight requests (up to -drain) and flush dirty
+// trajectories before exiting.
 //
 // Usage:
 //
 //	serve -dataset pokec -scale 0.5 -addr :8080
 //	serve -edges graph.txt -labels labels.txt -budget 0.05 -walkers 4
-//	serve -graph pokec.osnb -budget 0.01 -walkers 8
+//	serve -graph pokec.osnb -store /var/lib/osn/store -budget 0.01
+//	serve -graphs /var/lib/osn/graphs -store /var/lib/osn/store -cache-bytes 268435456
 //
 // Then:
 //
 //	curl -s localhost:8080/healthz
-//	curl -s localhost:8080/methods
-//	curl -s -X POST localhost:8080/estimate -d '{"pairs": [[1,2],[2,3]]}'
-//	curl -s -X POST localhost:8080/estimate -d '{"kind": "size"}'
-//	curl -s -X POST localhost:8080/estimate -d '{"kind": "census", "top": 10}'
-//	curl -s -X POST localhost:8080/estimate -d '{"kind": "motif", "motif": "triangles", "pairs": [[1,2]]}'
+//	curl -s localhost:8080/graphs
+//	curl -s -X PUT localhost:8080/graphs/pokec -d '{"path": "pokec.osnb"}'
+//	curl -s -X POST localhost:8080/estimate -d '{"graph": "pokec", "pairs": [[1,2],[2,3]]}'
+//	curl -s -X POST localhost:8080/estimate -d '{"graph": "pokec", "queries": [{"kind": "size"}, {"kind": "census", "top": 10}]}'
+//	curl -s -X DELETE localhost:8080/graphs/pokec
+//
+// See docs/OPERATIONS.md for the full deployment guide.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "", "synthetic stand-in to generate (facebook, googleplus, pokec, orkut, livejournal)")
-		scale   = flag.Float64("scale", 1.0, "stand-in scale factor")
-		edges   = flag.String("edges", "", "edge list file (alternative to -dataset)")
-		labels  = flag.String("labels", "", "label file (with -edges)")
-		graphF  = flag.String("graph", "", ".osnb binary snapshot (alternative to -dataset/-edges)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		budget  = flag.Float64("budget", 0.05, "default trajectory API budget as a fraction of |V|")
-		walkers = flag.Int("walkers", 1, "default concurrent walkers per trajectory recording")
-		burnin  = flag.Int("burnin", 0, "walk burn-in steps (0 = measure mixing time at startup)")
-		seed    = flag.Int64("seed", 1, "default trajectory seed")
-		window  = flag.Duration("window", 25*time.Millisecond, "batching window: queries arriving within it share one recording")
-		ttl     = flag.Duration("ttl", 10*time.Minute, "cached trajectory lifetime (0 = keep until restart)")
+		dataset    = flag.String("dataset", "", "synthetic stand-in to generate (facebook, googleplus, pokec, orkut, livejournal)")
+		scale      = flag.Float64("scale", 1.0, "stand-in scale factor")
+		edges      = flag.String("edges", "", "edge list file (alternative to -dataset)")
+		labels     = flag.String("labels", "", "label file (with -edges)")
+		graphF     = flag.String("graph", "", ".osnb binary snapshot (alternative to -dataset/-edges)")
+		graphsDir  = flag.String("graphs", "", "directory of .osnb snapshots: every snapshot is served under its basename, and PUT /graphs/{name} resolves here")
+		storeDir   = flag.String("store", "", "persistent trajectory store directory (.osnt files); empty = memory-only cache")
+		cacheBytes = flag.Int64("cache-bytes", 0, "byte budget across all cached trajectories (0 = unlimited); over it, the globally LRU trajectory is persisted and evicted")
+		addr       = flag.String("addr", ":8080", "listen address")
+		budget     = flag.Float64("budget", 0.05, "default trajectory API budget as a fraction of |V| (applied per graph at startup)")
+		walkers    = flag.Int("walkers", 1, "default concurrent walkers per trajectory recording")
+		burnin     = flag.Int("burnin", 0, "walk burn-in steps (0 = measure mixing time per graph at load)")
+		seed       = flag.Int64("seed", 1, "default trajectory seed")
+		window     = flag.Duration("window", 25*time.Millisecond, "batching window: queries arriving within it share one recording")
+		ttl        = flag.Duration("ttl", 10*time.Minute, "cached trajectory lifetime (0 = keep until eviction)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -59,13 +79,13 @@ func main() {
 		os.Exit(2)
 	}
 	inputs := 0
-	for _, set := range []bool{*dataset != "", *edges != "", *graphF != ""} {
+	for _, set := range []bool{*dataset != "", *edges != "", *graphF != "", *graphsDir != ""} {
 		if set {
 			inputs++
 		}
 	}
 	if inputs != 1 {
-		fmt.Fprintln(os.Stderr, "serve: need exactly one of -dataset, -edges, -graph")
+		fmt.Fprintln(os.Stderr, "serve: need exactly one of -dataset, -edges, -graph, -graphs")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -87,51 +107,125 @@ func main() {
 	if *window < 0 || *ttl < 0 {
 		fail("-window and -ttl must be non-negative")
 	}
+	if *cacheBytes < 0 {
+		fail("-cache-bytes must be non-negative, got %d", *cacheBytes)
+	}
+	if *drain <= 0 {
+		fail("-drain must be positive, got %s", *drain)
+	}
 
-	var (
-		g   *repro.Graph
-		err error
-	)
-	switch {
-	case *dataset != "":
-		g, err = repro.GenerateStandIn(*dataset, *scale, *seed)
-	case *graphF != "":
-		start := time.Now()
-		g, err = repro.LoadSnapshot(*graphF)
-		if err == nil {
-			log.Printf("loaded %s in %.3fs", *graphF, time.Since(start).Seconds())
+	var st *store.Dir
+	if *storeDir != "" {
+		var err error
+		st, err = store.NewDir(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
 		}
-	default:
-		g, err = repro.LoadGraph(*edges, *labels)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
-	}
-	log.Printf("graph: |V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
-
-	callBudget := int(*budget * float64(g.NumNodes()))
-	if callBudget < 100 {
-		callBudget = 100
-	}
-	engine, err := serve.New(serve.Config{
-		Graph:       g,
-		BurnIn:      *burnin,
-		Budget:      callBudget,
-		Walkers:     *walkers,
-		Seed:        *seed,
-		BatchWindow: *window,
-		TTL:         *ttl,
+	ws, err := serve.NewWorkspace(serve.WorkspaceConfig{
+		Store:      st,
+		CacheBytes: *cacheBytes,
+		GraphsDir:  *graphsDir,
+		Defaults: serve.GraphOptions{
+			BurnIn:      *burnin,
+			Walkers:     *walkers,
+			Seed:        *seed,
+			BatchWindow: *window,
+			TTL:         *ttl,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("engine: burn-in=%d steps, trajectory budget=%d calls, walkers=%d, window=%s, ttl=%s",
-		engine.BurnIn(), callBudget, *walkers, *window, *ttl)
-	log.Printf("listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, serve.NewHandler(engine)); err != nil {
+
+	// addGraph loads one graph into the workspace, resolving the fractional
+	// -budget against that graph's size.
+	addGraph := func(name string, g *repro.Graph) {
+		callBudget := int(*budget * float64(g.NumNodes()))
+		if callBudget < 100 {
+			callBudget = 100
+		}
+		opts := ws.Defaults()
+		opts.Budget = callBudget
+		warmed, err := ws.AddGraph(name, g, &opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		engine, _ := ws.Graph(name)
+		burn := 0
+		if engine != nil {
+			burn = engine.BurnIn()
+		}
+		log.Printf("graph %q: |V|=%d |E|=%d burn-in=%d budget=%d calls, %d trajectories warm-started",
+			name, g.NumNodes(), g.NumEdges(), burn, callBudget, warmed)
+	}
+
+	switch {
+	case *dataset != "":
+		g, err := repro.GenerateStandIn(*dataset, *scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		addGraph(*dataset, g)
+	case *graphF != "":
+		start := time.Now()
+		g, err := repro.LoadSnapshot(*graphF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		name := strings.TrimSuffix(filepath.Base(*graphF), filepath.Ext(*graphF))
+		log.Printf("loaded %s in %.3fs", *graphF, time.Since(start).Seconds())
+		addGraph(name, g)
+	case *edges != "":
+		g, err := repro.LoadGraph(*edges, *labels)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		addGraph("default", g)
+	case *graphsDir != "":
+		snaps, err := filepath.Glob(filepath.Join(*graphsDir, "*.osnb"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		sort.Strings(snaps)
+		for _, snap := range snaps {
+			g, err := repro.LoadSnapshot(snap)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+			addGraph(strings.TrimSuffix(filepath.Base(snap), filepath.Ext(snap)), g)
+		}
+		if len(snaps) == 0 {
+			log.Printf("no .osnb snapshots in %s; load graphs at runtime with PUT /graphs/{name}", *graphsDir)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	storeMsg := "memory-only"
+	if st != nil {
+		storeMsg = st.Root()
+	}
+	log.Printf("workspace: %d graphs, store=%s, cache-bytes=%d, window=%s, ttl=%s, drain=%s",
+		len(ws.List()), storeMsg, *cacheBytes, *window, *ttl, *drain)
+	log.Printf("listening on %s", ln.Addr())
+	if err := serve.Run(ctx, ln, serve.NewHandler(ws), ws, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("drained and flushed; bye")
 }

@@ -89,6 +89,11 @@ type Trajectory struct {
 	NumEdges int64
 	// ThinGap is the recording's HT thinning gap (see Options.ThinGap).
 	ThinGap int
+	// BurnIn is the burn-in the walk paid before sampling began. Replays
+	// never re-walk it, but it identifies the recording recipe: a persisted
+	// trajectory recorded under a different burn-in is not the trajectory a
+	// fresh recording would produce.
+	BurnIn int
 	// BudgetDriven records how k was interpreted during recording.
 	BudgetDriven bool
 
@@ -108,6 +113,15 @@ func (t *Trajectory) Samples() int {
 // estimation tasks registered in other packages (size, motif) replay through
 // it without touching the metered API.
 func (t *Trajectory) Labels() LabelReader { return t.labels }
+
+// BindLabels attaches the label-read surface a replay of t consults. It is
+// the import hook of the trajectory persistence layer (internal/store): a
+// Trajectory deserialized from a .osnt file is rebuilt field by field and
+// then bound to the labels the file carries (or to the served graph, which
+// recorded them in the first place). Binding replaces the reader wholesale;
+// it must cover every node the trajectory references, or replays will
+// silently treat the missing nodes as unlabeled.
+func (t *Trajectory) BindLabels(lr LabelReader) { t.labels = lr }
 
 // PairEstimates is one label pair's full replay: every estimator of both
 // algorithms computed from the shared trajectory. The APICalls fields of both
@@ -187,6 +201,7 @@ func RecordTrajectory(s *osn.Session, k int, opts Options) (*Trajectory, error) 
 		NumNodes:       s.NumNodes(),
 		NumEdges:       s.NumEdges(),
 		ThinGap:        opts.ThinGap,
+		BurnIn:         opts.BurnIn,
 		BudgetDriven:   opts.BudgetDriven,
 		labels:         s,
 	}, nil
@@ -279,6 +294,7 @@ func recordTrajectoryParallel(s *osn.Session, k int, opts Options) (*Trajectory,
 		NumNodes:       s.NumNodes(),
 		NumEdges:       s.NumEdges(),
 		ThinGap:        opts.ThinGap,
+		BurnIn:         opts.BurnIn,
 		BudgetDriven:   opts.BudgetDriven,
 		labels:         s,
 	}, nil
@@ -485,6 +501,7 @@ func (r *Recorder) Trajectory() *Trajectory {
 		NumNodes:       r.nNodes,
 		NumEdges:       r.nEdges,
 		ThinGap:        r.opts.ThinGap,
+		BurnIn:         r.opts.BurnIn,
 		labels:         r.labels,
 	}
 }

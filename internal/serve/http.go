@@ -5,17 +5,26 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/graph"
+	"repro/internal/graph/snapshot"
 	"repro/internal/motif"
 	"repro/internal/sizeest"
+	"repro/internal/store"
 )
 
-// estimateRequest is the POST /estimate body.
-type estimateRequest struct {
+// estimateQuery is one estimation question on the wire: the task kind plus
+// its parameters. It appears as the top level of a single-query POST
+// /estimate body and as each element of a batch's "queries" array.
+type estimateQuery struct {
+	// Graph names the workspace graph to query; empty addresses the
+	// workspace's only graph. In a batch, every query must agree on the
+	// graph — a trajectory is a walk over one graph.
+	Graph string `json:"graph,omitempty"`
 	// Kind selects the estimation task: "pairs" (default), "size",
 	// "census" or "motif".
 	Kind string `json:"kind,omitempty"`
@@ -26,7 +35,19 @@ type estimateRequest struct {
 	Motif string `json:"motif,omitempty"`
 	// Top bounds how many census rows kind "census" returns (0 = all).
 	Top int `json:"top,omitempty"`
-	// Budget, Walkers, Seed, MaxCost mirror Query.
+}
+
+// estimateRequest is the POST /estimate body: one query (the historical
+// shape, fields inline) or a batch (the "queries" array), plus the shared
+// trajectory configuration.
+type estimateRequest struct {
+	estimateQuery
+	// Queries, when non-empty, makes the request a batch: every query is
+	// answered from ONE shared trajectory of this graph. The inline
+	// kind/pairs/motif/top fields must then be absent.
+	Queries []estimateQuery `json:"queries,omitempty"`
+	// Budget, Walkers, Seed, MaxCost mirror Query; they configure the
+	// (single) trajectory the request is served from.
 	Budget  int   `json:"budget,omitempty"`
 	Walkers int   `json:"walkers,omitempty"`
 	Seed    int64 `json:"seed,omitempty"`
@@ -87,14 +108,17 @@ type motifJSON struct {
 	Rows  []motifRowJSON `json:"rows"`
 }
 
-// estimateResponse is the POST /estimate response body. Exactly one of
-// Pairs/Size/Census/Motif is populated, per the request kind.
+// estimateResponse is one answered query. Exactly one of
+// Pairs/Size/Census/Motif is populated, per the request kind — or Error,
+// for a batch member whose replay failed.
 type estimateResponse struct {
+	Graph    string           `json:"graph,omitempty"`
 	Kind     string           `json:"kind"`
 	Pairs    []pairAnswerJSON `json:"pairs,omitempty"`
 	Size     *sizeJSON        `json:"size,omitempty"`
 	Census   []censusRowJSON  `json:"census,omitempty"`
 	Motif    *motifJSON       `json:"motif,omitempty"`
+	Error    string           `json:"error,omitempty"`
 	APICalls int64            `json:"api_calls"`
 	Charged  int64            `json:"charged"`
 	CacheHit bool             `json:"cache_hit"`
@@ -103,121 +127,353 @@ type estimateResponse struct {
 	Samples  int              `json:"samples"`
 }
 
-// healthResponse is the GET /healthz body.
-type healthResponse struct {
-	Status        string           `json:"status"`
-	Nodes         int              `json:"graph_nodes"`
-	Edges         int64            `json:"graph_edges"`
-	BurnIn        int              `json:"burn_in"`
-	Queries       int64            `json:"queries"`
-	CacheHits     int64            `json:"cache_hits"`
-	Recordings    int64            `json:"recordings"`
-	UpstreamCalls int64            `json:"upstream_api_calls"`
-	TasksByKind   map[string]int64 `json:"tasks_by_kind,omitempty"`
-	UptimeSec     int64            `json:"uptime_seconds"`
+// batchResponse is the POST /estimate response for a batch request: one
+// answer per query, in query order, all replayed from one trajectory.
+type batchResponse struct {
+	Graph   string             `json:"graph,omitempty"`
+	Answers []estimateResponse `json:"answers"`
 }
 
-// NewHandler exposes an Engine as an HTTP JSON API:
+// graphInfoJSON is one row of the GET /graphs listing.
+type graphInfoJSON struct {
+	Name               string           `json:"name"`
+	Nodes              int              `json:"nodes"`
+	Edges              int64            `json:"edges"`
+	BurnIn             int              `json:"burn_in"`
+	CachedTrajectories int              `json:"cached_trajectories"`
+	CachedBytes        int64            `json:"cached_bytes"`
+	Queries            int64            `json:"queries"`
+	CacheHits          int64            `json:"cache_hits"`
+	Recordings         int64            `json:"recordings"`
+	StoreLoads         int64            `json:"store_loads"`
+	UpstreamCalls      int64            `json:"upstream_api_calls"`
+	TasksByKind        map[string]int64 `json:"tasks_by_kind,omitempty"`
+}
+
+// graphsResponse is the GET /graphs body.
+type graphsResponse struct {
+	Graphs          []graphInfoJSON `json:"graphs"`
+	CacheBytesUsed  int64           `json:"cache_bytes_used"`
+	CacheByteBudget int64           `json:"cache_byte_budget"`
+}
+
+// loadGraphRequest is the PUT /graphs/{name} body. All fields are
+// optional: an empty path resolves to <graphs dir>/<name>.osnb, and zero
+// engine settings inherit the workspace defaults.
+type loadGraphRequest struct {
+	// Path is the .osnb snapshot to load.
+	Path string `json:"path,omitempty"`
+	// Budget, Walkers, BurnIn, Seed override the workspace's default
+	// engine settings for this graph (see GraphOptions).
+	Budget  int   `json:"budget,omitempty"`
+	Walkers int   `json:"walkers,omitempty"`
+	BurnIn  int   `json:"burnin,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+}
+
+// loadGraphResponse is the PUT /graphs/{name} body on success.
+type loadGraphResponse struct {
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	Edges  int64  `json:"edges"`
+	BurnIn int    `json:"burn_in"`
+	// WarmTrajectories is how many persisted .osnt trajectories were
+	// reloaded into the new graph's cache.
+	WarmTrajectories int `json:"warm_trajectories"`
+}
+
+// healthResponse is the GET /healthz body: liveness plus workspace-wide
+// counters (per-graph detail lives under GET /graphs).
+type healthResponse struct {
+	Status          string `json:"status"`
+	Graphs          int    `json:"graphs"`
+	Queries         int64  `json:"queries"`
+	CacheHits       int64  `json:"cache_hits"`
+	Recordings      int64  `json:"recordings"`
+	StoreLoads      int64  `json:"store_loads"`
+	StoreSaves      int64  `json:"store_saves"`
+	StoreErrors     int64  `json:"store_errors"`
+	UpstreamCalls   int64  `json:"upstream_api_calls"`
+	CacheBytesUsed  int64  `json:"cache_bytes_used"`
+	CacheByteBudget int64  `json:"cache_byte_budget"`
+	UptimeSec       int64  `json:"uptime_seconds"`
+}
+
+// NewHandler exposes a Workspace as an HTTP JSON API:
 //
-//	POST /estimate  {"kind": "pairs", "pairs": [[1,2],[3,4]], "budget": 0, "walkers": 0, "seed": 0, "max_cost": 0}
-//	                {"kind": "size"}
-//	                {"kind": "census", "top": 10}
-//	                {"kind": "motif", "motif": "wedges", "pairs": [[1,2]]}
-//	GET  /methods   the estimator names a "pairs" answer carries, plus the task kinds
-//	GET  /healthz   liveness plus engine counters
+//	POST   /estimate       {"graph": "pokec", "kind": "pairs", "pairs": [[1,2]], ...}
+//	                       {"graph": "pokec", "queries": [{"kind": "size"}, {"kind": "census", "top": 10}], ...}
+//	GET    /graphs         list the served graphs with cache and query stats
+//	PUT    /graphs/{name}  load a .osnb snapshot as a new graph (409 if the name is taken)
+//	DELETE /graphs/{name}  unload a graph, flushing its dirty trajectories (404 if unknown)
+//	GET    /methods        the estimator names a "pairs" answer carries, plus the task kinds
+//	GET    /healthz        liveness plus workspace counters
 //
 // Queries of different kinds at one (budget, walkers, seed) configuration
-// share a single recorded trajectory, so a mixed batch costs the API calls
-// of one walk.
-func NewHandler(e *Engine) http.Handler {
+// of one graph share a single recorded trajectory, so a mixed-kind batch
+// costs the API calls of one walk. Batches cannot mix graphs (400): a
+// trajectory is a walk over one graph.
+func NewHandler(ws *Workspace) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
+	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req estimateRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
 			return
 		}
-		q := Query{
-			Kind:    req.Kind,
-			Motif:   req.Motif,
-			Top:     req.Top,
-			Budget:  req.Budget,
-			Walkers: req.Walkers,
-			Seed:    req.Seed,
-			MaxCost: req.MaxCost,
-		}
-		if (req.Kind == "" || req.Kind == "pairs") && len(req.Pairs) == 0 {
-			httpError(w, http.StatusBadRequest, "need at least one [t1,t2] pair")
+		if len(req.Queries) > 0 {
+			handleBatch(ws, w, r, req)
 			return
 		}
-		for _, p := range req.Pairs {
-			if p[0] < 0 || p[1] < 0 {
-				httpError(w, http.StatusBadRequest, fmt.Sprintf("negative label in pair %v", p))
-				return
-			}
-			q.Pairs = append(q.Pairs, graph.LabelPair{T1: graph.Label(p[0]), T2: graph.Label(p[1])})
+		q, ok := buildQuery(w, req.estimateQuery, req)
+		if !ok {
+			return
 		}
-		ans, err := e.Estimate(r.Context(), q)
+		ans, err := ws.Estimate(r.Context(), req.Graph, q)
 		if err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, ErrQueryBudget) {
-				status = http.StatusPaymentRequired
-			} else if errors.Is(err, ErrBadQuery) {
-				status = http.StatusBadRequest
-			} else if errors.Is(err, ErrEstimation) {
-				status = http.StatusUnprocessableEntity
-			} else if r.Context().Err() != nil {
-				status = 499 // client closed request
-			}
-			httpError(w, status, err.Error())
+			writeEstimateError(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, renderAnswer(ans))
+		writeJSON(w, http.StatusOK, renderAnswer(req.Graph, ans))
 	})
 
-	mux.HandleFunc("/methods", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET only")
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
+		infos := ws.List()
+		resp := graphsResponse{Graphs: make([]graphInfoJSON, 0, len(infos)), CacheByteBudget: ws.CacheBudget()}
+		for _, gi := range infos {
+			resp.CacheBytesUsed += gi.CachedBytes
+			resp.Graphs = append(resp.Graphs, graphInfoJSON{
+				Name:               gi.Name,
+				Nodes:              gi.Nodes,
+				Edges:              gi.Edges,
+				BurnIn:             gi.BurnIn,
+				CachedTrajectories: gi.CachedTrajectories,
+				CachedBytes:        gi.CachedBytes,
+				Queries:            gi.Stats.Queries,
+				CacheHits:          gi.Stats.CacheHits,
+				Recordings:         gi.Stats.Recordings,
+				StoreLoads:         gi.Stats.StoreLoads,
+				UpstreamCalls:      gi.Stats.UpstreamCalls,
+				TasksByKind:        gi.Stats.TasksByKind,
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("PUT /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !store.ValidGraphName(name) {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid graph name %q (want 1-64 of [A-Za-z0-9._-], starting alphanumeric)", name))
 			return
 		}
+		var req loadGraphRequest
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+				return
+			}
+		}
+		if _, err := ws.Graph(name); err == nil {
+			// Fail the duplicate before reading a multi-megabyte snapshot;
+			// AddGraph re-checks authoritatively under its reservation.
+			writeEstimateError(w, r, fmt.Errorf("%w: %q", ErrGraphExists, name))
+			return
+		}
+		path := req.Path
+		if path == "" {
+			if ws.GraphsDir() == "" {
+				httpError(w, http.StatusBadRequest, "no graphs directory configured; the request body must carry a snapshot path")
+				return
+			}
+			path = filepath.Join(ws.GraphsDir(), name+snapshot.Ext)
+		}
+		g, err := snapshot.Load(path)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("loading snapshot: %v", err))
+			return
+		}
+		opts := ws.cfg.Defaults
+		if req.Budget > 0 {
+			opts.Budget = req.Budget
+		}
+		if req.Walkers > 0 {
+			opts.Walkers = req.Walkers
+		}
+		if req.BurnIn > 0 {
+			opts.BurnIn = req.BurnIn
+		}
+		if req.Seed != 0 {
+			opts.Seed = req.Seed
+		}
+		warmed, err := ws.AddGraph(name, g, &opts)
+		if err != nil {
+			writeEstimateError(w, r, err)
+			return
+		}
+		engine, err := ws.Graph(name)
+		if err != nil {
+			writeEstimateError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, loadGraphResponse{
+			Name:             name,
+			Nodes:            g.NumNodes(),
+			Edges:            g.NumEdges(),
+			BurnIn:           engine.BurnIn(),
+			WarmTrajectories: warmed,
+		})
+	})
+
+	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := ws.RemoveGraph(name); err != nil {
+			writeEstimateError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "name": name})
+	})
+
+	mux.HandleFunc("GET /methods", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{
 			"methods": Methods(),
 			"kinds":   Kinds(),
 		})
 	})
 
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET only")
-			return
-		}
-		st := e.Stats()
-		writeJSON(w, http.StatusOK, healthResponse{
-			Status:        "ok",
-			Nodes:         e.Graph().NumNodes(),
-			Edges:         e.Graph().NumEdges(),
-			BurnIn:        e.BurnIn(),
-			Queries:       st.Queries,
-			CacheHits:     st.CacheHits,
-			Recordings:    st.Recordings,
-			UpstreamCalls: st.UpstreamCalls,
-			TasksByKind:   st.TasksByKind,
-			UptimeSec:     int64(time.Since(start).Seconds()),
+	// Method-less fallbacks keep the documented error contract — every
+	// error body is {"error": ...} — for wrong-method requests, which the
+	// method-qualified patterns above would otherwise answer with the Go
+	// mux's plain-text 405.
+	for path, allow := range map[string]string{
+		"/estimate":      "POST only",
+		"/graphs":        "GET only",
+		"/graphs/{name}": "PUT or DELETE only",
+		"/methods":       "GET only",
+		"/healthz":       "GET only",
+	} {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			httpError(w, http.StatusMethodNotAllowed, allow)
 		})
+	}
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		infos := ws.List()
+		resp := healthResponse{
+			Status:          "ok",
+			Graphs:          len(infos),
+			CacheByteBudget: ws.CacheBudget(),
+			UptimeSec:       int64(time.Since(start).Seconds()),
+		}
+		for _, gi := range infos {
+			resp.Queries += gi.Stats.Queries
+			resp.CacheHits += gi.Stats.CacheHits
+			resp.Recordings += gi.Stats.Recordings
+			resp.StoreLoads += gi.Stats.StoreLoads
+			resp.StoreSaves += gi.Stats.StoreSaves
+			resp.StoreErrors += gi.Stats.StoreErrors
+			resp.UpstreamCalls += gi.Stats.UpstreamCalls
+			resp.CacheBytesUsed += gi.CachedBytes
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	return mux
 }
 
+// handleBatch answers the batch form of POST /estimate: every query rides
+// one trajectory of one graph. Mixed-graph batches are rejected with 400
+// before any API spend.
+func handleBatch(ws *Workspace, w http.ResponseWriter, r *http.Request, req estimateRequest) {
+	if req.Kind != "" || len(req.estimateQuery.Pairs) > 0 || req.Motif != "" || req.Top != 0 {
+		httpError(w, http.StatusBadRequest, "a batch request puts kind/pairs/motif/top inside \"queries\", not at the top level")
+		return
+	}
+	graphName := req.Graph
+	qs := make([]Query, 0, len(req.Queries))
+	for i, eq := range req.Queries {
+		if eq.Graph != "" {
+			if graphName == "" {
+				graphName = eq.Graph
+			} else if eq.Graph != graphName {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf(
+					"mixed-graph batch: query %d names graph %q but the batch is against %q — a batch shares one trajectory, which is a walk over one graph; split the batch per graph",
+					i, eq.Graph, graphName))
+				return
+			}
+		}
+		q, ok := buildQuery(w, eq, req)
+		if !ok {
+			return
+		}
+		qs = append(qs, q)
+	}
+	answers, err := ws.EstimateBatch(r.Context(), graphName, qs)
+	if err != nil {
+		writeEstimateError(w, r, err)
+		return
+	}
+	resp := batchResponse{Graph: graphName, Answers: make([]estimateResponse, 0, len(answers))}
+	for _, ans := range answers {
+		resp.Answers = append(resp.Answers, renderAnswer("", ans))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildQuery maps one wire query plus the request's trajectory
+// configuration onto an engine Query, writing a 400 and returning ok=false
+// on validation failure.
+func buildQuery(w http.ResponseWriter, eq estimateQuery, req estimateRequest) (Query, bool) {
+	q := Query{
+		Kind:    eq.Kind,
+		Motif:   eq.Motif,
+		Top:     eq.Top,
+		Budget:  req.Budget,
+		Walkers: req.Walkers,
+		Seed:    req.Seed,
+		MaxCost: req.MaxCost,
+	}
+	if (eq.Kind == "" || eq.Kind == "pairs") && len(eq.Pairs) == 0 {
+		httpError(w, http.StatusBadRequest, "need at least one [t1,t2] pair")
+		return q, false
+	}
+	for _, p := range eq.Pairs {
+		if p[0] < 0 || p[1] < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("negative label in pair %v", p))
+			return q, false
+		}
+		q.Pairs = append(q.Pairs, graph.LabelPair{T1: graph.Label(p[0]), T2: graph.Label(p[1])})
+	}
+	return q, true
+}
+
+// writeEstimateError maps workspace/engine errors onto HTTP statuses: 400
+// bad query, 402 budget, 404 unknown graph, 409 load conflict, 422
+// estimation failure, 499 client gone, 500 otherwise.
+func writeEstimateError(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueryBudget):
+		status = http.StatusPaymentRequired
+	case errors.Is(err, ErrBadQuery):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrUnknownGraph):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrGraphExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrEstimation):
+		status = http.StatusUnprocessableEntity
+	case r.Context().Err() != nil:
+		status = 499 // client closed request
+	}
+	httpError(w, status, err.Error())
+}
+
 // renderAnswer maps an engine Answer onto the kind-specific wire schema.
-func renderAnswer(ans *Answer) estimateResponse {
+func renderAnswer(graphName string, ans *Answer) estimateResponse {
 	resp := estimateResponse{
+		Graph:    graphName,
 		Kind:     ans.Kind,
 		APICalls: ans.APICalls,
 		Charged:  ans.Charged,
@@ -225,6 +481,10 @@ func renderAnswer(ans *Answer) estimateResponse {
 		SharedBy: ans.SharedBy,
 		Walkers:  ans.Walkers,
 		Samples:  ans.Samples,
+	}
+	if ans.Err != nil {
+		resp.Error = ans.Err.Error()
+		return resp
 	}
 	if ans.Pairs != nil {
 		resp.Pairs = make([]pairAnswerJSON, 0, len(ans.Pairs))

@@ -11,9 +11,13 @@ import (
 func testServer(t *testing.T) (*httptest.Server, *Engine) {
 	t.Helper()
 	g := testGraph(t, 20)
-	e := testEngine(t, g, Config{Budget: 300})
-	srv := httptest.NewServer(NewHandler(e))
+	ws := testWorkspace(t, WorkspaceConfig{}, "g", g, GraphOptions{Budget: 300})
+	srv := httptest.NewServer(NewHandler(ws))
 	t.Cleanup(srv.Close)
+	e, err := ws.Graph("g")
+	if err != nil {
+		t.Fatal(err)
+	}
 	return srv, e
 }
 
@@ -131,7 +135,7 @@ func TestHTTPMethodsAndHealth(t *testing.T) {
 	if err := json.NewDecoder(resp2.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
-	if health.Status != "ok" || health.Nodes == 0 || health.Edges == 0 {
+	if health.Status != "ok" || health.Graphs != 1 {
 		t.Errorf("health = %+v", health)
 	}
 	if health.Queries != 1 || health.Recordings != 1 || health.UpstreamCalls == 0 {

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// startRun boots Run on an ephemeral port and returns the base URL, the
+// cancel that plays the role of SIGTERM, and the channel Run's result
+// lands on.
+func startRun(t *testing.T, h http.Handler, ws *Workspace, drain time.Duration) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Run(ctx, ln, h, ws, drain) }()
+	return "http://" + ln.Addr().String(), cancel, done
+}
+
+// TestRunDrainsInFlightRequests pins the graceful-shutdown bugfix: a
+// request in flight when the stop signal arrives completes with 200 before
+// the server exits, and the workspace's trajectories are flushed. The
+// historical server called http.ListenAndServe and simply died.
+func TestRunDrainsInFlightRequests(t *testing.T) {
+	g := testGraph(t, 80)
+	st := testStore(t)
+	ws := testWorkspace(t, WorkspaceConfig{Store: st}, "g", g, GraphOptions{Budget: 200})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.Handle("/", NewHandler(ws))
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "done")
+	})
+
+	base, cancel, done := startRun(t, mux, ws, 5*time.Second)
+
+	reqErr := make(chan error, 1)
+	var gotBody string
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		gotBody = string(b)
+		reqErr <- err
+	}()
+
+	<-entered // the request is in flight
+	cancel()  // "SIGTERM"
+
+	// Run must wait for the in-flight request, not exit under it.
+	select {
+	case err := <-done:
+		t.Fatalf("Run returned %v while a request was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-reqErr; err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", err)
+	}
+	if gotBody != "done" {
+		t.Fatalf("in-flight request body = %q", gotBody)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v after a clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after the drain completed")
+	}
+
+	// New connections are refused once the drain began.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+// TestRunDrainDeadline: a request that outlives the drain deadline is
+// abandoned and reported, but the trajectory flush still runs — durability
+// must not depend on clients hanging up.
+func TestRunDrainDeadline(t *testing.T) {
+	g := testGraph(t, 81)
+	st := testStore(t)
+	ws := testWorkspace(t, WorkspaceConfig{Store: st}, "g", g, GraphOptions{Budget: 200})
+
+	// Record one trajectory so the store has something to hold.
+	if _, err := ws.Estimate(context.Background(), "g", Query{Pairs: []graph.LabelPair{{T1: 1, T2: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	})
+
+	base, cancel, done := startRun(t, mux, ws, 50*time.Millisecond)
+	go func() {
+		resp, err := http.Get(base + "/hang")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "drain deadline") {
+			t.Fatalf("Run = %v, want a drain-deadline error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not give up at the drain deadline")
+	}
+	if keys, err := st.Keys("g"); err != nil || len(keys) != 1 {
+		t.Errorf("trajectory store after deadline shutdown: keys=%v err=%v", keys, err)
+	}
+}

@@ -1,24 +1,33 @@
 // Package serve is the multi-client query front end over the
-// shared-trajectory estimation engine: it owns one graph behind the
-// restricted access model and answers concurrent estimation queries by
-// recording one random-walk trajectory per (budget, walkers, seed)
-// configuration and replaying it through the estimation-task registry
-// (core.RegisterTask) for whatever anyone asks about — label-pair counts
-// (kind "pairs"), graph size (kind "size"), a label-pair census (kind
-// "census") or motif counts (kind "motif"). The task kind is deliberately
-// NOT part of the trajectory cache key: a mixed-kind batch of queries at
-// one configuration shares a single recording, so heterogeneous workloads
-// cost the API calls of one walk. Queries arriving within a batching window
-// share a single fleet recording; finished trajectories stay cached with a
-// TTL, so a popular configuration serves any number of questions and
+// shared-trajectory estimation engine. A Workspace serves any number of
+// named graphs, each behind the restricted access model, and answers
+// concurrent estimation queries by recording one random-walk trajectory per
+// (budget, walkers, seed) configuration and replaying it through the
+// estimation-task registry (core.RegisterTask) for whatever anyone asks
+// about — label-pair counts (kind "pairs"), graph size (kind "size"), a
+// label-pair census (kind "census") or motif counts (kind "motif"). The
+// task kind is deliberately NOT part of the trajectory cache key: a
+// mixed-kind batch of queries at one configuration shares a single
+// recording, so heterogeneous workloads cost the API calls of one walk.
+// Queries arriving within a batching window share a single fleet recording;
+// finished trajectories stay cached with a TTL and a workspace-wide byte
+// budget, so a popular configuration serves any number of questions and
 // clients at the API cost of one walk — the amortization that lets the
 // paper's estimators serve heavy traffic.
+//
+// Trajectories are the system's most expensive artifact (every step cost a
+// metered API call), so the workspace can persist them: completed
+// recordings are written to a store.Dir as .osnt files, reloaded on restart
+// (warm start) and on cache miss, and flushed on graceful shutdown. A
+// reloaded trajectory replays to byte-equal estimates, so a restarted
+// server answers previously cached queries with zero API spend.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"sync"
 	"time"
 
@@ -26,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/osn"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/walk"
 
 	// sizeest is imported for its "size" task registration only; "pairs"
@@ -40,7 +50,8 @@ import (
 var ErrQueryBudget = errors.New("serve: query budget smaller than the trajectory cost")
 
 // ErrBadQuery marks a structurally invalid query (unknown kind, missing or
-// negative parameters); the HTTP layer maps it to 400 Bad Request.
+// negative parameters, a batch mixing trajectory configurations); the HTTP
+// layer maps it to 400 Bad Request.
 var ErrBadQuery = errors.New("serve: bad query")
 
 // ErrEstimation marks a query whose replay could not produce an estimate
@@ -70,10 +81,19 @@ func Methods() []string {
 // Kinds returns the estimation-task kinds the engine dispatches, sorted.
 func Kinds() []string { return core.TaskKinds() }
 
-// Config describes an Engine.
+// Config describes an Engine — one served graph with its trajectory cache.
+// Engines are usually owned by a Workspace, which supplies Name, Store and
+// the byte-budget coordination.
 type Config struct {
 	// Graph is the served graph. Required.
 	Graph *graph.Graph
+	// Name is the graph's workspace name, used as its directory in the
+	// trajectory store. Required when Store is set; must satisfy
+	// store.ValidGraphName.
+	Name string
+	// Store persists completed trajectories as .osnt files and reloads
+	// them on cache miss; nil keeps trajectories in memory only.
+	Store *store.Dir
 	// BurnIn is the walk burn-in in steps; 0 measures the mixing time
 	// T(1e-3) once at engine construction (Section 5.1).
 	BurnIn int
@@ -91,18 +111,23 @@ type Config struct {
 	// recording is in flight).
 	BatchWindow time.Duration
 	// TTL bounds a cached trajectory's age; 0 caches forever (until
-	// Invalidate).
+	// Invalidate). Trajectories reloaded from the store get a fresh TTL.
 	TTL time.Duration
 	// MaxCached bounds how many trajectories the cache holds at once; 0
 	// means 64. At the cap, expired entries are dropped first, then the
 	// least-recently-used completed one — recordings in flight are never
 	// evicted. The cap bounds both memory (a trajectory retains its whole
 	// sample stream) and the API amplification an adversarial seed sweep
-	// could otherwise drive.
+	// could otherwise drive. A Workspace additionally enforces a byte
+	// budget across all of its engines' caches.
 	MaxCached int
 
 	// now is a test hook for the TTL clock; nil means time.Now.
 	now func() time.Time
+	// onCached, when set by the owning workspace, is invoked (without any
+	// engine lock held) after the cache gains a trajectory, so the
+	// workspace can enforce its byte budget.
+	onCached func()
 }
 
 // Query is one client request: run one estimation task against a shared
@@ -131,13 +156,18 @@ type Query struct {
 	// MaxCost caps the API calls this query may be charged; 0 means
 	// unlimited. A query that can only be served by recording a trajectory
 	// costlier than MaxCost is rejected with ErrQueryBudget before any call
-	// is spent.
+	// is spent. The check is conservative: it is applied against the
+	// recording budget even when a persisted trajectory might have served
+	// the query from disk for free, unless that file is already known to
+	// exist.
 	MaxCost int64
 }
 
 // PairAnswer is one pair's estimates, keyed by method name (see Methods).
 type PairAnswer struct {
-	Pair      graph.LabelPair
+	// Pair echoes the queried label pair.
+	Pair graph.LabelPair
+	// Estimates maps each method name to its estimate of F.
 	Estimates map[string]float64
 }
 
@@ -151,21 +181,27 @@ type Answer struct {
 	// sizeest.Result for "size", core.CensusResult for "census",
 	// motif.TaskResult for "motif".
 	Result any
+	// Err is set only on answers of an EstimateBatch call whose replay
+	// failed (wrapping ErrEstimation); the batch's other answers are
+	// unaffected. Single Estimate calls report replay failures as the
+	// call's error instead.
+	Err error
 	// APICalls is the sampling cost of the trajectory that served the query.
 	APICalls int64
 	// Charged is this query's accounted share of that cost: 0 on a cache
 	// hit, APICalls split evenly across the queries that co-triggered the
-	// recording otherwise.
+	// recording otherwise (and further across the members of a batch).
 	Charged int64
 	// CacheHit reports whether a previously recorded trajectory served the
-	// query without any API spend.
+	// query without any API spend — from memory or reloaded from the
+	// persistent store.
 	CacheHit bool
 	// SharedBy is how many queries split the recording bill (1 when this
 	// query paid alone; 0 on a cache hit).
 	SharedBy int
 	// Walkers and Samples describe the serving trajectory.
 	Walkers int
-	Samples int
+	Samples int // total recorded samples across the fleet
 }
 
 // Stats counts engine activity since construction.
@@ -184,6 +220,14 @@ type Stats struct {
 	CacheHits int64
 	// UpstreamCalls is the total API-call spend across recordings.
 	UpstreamCalls int64
+	// StoreLoads is how many trajectories were reloaded from the
+	// persistent store (at zero API spend) instead of being re-recorded.
+	StoreLoads int64
+	// StoreSaves is how many trajectories were persisted to the store.
+	StoreSaves int64
+	// StoreErrors counts failed store reads/writes (corrupt files, IO
+	// errors, prior mismatches); the engine falls back to recording.
+	StoreErrors int64
 }
 
 // trajKey identifies a shareable trajectory configuration.
@@ -191,6 +235,11 @@ type trajKey struct {
 	budget  int
 	walkers int
 	seed    int64
+}
+
+// storeKey maps a cache key onto its persistent-store spelling.
+func storeKey(k trajKey) store.Key {
+	return store.Key{Budget: k.budget, Walkers: k.walkers, Seed: k.seed}
 }
 
 // entry is one cache slot: a recording in flight (ready open) or done
@@ -206,9 +255,26 @@ type entry struct {
 	lastUsed time.Time
 	sharers  int
 	frozen   bool
+	// bytes is the trajectory's .osnt-encoded size — the cache weight the
+	// workspace byte budget is enforced against.
+	bytes int64
+	// dirty marks a completed trajectory not yet persisted to the store;
+	// eviction and Flush write it out before dropping it.
+	dirty bool
+	// fromStore marks a trajectory served from disk rather than recorded:
+	// its waiters are cache hits and nobody is billed.
+	fromStore bool
 }
 
-// Engine owns the graph and serves estimate queries over shared
+// flushItem is a dirty trajectory pulled out of the cache for persistence
+// outside the engine lock.
+type flushItem struct {
+	key  trajKey
+	ent  *entry
+	traj *core.Trajectory
+}
+
+// Engine owns one graph and serves estimate queries over shared
 // trajectories. All methods are safe for concurrent use.
 type Engine struct {
 	cfg    Config
@@ -230,6 +296,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Budget < 0 || cfg.Walkers < 0 || cfg.BatchWindow < 0 || cfg.TTL < 0 || cfg.MaxCached < 0 {
 		return nil, fmt.Errorf("serve: negative Budget/Walkers/BatchWindow/TTL/MaxCached")
+	}
+	if cfg.Store != nil && !store.ValidGraphName(cfg.Name) {
+		return nil, fmt.Errorf("serve: a stored engine needs a valid graph name, got %q", cfg.Name)
 	}
 	if cfg.MaxCached == 0 {
 		cfg.MaxCached = 64
@@ -266,6 +335,9 @@ func New(cfg Config) (*Engine, error) {
 // Graph returns the served graph.
 func (e *Engine) Graph() *graph.Graph { return e.cfg.Graph }
 
+// Name returns the graph's workspace name ("" for a standalone engine).
+func (e *Engine) Name() string { return e.cfg.Name }
+
 // BurnIn returns the burn-in applied to every recorded trajectory.
 func (e *Engine) BurnIn() int { return e.burnIn }
 
@@ -281,41 +353,239 @@ func (e *Engine) Stats() Stats {
 	return snap
 }
 
-// Invalidate drops every cached trajectory, e.g. after the served graph's
-// ground truth is known to have drifted. Recordings in flight complete and
-// answer their waiting queries but are not re-cached for later ones.
-func (e *Engine) Invalidate() {
+// CachedTrajectories returns how many completed trajectories the cache
+// holds (recordings in flight excluded).
+func (e *Engine) CachedTrajectories() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.cache = make(map[trajKey]*entry)
+	n := 0
+	for _, ent := range e.cache {
+		if ent.completed() {
+			n++
+		}
+	}
+	return n
 }
 
-// Estimate answers one query: it resolves the query's task kind through the
-// estimation-task registry, then records a trajectory, joins one in flight,
-// or replays a cached one as the cache dictates, and finally replays the
-// task over it. Parameter validation happens before any API spend.
-func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
-	if ctx == nil {
-		ctx = context.Background()
+// CachedBytes returns the total .osnt-encoded size of the completed
+// trajectories in the cache — the engine's weight against the workspace
+// byte budget.
+func (e *Engine) CachedBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total int64
+	for _, ent := range e.cache {
+		if ent.completed() && ent.err == nil {
+			total += ent.bytes
+		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	return total
+}
+
+// completed reports whether the entry's recording (or load) has finished.
+func (ent *entry) completed() bool {
+	select {
+	case <-ent.ready:
+		return true
+	default:
+		return false
 	}
+}
+
+// Invalidate drops every cached trajectory and deletes the graph's
+// persisted .osnt files, e.g. after the served graph's ground truth is
+// known to have drifted — a stale trajectory must not resurrect from disk.
+// Recordings in flight complete and answer their waiting queries but are
+// not re-cached for later ones.
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	e.cache = make(map[trajKey]*entry)
+	e.mu.Unlock()
+	if e.cfg.Store == nil {
+		return
+	}
+	keys, err := e.cfg.Store.Keys(e.cfg.Name)
+	if err != nil {
+		e.countStoreError()
+		return
+	}
+	for _, k := range keys {
+		if err := e.cfg.Store.Remove(e.cfg.Name, k); err != nil {
+			e.countStoreError()
+		}
+	}
+}
+
+// Flush persists every dirty cached trajectory to the store, returning the
+// first error. It is the graceful-shutdown half of the durability story:
+// recordings are normally saved as they complete, and Flush catches any
+// whose save failed (the error count is in Stats.StoreErrors). Engines
+// without a store flush trivially.
+func (e *Engine) Flush() error {
+	if e.cfg.Store == nil {
+		return nil
+	}
+	e.mu.Lock()
+	var items []flushItem
+	for k, ent := range e.cache {
+		if ent.completed() && ent.err == nil && ent.dirty {
+			items = append(items, flushItem{key: k, ent: ent, traj: ent.traj})
+		}
+	}
+	e.mu.Unlock()
+	var firstErr error
+	for _, it := range items {
+		if err := e.saveItem(it); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// saveItem persists one dirty trajectory and clears its dirty mark.
+func (e *Engine) saveItem(it flushItem) error {
+	err := e.cfg.Store.Save(e.cfg.Name, storeKey(it.key), it.traj)
+	e.mu.Lock()
+	if err != nil {
+		e.stats.StoreErrors++
+	} else {
+		it.ent.dirty = false
+		e.stats.StoreSaves++
+	}
+	e.mu.Unlock()
+	return err
+}
+
+// countStoreError bumps the store-error counter under the lock.
+func (e *Engine) countStoreError() {
+	e.mu.Lock()
+	e.stats.StoreErrors++
+	e.mu.Unlock()
+}
+
+// warmStart loads every persisted trajectory of this graph into the cache
+// (up to MaxCached), so the first queries after a restart are served with
+// zero API spend. Files that fail to load — corrupt, truncated, or recorded
+// against different graph priors — are skipped and counted in
+// Stats.StoreErrors. It returns how many trajectories were loaded.
+func (e *Engine) warmStart() int {
+	if e.cfg.Store == nil {
+		return 0
+	}
+	keys, err := e.cfg.Store.Keys(e.cfg.Name)
+	if err != nil {
+		e.countStoreError()
+		return 0
+	}
+	loaded := 0
+	for _, k := range keys {
+		e.mu.Lock()
+		full := len(e.cache) >= e.cfg.MaxCached
+		e.mu.Unlock()
+		if full {
+			break
+		}
+		key := trajKey{budget: k.Budget, walkers: k.Walkers, seed: k.Seed}
+		if ent := e.loadEntry(key); ent != nil {
+			e.mu.Lock()
+			if _, exists := e.cache[key]; !exists {
+				e.cache[key] = ent
+				e.stats.StoreLoads++
+				loaded++
+			}
+			e.mu.Unlock()
+		}
+	}
+	if loaded > 0 {
+		e.notifyCached()
+	}
+	return loaded
+}
+
+// loadEntry reads one persisted trajectory and wraps it as a completed
+// cache entry, or returns nil (counting the error) if the file is missing,
+// corrupt, or recorded against different graph priors.
+func (e *Engine) loadEntry(key trajKey) *entry {
+	traj, err := e.cfg.Store.Load(e.cfg.Name, storeKey(key))
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			e.countStoreError()
+		}
+		return nil
+	}
+	if traj.NumNodes != e.cfg.Graph.NumNodes() || traj.NumEdges != e.cfg.Graph.NumEdges() {
+		// The file was recorded against a different graph (same name,
+		// swapped data): its estimates would scale by the wrong priors.
+		e.countStoreError()
+		return nil
+	}
+	if traj.BurnIn != e.burnIn {
+		// Recorded under a different burn-in (the server's -burnin changed,
+		// or the measured mixing time moved with a new graph build): not
+		// the trajectory this engine would record, so serving it would be
+		// silently inconsistent with fresh recordings at sibling keys.
+		e.countStoreError()
+		return nil
+	}
+	// Rebind the trajectory to the served graph's labels — the exact source
+	// the recording read — so replays run at CSR speed instead of through
+	// the file's self-contained label store.
+	traj.BindLabels(e.cfg.Graph)
+	bytes, err := e.cfg.Store.FileSize(e.cfg.Name, storeKey(key))
+	if err != nil {
+		// Raced with a concurrent replace; fall back to re-deriving the
+		// size (equal by the format's construction).
+		bytes = store.EncodedSize(traj)
+	}
+	ent := &entry{
+		ready:     make(chan struct{}),
+		traj:      traj,
+		frozen:    true,
+		fromStore: true,
+		bytes:     bytes,
+		lastUsed:  e.cfg.now(),
+	}
+	if e.cfg.TTL > 0 {
+		ent.expires = e.cfg.now().Add(e.cfg.TTL)
+		ent.hasTTL = true
+	}
+	close(ent.ready)
+	return ent
+}
+
+// notifyCached tells the owning workspace (if any) that the cache gained a
+// trajectory, so it can enforce the byte budget. Never called with e.mu
+// held.
+func (e *Engine) notifyCached() {
+	if e.cfg.onCached != nil {
+		e.cfg.onCached()
+	}
+}
+
+// buildTask validates a query's task parameters through the registry and
+// returns the resolved kind and replayable task.
+func buildTask(q Query) (string, core.EstimationTask, error) {
 	kind := q.Kind
 	if kind == "" {
 		kind = "pairs"
 	}
 	spec, ok := core.LookupTask(kind)
 	if !ok {
-		return nil, fmt.Errorf("%w: unknown kind %q (have %v)", ErrBadQuery, kind, core.TaskKinds())
+		return "", nil, fmt.Errorf("%w: unknown kind %q (have %v)", ErrBadQuery, kind, core.TaskKinds())
 	}
 	task, err := spec.NewTask(core.TaskParams{Pairs: q.Pairs, Motif: q.Motif, Top: q.Top})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		return "", nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if q.Budget < 0 || q.Walkers < 0 || q.MaxCost < 0 {
-		return nil, fmt.Errorf("%w: negative Budget/Walkers/MaxCost", ErrBadQuery)
+		return "", nil, fmt.Errorf("%w: negative Budget/Walkers/MaxCost", ErrBadQuery)
 	}
+	return kind, task, nil
+}
+
+// resolveKey maps a query onto its trajectory cache key, applying the
+// engine defaults.
+func (e *Engine) resolveKey(q Query) trajKey {
 	key := trajKey{budget: e.cfg.Budget, walkers: e.cfg.Walkers, seed: e.cfg.Seed}
 	if q.Budget > 0 {
 		key.budget = q.Budget
@@ -326,8 +596,26 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 	if q.Seed != 0 {
 		key.seed = q.Seed
 	}
+	return key
+}
 
-	ent, hit, err := e.acquire(ctx, q, key)
+// Estimate answers one query: it resolves the query's task kind through the
+// estimation-task registry, then records a trajectory, joins one in flight,
+// reloads a persisted one, or replays a cached one as the cache dictates,
+// and finally replays the task over it. Parameter validation happens before
+// any API spend.
+func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	kind, task, err := buildTask(q)
+	if err != nil {
+		return nil, err
+	}
+	ent, hit, err := e.acquire(ctx, q, e.resolveKey(q))
 	if err != nil {
 		return nil, err
 	}
@@ -335,6 +623,89 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 		return nil, ent.err
 	}
 
+	ans, err := e.replay(kind, task, ent, hit)
+	if err != nil {
+		return nil, err
+	}
+	e.countQuery(kind, ans)
+	return ans, nil
+}
+
+// EstimateBatch answers several queries against ONE shared trajectory: all
+// queries must resolve to the same (budget, walkers, seed) configuration
+// (zero fields inherit the engine defaults), the trajectory is acquired
+// once, and each query's task replays over it. Mixing kinds is the point —
+// the kind is not part of the trajectory key — and the recording bill is
+// split across the batch members on top of the usual co-triggering split.
+// A per-query replay failure sets that answer's Err (wrapping
+// ErrEstimation) without failing the batch; invalid queries fail the whole
+// batch before any API spend.
+func (e *Engine) EstimateBatch(ctx context.Context, qs []Query) ([]*Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadQuery)
+	}
+	kinds := make([]string, len(qs))
+	tasks := make([]core.EstimationTask, len(qs))
+	key := e.resolveKey(qs[0])
+	var maxCost int64
+	for i, q := range qs {
+		kind, task, err := buildTask(q)
+		if err != nil {
+			return nil, fmt.Errorf("batch query %d: %w", i, err)
+		}
+		kinds[i], tasks[i] = kind, task
+		if e.resolveKey(q) != key {
+			return nil, fmt.Errorf("%w: batch query %d resolves to a different trajectory configuration than query 0 — a batch shares one walk", ErrBadQuery, i)
+		}
+		if q.MaxCost > 0 && (maxCost == 0 || q.MaxCost < maxCost) {
+			maxCost = q.MaxCost
+		}
+	}
+
+	ent, hit, err := e.acquire(ctx, Query{MaxCost: maxCost}, key)
+	if err != nil {
+		return nil, err
+	}
+	if ent.err != nil {
+		return nil, ent.err
+	}
+
+	answers := make([]*Answer, len(qs))
+	for i := range qs {
+		ans, err := e.replay(kinds[i], tasks[i], ent, hit)
+		if err != nil {
+			// Replay failures are per-query: the shared trajectory still
+			// answers the rest of the batch.
+			ans = &Answer{
+				Kind:     kinds[i],
+				Err:      err,
+				APICalls: ent.traj.APICalls,
+				CacheHit: hit || ent.fromStore,
+				Walkers:  ent.traj.Walkers,
+				Samples:  ent.traj.Samples(),
+			}
+		}
+		if !ans.CacheHit {
+			// The batch occupied one seat in the co-triggering split; divide
+			// that share across its members (truncated, like the split
+			// itself).
+			ans.Charged = (ent.traj.APICalls / int64(ent.sharers)) / int64(len(qs))
+		}
+		answers[i] = ans
+		e.countQuery(kinds[i], ans)
+	}
+	return answers, nil
+}
+
+// replay runs one validated task over an acquired trajectory and assembles
+// the answer envelope.
+func (e *Engine) replay(kind string, task core.EstimationTask, ent *entry, hit bool) (*Answer, error) {
 	out, err := task.Estimate(ent.traj)
 	if err != nil {
 		return nil, fmt.Errorf("%w: kind %q: %v", ErrEstimation, kind, err)
@@ -342,15 +713,14 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 	ans := &Answer{
 		Kind:     kind,
 		APICalls: ent.traj.APICalls,
-		CacheHit: hit,
+		CacheHit: hit || ent.fromStore,
 		Walkers:  ent.traj.Walkers,
 		Samples:  ent.traj.Samples(),
 	}
-	if !hit {
+	if !ans.CacheHit {
 		ans.SharedBy = ent.sharers
 		ans.Charged = ent.traj.APICalls / int64(ent.sharers)
 	}
-	rows := 1
 	if prs, isPairs := out.([]core.PairEstimates); isPairs {
 		// The historical pairs response shape.
 		ans.Pairs = make([]PairAnswer, 0, len(prs))
@@ -366,12 +736,23 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 				},
 			})
 		}
-		rows = len(prs)
 	} else {
 		ans.Result = out
-		rows = resultRows(out)
 	}
+	return ans, nil
+}
 
+// countQuery folds one answered query into the stats.
+func (e *Engine) countQuery(kind string, ans *Answer) {
+	rows := 1
+	switch {
+	case ans.Err != nil:
+		rows = 0
+	case ans.Pairs != nil:
+		rows = len(ans.Pairs)
+	default:
+		rows = resultRows(ans.Result)
+	}
 	e.mu.Lock()
 	e.stats.Queries++
 	e.stats.PairsServed += int64(rows)
@@ -379,11 +760,10 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 		e.stats.TasksByKind = make(map[string]int64)
 	}
 	e.stats.TasksByKind[kind]++
-	if hit {
+	if ans.CacheHit {
 		e.stats.CacheHits++
 	}
 	e.mu.Unlock()
-	return ans, nil
 }
 
 // resultRows counts the rows of a non-pairs task result for the stats.
@@ -399,7 +779,8 @@ func resultRows(out any) int {
 }
 
 // acquire resolves the query's trajectory: a valid cached one (hit), an
-// in-flight recording to join, or a fresh recording this query triggers.
+// in-flight recording to join, a persisted one reloaded from the store, or
+// a fresh recording this query triggers.
 func (e *Engine) acquire(ctx context.Context, q Query, key trajKey) (*entry, bool, error) {
 	for {
 		e.mu.Lock()
@@ -435,22 +816,28 @@ func (e *Engine) acquire(ctx context.Context, q Query, key trajKey) (*entry, boo
 				e.mu.Unlock()
 				select {
 				case <-ent.ready:
-					return ent, !joined && ent.err == nil, nil
+					return ent, (!joined && ent.err == nil) || ent.fromStore, nil
 				case <-ctx.Done():
 					return nil, false, ctx.Err()
 				}
 			}
 		}
-		// Miss: this query triggers the recording.
-		if q.MaxCost > 0 && q.MaxCost < int64(key.budget) {
+		// Miss: this query triggers a store reload or a recording. MaxCost
+		// is checked against the recording budget unless the trajectory is
+		// already persisted (a reload costs nothing).
+		if q.MaxCost > 0 && q.MaxCost < int64(key.budget) && !e.storeHas(key) {
 			e.mu.Unlock()
 			return nil, false, fmt.Errorf("%w: MaxCost %d, trajectory budget %d", ErrQueryBudget, q.MaxCost, key.budget)
 		}
 		ent = &entry{ready: make(chan struct{}), sharers: 1}
-		e.evictLocked()
+		victims := e.evictLocked()
 		e.cache[key] = ent
 		e.mu.Unlock()
+		e.flushVictims(victims)
 
+		if e.reloadFromStore(key, ent) {
+			return ent, true, nil
+		}
 		// record blocks through the batching window and the fleet run, and
 		// closes ent.ready before returning; co-batched queries wake with us.
 		e.record(ctx, key, ent)
@@ -458,24 +845,60 @@ func (e *Engine) acquire(ctx context.Context, q Query, key trajKey) (*entry, boo
 	}
 }
 
+// storeHas reports whether the key's trajectory is persisted. Called with
+// e.mu held — it is a single stat, only on the rare miss-with-MaxCost path.
+func (e *Engine) storeHas(key trajKey) bool {
+	return e.cfg.Store != nil && e.cfg.Store.Has(e.cfg.Name, storeKey(key))
+}
+
+// reloadFromStore tries to complete a just-published in-flight entry from
+// the persistent store instead of walking. On success every waiter wakes to
+// a zero-cost cache hit — the evicted-then-requested path that makes
+// eviction safe and restarts cheap.
+func (e *Engine) reloadFromStore(key trajKey, ent *entry) bool {
+	if e.cfg.Store == nil {
+		return false
+	}
+	loaded := e.loadEntry(key)
+	if loaded == nil {
+		return false
+	}
+	e.mu.Lock()
+	ent.traj = loaded.traj
+	ent.frozen = true
+	ent.fromStore = true
+	ent.bytes = loaded.bytes
+	ent.lastUsed = e.cfg.now()
+	ent.expires, ent.hasTTL = loaded.expires, loaded.hasTTL
+	e.stats.StoreLoads++
+	e.mu.Unlock()
+	close(ent.ready)
+	e.notifyCached()
+	return true
+}
+
 // evictLocked makes room for one more cache entry when the cap is reached:
 // expired entries are swept first, then the least-recently-used completed
 // entry. Recordings in flight are never evicted (their waiters hold them).
-// Callers hold e.mu.
-func (e *Engine) evictLocked() {
+// Dirty victims are returned for persistence — the caller must flush them
+// after releasing e.mu, so an evicted trajectory can later reload from disk
+// instead of being re-walked. Callers hold e.mu.
+func (e *Engine) evictLocked() []flushItem {
 	if len(e.cache) < e.cfg.MaxCached {
-		return
+		return nil
 	}
 	now := e.cfg.now()
+	var victims []flushItem
 	var lruKey trajKey
 	var lruEnt *entry
 	for k, ent := range e.cache {
-		select {
-		case <-ent.ready:
-		default:
+		if !ent.completed() {
 			continue // in flight
 		}
 		if ent.hasTTL && now.After(ent.expires) {
+			if ent.err == nil && ent.dirty {
+				victims = append(victims, flushItem{key: k, ent: ent, traj: ent.traj})
+			}
 			delete(e.cache, k)
 			continue
 		}
@@ -484,14 +907,72 @@ func (e *Engine) evictLocked() {
 		}
 	}
 	if len(e.cache) >= e.cfg.MaxCached && lruEnt != nil {
+		if lruEnt.err == nil && lruEnt.dirty {
+			victims = append(victims, flushItem{key: lruKey, ent: lruEnt, traj: lruEnt.traj})
+		}
 		delete(e.cache, lruKey)
+	}
+	return victims
+}
+
+// flushVictims persists evicted dirty trajectories (outside the lock).
+func (e *Engine) flushVictims(victims []flushItem) {
+	for _, it := range victims {
+		_ = e.saveItem(it) // failure is counted in StoreErrors
 	}
 }
 
-// record waits out the batching window, runs the fleet recording, and
-// publishes the result to every query waiting on ent. The recording itself
-// is not bound to the triggering query's context: co-batched queries are
-// still waiting on it.
+// oldestCompleted returns the last-used time of the engine's
+// least-recently-used completed trajectory, for the workspace's cross-graph
+// LRU.
+func (e *Engine) oldestCompleted() (time.Time, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var oldest time.Time
+	found := false
+	for _, ent := range e.cache {
+		if !ent.completed() || ent.err != nil {
+			continue
+		}
+		if !found || ent.lastUsed.Before(oldest) {
+			oldest, found = ent.lastUsed, true
+		}
+	}
+	return oldest, found
+}
+
+// evictOldestCompleted drops the engine's least-recently-used completed
+// trajectory, persisting it first if dirty, and returns the bytes freed.
+func (e *Engine) evictOldestCompleted() int64 {
+	e.mu.Lock()
+	var lruKey trajKey
+	var lruEnt *entry
+	for k, ent := range e.cache {
+		if !ent.completed() || ent.err != nil {
+			continue
+		}
+		if lruEnt == nil || ent.lastUsed.Before(lruEnt.lastUsed) {
+			lruKey, lruEnt = k, ent
+		}
+	}
+	if lruEnt == nil {
+		e.mu.Unlock()
+		return 0
+	}
+	delete(e.cache, lruKey)
+	freed := lruEnt.bytes
+	dirty := lruEnt.dirty
+	e.mu.Unlock()
+	if dirty && e.cfg.Store != nil {
+		_ = e.saveItem(flushItem{key: lruKey, ent: lruEnt, traj: lruEnt.traj})
+	}
+	return freed
+}
+
+// record waits out the batching window, runs the fleet recording, publishes
+// the result to every query waiting on ent, and persists it to the store
+// (when configured). The recording itself is not bound to the triggering
+// query's context: co-batched queries are still waiting on it.
 func (e *Engine) record(ctx context.Context, key trajKey, ent *entry) {
 	if e.cfg.BatchWindow > 0 {
 		select {
@@ -515,13 +996,20 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry) {
 			Seed:         stats.Derive(seed, "fleet"),
 		})
 	}
+	var bytes int64
+	if err == nil {
+		bytes = store.EncodedSize(traj)
+	}
 
+	persist := err == nil && e.cfg.Store != nil
 	e.mu.Lock()
 	ent.traj = traj
 	ent.err = err
 	ent.frozen = true
 	ent.lastUsed = e.cfg.now()
 	if err == nil {
+		ent.bytes = bytes
+		ent.dirty = persist
 		e.stats.Recordings++
 		e.stats.UpstreamCalls += traj.APICalls
 		if e.cfg.TTL > 0 {
@@ -537,4 +1025,12 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry) {
 	}
 	e.mu.Unlock()
 	close(ent.ready)
+	if err == nil {
+		if persist {
+			// Persist eagerly so even an ungraceful death keeps the walk;
+			// failures stay dirty and are retried by Flush at shutdown.
+			_ = e.saveItem(flushItem{key: key, ent: ent, traj: traj})
+		}
+		e.notifyCached()
+	}
 }

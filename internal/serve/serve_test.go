@@ -42,6 +42,23 @@ func testEngine(t testing.TB, g *graph.Graph, cfg Config) *Engine {
 	return e
 }
 
+// testWorkspace builds a workspace serving g under name with the given
+// per-graph options (burn-in defaulted to 100 like testEngine).
+func testWorkspace(t testing.TB, wcfg WorkspaceConfig, name string, g *graph.Graph, opts GraphOptions) *Workspace {
+	t.Helper()
+	ws, err := NewWorkspace(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.BurnIn == 0 {
+		opts.BurnIn = 100
+	}
+	if _, err := ws.AddGraph(name, g, &opts); err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
 func TestEngineValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("want error for nil graph")

@@ -218,9 +218,13 @@ func TestEngineConcurrentMixedKinds(t *testing.T) {
 // first), and the wire schema carries the kind-specific payloads.
 func TestHTTPKindDispatch(t *testing.T) {
 	g := testGraph(t, 44)
-	e := testEngine(t, g, Config{Budget: 400})
-	srv := httptest.NewServer(NewHandler(e))
+	ws := testWorkspace(t, WorkspaceConfig{}, "g", g, GraphOptions{Budget: 400})
+	srv := httptest.NewServer(NewHandler(ws))
 	t.Cleanup(srv.Close)
+	e, err := ws.Graph("g")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	post := func(body string) (estimateResponse, int) {
 		t.Helper()
@@ -314,17 +318,20 @@ func TestHTTPKindDispatch(t *testing.T) {
 		t.Errorf("kinds = %v, want %v", got, want)
 	}
 
-	// /healthz exposes the per-kind counters.
-	resp2, err := http.Get(srv.URL + "/healthz")
+	// /graphs exposes the per-graph, per-kind counters.
+	resp2, err := http.Get(srv.URL + "/graphs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var health healthResponse
-	if err := json.NewDecoder(resp2.Body).Decode(&health); err != nil {
+	var listing graphsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&listing); err != nil {
 		t.Fatal(err)
 	}
-	if health.TasksByKind["motif"] != 2 || health.TasksByKind["size"] != 1 {
-		t.Errorf("tasks_by_kind = %v", health.TasksByKind)
+	if len(listing.Graphs) != 1 || listing.Graphs[0].Name != "g" {
+		t.Fatalf("graphs listing = %+v", listing)
+	}
+	if byKind := listing.Graphs[0].TasksByKind; byKind["motif"] != 2 || byKind["size"] != 1 {
+		t.Errorf("tasks_by_kind = %v", byKind)
 	}
 }

@@ -21,8 +21,14 @@
 // EstimateToPrecision adaptively extends a single walk until a target
 // precision (or a hard budget cap) is hit, and SaveSnapshot/LoadSnapshot
 // persist preprocessed million-node graphs in the .osnb binary format for
-// millisecond loads. See docs/ARCHITECTURE.md for the layer map and
-// docs/API.md for the HTTP service built on the same machinery.
+// millisecond loads. The recorded walk itself — the system's most
+// expensive artifact — persists too: RecordTrajectory captures it,
+// SaveTrajectory/LoadTrajectory round-trip it through the .osnt binary
+// format, and ReplayBatch answers any mix of task kinds from it at zero
+// additional API cost, bit-identical across the round trip. See
+// docs/ARCHITECTURE.md for the layer map, docs/API.md for the HTTP
+// service built on the same machinery, and docs/OPERATIONS.md for
+// deploying it.
 //
 // Quick start:
 //

@@ -95,11 +95,25 @@ func EstimateBatch(g *Graph, opts MultiPairOptions, reqs ...TaskRequest) (*Batch
 	if g.NumNodes() == 0 || g.NumEdges() == 0 {
 		return nil, fmt.Errorf("repro: graph has no edges to sample")
 	}
-	if len(reqs) == 0 {
-		return nil, fmt.Errorf("repro: EstimateBatch needs at least one task request")
-	}
 	// Validate every request — and build its task — before paying for the
 	// walk; the same instances are replayed below.
+	kinds, tasks, err := buildTasks(reqs)
+	if err != nil {
+		return nil, err
+	}
+	traj, burn, err := recordShared(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return replayTasks(traj, burn, kinds, tasks), nil
+}
+
+// buildTasks validates a request list through the estimation-task registry
+// and returns the resolved kinds and replayable task instances.
+func buildTasks(reqs []TaskRequest) ([]string, []core.EstimationTask, error) {
+	if len(reqs) == 0 {
+		return nil, nil, fmt.Errorf("repro: a batch needs at least one task request")
+	}
 	kinds := make([]string, len(reqs))
 	tasks := make([]core.EstimationTask, len(reqs))
 	for i, req := range reqs {
@@ -109,22 +123,24 @@ func EstimateBatch(g *Graph, opts MultiPairOptions, reqs ...TaskRequest) (*Batch
 		}
 		spec, ok := core.LookupTask(kind)
 		if !ok {
-			return nil, fmt.Errorf("repro: unknown task kind %q (have %v)", kind, core.TaskKinds())
+			return nil, nil, fmt.Errorf("repro: unknown task kind %q (have %v)", kind, core.TaskKinds())
 		}
 		task, err := spec.NewTask(taskParams(req))
 		if err != nil {
-			return nil, fmt.Errorf("repro: request %d: %w", i, err)
+			return nil, nil, fmt.Errorf("repro: request %d: %w", i, err)
 		}
 		kinds[i] = kind
 		tasks[i] = task
 	}
+	return kinds, tasks, nil
+}
 
-	traj, burn, err := recordShared(g, opts)
-	if err != nil {
-		return nil, err
-	}
+// replayTasks dispatches every built task over one shared trajectory — the
+// replay half of EstimateBatch, also reached by ReplayBatch for recorded or
+// loaded trajectories.
+func replayTasks(traj *core.Trajectory, burn int, kinds []string, tasks []core.EstimationTask) *BatchResult {
 	res := &BatchResult{
-		Answers:  make([]TaskAnswer, 0, len(reqs)),
+		Answers:  make([]TaskAnswer, 0, len(tasks)),
 		APICalls: traj.APICalls,
 		Samples:  traj.Samples(),
 		BurnIn:   burn,
@@ -143,11 +159,12 @@ func EstimateBatch(g *Graph, opts MultiPairOptions, reqs ...TaskRequest) (*Batch
 		}
 		ans, err := taskAnswer(kinds[i], out, burn, traj)
 		if err != nil {
-			return nil, err
+			res.Answers = append(res.Answers, TaskAnswer{Kind: kinds[i], Err: err})
+			continue
 		}
 		res.Answers = append(res.Answers, ans)
 	}
-	return res, nil
+	return res
 }
 
 // taskParams maps a public request onto the registry's parameter struct.

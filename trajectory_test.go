@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestTrajectoryPublicRoundTrip drives the public persistence surface:
+// RecordTrajectory → SaveTrajectory → LoadTrajectory → ReplayBatch answers
+// every task kind bit-identically to EstimateBatch over the same options,
+// at zero additional API cost.
+func TestTrajectoryPublicRoundTrip(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := MultiPairOptions{Samples: 400, BurnIn: 80, Seed: 5}
+	reqs := []TaskRequest{
+		{Pairs: []LabelPair{{T1: 1, T2: 2}, {T1: 2, T2: 2}}},
+		{Kind: "size"},
+		{Kind: "census", Top: 5},
+		{Kind: "motif", Motif: MotifWedges, Pairs: []LabelPair{{T1: 1, T2: 2}}},
+	}
+	want, err := EstimateBatch(g, opts, reqs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traj, err := RecordTrajectory(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "walk.osnt")
+	if err := SaveTrajectory(path, traj); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReplayBatch(loaded, reqs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.APICalls != want.APICalls || got.Samples != want.Samples || got.Walkers != want.Walkers {
+		t.Fatalf("replayed accounting differs: %+v vs %+v", got, want)
+	}
+	if len(got.Answers) != len(want.Answers) {
+		t.Fatalf("answer counts differ: %d vs %d", len(got.Answers), len(want.Answers))
+	}
+	if got.BurnIn != want.BurnIn {
+		t.Errorf("replayed BurnIn = %d, want the recorded %d (carried through the .osnt header)", got.BurnIn, want.BurnIn)
+	}
+	for i := range want.Answers {
+		ga, wa := got.Answers[i], want.Answers[i]
+		if (ga.Err == nil) != (wa.Err == nil) {
+			t.Errorf("answer %d error mismatch: %v vs %v", i, ga.Err, wa.Err)
+			continue
+		}
+		if !reflect.DeepEqual(ga.Pairs, wa.Pairs) || !reflect.DeepEqual(ga.Size, wa.Size) ||
+			!reflect.DeepEqual(ga.Census, wa.Census) || !reflect.DeepEqual(ga.Motif, wa.Motif) {
+			t.Errorf("answer %d differs after save/load:\n got %+v\nwant %+v", i, ga, wa)
+		}
+	}
+
+	if _, err := ReplayBatch(nil); err == nil {
+		t.Error("ReplayBatch(nil) should fail")
+	}
+	if _, err := ReplayBatch(loaded, TaskRequest{Kind: "nope"}); err == nil {
+		t.Error("ReplayBatch with an unknown kind should fail")
+	}
+	if _, err := LoadTrajectory(filepath.Join(t.TempDir(), "absent.osnt")); err == nil {
+		t.Error("LoadTrajectory of a missing file should fail")
+	}
+}
