@@ -6,50 +6,413 @@ import (
 )
 
 // This file holds the estimator-aggregation stage of NeighborSample and
-// NeighborExploration, factored out of the sampling loops so that a live walk
-// and a recorded Trajectory replay (EstimateManyPairs) feed the exact same
-// arithmetic. The serial variants mirror the historical single-walk code
-// operation for operation — the golden serial test pins them — and the
-// parallel variants mirror the multi-walker merging of engine.go.
+// NeighborExploration as streaming accumulators: algorithms feed one sample
+// at a time and read the finished result at the end, so a live walk, a
+// per-pair replay and the fused multi-query replay pass all drive the exact
+// same arithmetic in the exact same order. The serial mode mirrors the
+// historical single-walk code operation for operation — the golden serial
+// test pins it — and the parallel mode mirrors the multi-walker merging of
+// engine.go. Walker boundaries are explicit (beginWalker/endWalker) so the
+// per-walker sub-estimates behind the confidence intervals accumulate
+// exactly as the historical per-walker loops did.
 
-// aggregateNSSerial computes the NeighborSample estimators over one walker's
-// ordered edge samples, filling every field of res except APICalls.
-func aggregateNSSerial(res *NeighborSampleResult, samples []edgeSample, numEdges float64, thinGap int) error {
-	hh := &estimate.HansenHurwitz{}
-	ht := estimate.NewHorvitzThompson[graph.Edge]()
-	retained := len(samples)
-	if thinGap > 1 {
-		retained = len(samples) / thinGap
-		if retained == 0 {
-			return errNoRetained(thinGap, len(samples))
-		}
+// nsAgg streams edge samples into the NeighborSample estimators.
+type nsAgg struct {
+	numEdges float64
+	thinGap  int
+	serial   bool
+	walkers  int
+
+	incl    float64 // pooled HT inclusion probability
+	hh      *estimate.HansenHurwitz
+	ht      *estimate.HorvitzThompson[graph.Edge]
+	hhTerms []float64 // serial only: feeds the batch-means SE
+	perHH   []float64 // parallel only: per-walker estimates for the CIs
+	perHT   []float64
+
+	samples    int
+	targetHits int
+
+	// current-walker state
+	whh   *estimate.HansenHurwitz
+	wht   *estimate.HorvitzThompson[graph.Edge]
+	wincl float64
+	wn    int // sample count of the current walker
+	wi    int // sample index within the current walker
+}
+
+// newNSAgg sizes a NeighborSample accumulator for per-walker sample counts
+// known up front (replays know them from the walker extents; live walks pass
+// the lengths of the sample slices they buffered). serial selects the
+// single-walk aggregation; otherwise the multi-walker merging is used with
+// len(perCounts) walkers.
+func newNSAgg(numEdges float64, thinGap int, serial bool, perCounts []int) (*nsAgg, error) {
+	a := &nsAgg{
+		numEdges: numEdges,
+		thinGap:  thinGap,
+		serial:   serial,
+		walkers:  len(perCounts),
+		hh:       &estimate.HansenHurwitz{},
+		ht:       &estimate.HorvitzThompson[graph.Edge]{},
 	}
-	incl := estimate.InclusionProbability(1/numEdges, retained)
-	hhTerms := make([]float64, 0, len(samples))
-	for i, sm := range samples {
-		res.Samples++
-		indicator := 0.0
-		if sm.target {
-			indicator = 1
-			res.TargetHits++
+	if serial {
+		n := perCounts[0]
+		retained := n
+		if thinGap > 1 {
+			retained = n / thinGap
+			if retained == 0 {
+				return nil, errNoRetained(thinGap, n)
+			}
 		}
-		// HH term: I(X_i)/π(X_i) with π = 1/|E| (uniform edge sample).
-		term := indicator * numEdges
-		hhTerms = append(hhTerms, term)
-		if err := hh.Add(term, 1); err != nil {
+		a.incl = estimate.InclusionProbability(1/numEdges, retained)
+		a.hhTerms = make([]float64, 0, n)
+		return a, nil
+	}
+	retained, total := 0, 0
+	for _, n := range perCounts {
+		retained += retainedCount(n, thinGap)
+		total += n
+	}
+	if retained == 0 {
+		return nil, errNoRetained(thinGap, total)
+	}
+	a.incl = estimate.InclusionProbability(1/numEdges, retained)
+	a.perHH = make([]float64, 0, len(perCounts))
+	a.perHT = make([]float64, 0, len(perCounts))
+	return a, nil
+}
+
+// beginWalker opens the next walker's sample stream of n samples.
+func (a *nsAgg) beginWalker(n int) {
+	a.wi = 0
+	a.wn = n
+	if !a.serial {
+		a.whh = &estimate.HansenHurwitz{}
+		a.wht = &estimate.HorvitzThompson[graph.Edge]{}
+		a.wincl = estimate.InclusionProbability(1/a.numEdges, retainedCount(n, a.thinGap))
+	}
+}
+
+// add streams one retained walk transition.
+func (a *nsAgg) add(e graph.Edge, target bool) error {
+	a.samples++
+	indicator := 0.0
+	if target {
+		indicator = 1
+		a.targetHits++
+	}
+	// HH term: I(X_i)/π(X_i) with π = 1/|E| (uniform edge sample).
+	term := indicator * a.numEdges
+	if a.serial {
+		a.hhTerms = append(a.hhTerms, term)
+	}
+	if err := a.hh.Add(term, 1); err != nil {
+		return err
+	}
+	if !a.serial {
+		if err := a.whh.Add(term, 1); err != nil {
 			return err
 		}
-		if thinGap <= 1 || i%thinGap == 0 {
-			if err := ht.Add(sm.e, indicator, incl); err != nil {
+	}
+	if a.thinGap <= 1 || a.wi%a.thinGap == 0 {
+		if err := a.ht.Add(e, indicator, a.incl); err != nil {
+			return err
+		}
+		if !a.serial {
+			if err := a.wht.Add(e, indicator, a.wincl); err != nil {
 				return err
 			}
 		}
 	}
-	res.HH = hh.Estimate()
-	res.HHStdErr = batchSE(hhTerms)
-	res.HT = ht.Estimate()
-	res.DistinctEdges = ht.Distinct()
-	res.Walkers = 1
+	a.wi++
+	return nil
+}
+
+// addIndexed streams one retained walk transition whose Horvitz–Thompson
+// dedup was precomputed (see replayCols): retained reports whether the step
+// survives the thinning gap, first / firstW whether it is the first retained
+// occurrence of its canonical edge in the pooled / per-walker stream. It
+// accumulates bit-for-bit what add would — the HT sums receive the same
+// y/π terms in the same order, only the dedup map is skipped.
+func (a *nsAgg) addIndexed(target bool, retained, first, firstW bool) error {
+	a.samples++
+	indicator := 0.0
+	if target {
+		indicator = 1
+		a.targetHits++
+	}
+	term := indicator * a.numEdges
+	if a.serial {
+		a.hhTerms = append(a.hhTerms, term)
+	}
+	a.hh.AddUnit(term)
+	if !a.serial {
+		a.whh.AddUnit(term)
+	}
+	if retained {
+		if first {
+			if err := a.ht.AddFirst(indicator, a.incl); err != nil {
+				return err
+			}
+		}
+		if !a.serial && firstW {
+			if err := a.wht.AddFirst(indicator, a.wincl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// endWalker closes the current walker, folding its sub-estimates into the
+// per-walker series behind the confidence intervals.
+func (a *nsAgg) endWalker() {
+	if !a.serial && a.wn > 0 {
+		a.perHH = append(a.perHH, a.whh.Estimate())
+		a.perHT = append(a.perHT, a.wht.Estimate())
+	}
+}
+
+// finishInto writes the finished estimators into res (every field except
+// APICalls).
+func (a *nsAgg) finishInto(res *NeighborSampleResult) {
+	res.Samples = a.samples
+	res.TargetHits = a.targetHits
+	res.HH = a.hh.Estimate()
+	res.HT = a.ht.Estimate()
+	res.DistinctEdges = a.ht.Distinct()
+	if a.serial {
+		res.HHStdErr = batchSE(a.hhTerms)
+		res.Walkers = 1
+		return
+	}
+	res.HHCI = estimate.CIFromEstimates(a.perHH, ciLevel)
+	res.HTCI = estimate.CIFromEstimates(a.perHT, ciLevel)
+	res.HHStdErr = res.HHCI.StdErr
+	res.Walkers = a.walkers
+}
+
+// neAgg streams node samples into the NeighborExploration estimators.
+type neAgg struct {
+	numEdges float64
+	numNodes float64
+	thinGap  int
+	serial   bool
+	walkers  int
+
+	retained int // pooled HT retained count
+	hh       *estimate.HansenHurwitz
+	ht       *estimate.HorvitzThompson[graph.Node]
+	rw       *estimate.Reweighted
+	hhTerms  []float64
+	perHH    []float64
+	perHT    []float64
+	perRW    []float64
+
+	samples        int
+	targetEdgeMass int64
+
+	// current-walker state
+	whh  *estimate.HansenHurwitz
+	wht  *estimate.HorvitzThompson[graph.Node]
+	wrw  *estimate.Reweighted
+	wret int
+	wn   int
+	wi   int
+}
+
+// newNEAgg sizes a NeighborExploration accumulator; see newNSAgg.
+func newNEAgg(numEdges, numNodes float64, thinGap int, serial bool, perCounts []int) (*neAgg, error) {
+	a := &neAgg{
+		numEdges: numEdges,
+		numNodes: numNodes,
+		thinGap:  thinGap,
+		serial:   serial,
+		walkers:  len(perCounts),
+		hh:       &estimate.HansenHurwitz{},
+		ht:       &estimate.HorvitzThompson[graph.Node]{},
+		rw:       &estimate.Reweighted{},
+	}
+	if serial {
+		n := perCounts[0]
+		retained := n
+		if thinGap > 1 {
+			retained = n / thinGap
+			if retained == 0 {
+				return nil, errNoRetained(thinGap, n)
+			}
+		}
+		a.retained = retained
+		a.hhTerms = make([]float64, 0, n)
+		return a, nil
+	}
+	retained, total := 0, 0
+	for _, n := range perCounts {
+		retained += retainedCount(n, thinGap)
+		total += n
+	}
+	if retained == 0 {
+		return nil, errNoRetained(thinGap, total)
+	}
+	a.retained = retained
+	a.perHH = make([]float64, 0, len(perCounts))
+	a.perHT = make([]float64, 0, len(perCounts))
+	a.perRW = make([]float64, 0, len(perCounts))
+	return a, nil
+}
+
+// beginWalker opens the next walker's sample stream of n samples.
+func (a *neAgg) beginWalker(n int) {
+	a.wi = 0
+	a.wn = n
+	if !a.serial {
+		a.whh = &estimate.HansenHurwitz{}
+		a.wht = &estimate.HorvitzThompson[graph.Node]{}
+		a.wrw = &estimate.Reweighted{}
+		a.wret = retainedCount(n, a.thinGap)
+	}
+}
+
+// add streams one retained walk position with its exploration outcome.
+func (a *neAgg) add(u graph.Node, t, d int) error {
+	a.samples++
+	a.targetEdgeMass += int64(t)
+	// HH (Eq. 11): average of |E|·T(u)/d(u); |E|/d(u) is the
+	// 1/(2·π(u)) factor with π(u) = d(u)/2|E|.
+	term := float64(t) * a.numEdges / float64(d)
+	if a.serial {
+		a.hhTerms = append(a.hhTerms, term)
+	}
+	if err := a.hh.Add(term, 1); err != nil {
+		return err
+	}
+	if !a.serial {
+		if err := a.whh.Add(term, 1); err != nil {
+			return err
+		}
+	}
+	if a.serial {
+		// RW (Eq. 19): ratio of Σ T/d to 2·Σ 1/d, scaled by |V|.
+		if err := a.rw.Add(float64(t), float64(d)); err != nil {
+			return err
+		}
+	} else {
+		if err := a.wrw.Add(float64(t), float64(d)); err != nil {
+			return err
+		}
+	}
+	// HT (Eq. 13): distinct nodes, inclusion 1−(1−d(u)/2|E|)^m.
+	if a.thinGap <= 1 || a.wi%a.thinGap == 0 {
+		incl := estimate.InclusionProbability(float64(d)/(2*a.numEdges), a.retained)
+		if err := a.ht.Add(u, float64(t), incl); err != nil {
+			return err
+		}
+		if !a.serial {
+			winc := estimate.InclusionProbability(float64(d)/(2*a.numEdges), a.wret)
+			if err := a.wht.Add(u, float64(t), winc); err != nil {
+				return err
+			}
+		}
+	}
+	a.wi++
+	return nil
+}
+
+// addIndexed streams one retained walk position using precomputed replay
+// columns: first-visit flags replace the HT dedup maps, incl / inclW are the
+// step's precomputed inclusion probabilities, and invD is 1/d. Bit-identical
+// to add — every accumulator receives the same terms in the same order.
+func (a *neAgg) addIndexed(t, d int, retained, first, firstW bool, incl, inclW, invD float64) error {
+	a.samples++
+	a.targetEdgeMass += int64(t)
+	var term float64
+	if t != 0 {
+		// float64(0)*numEdges/d is exactly +0, so the skipped division
+		// changes no bits.
+		term = float64(t) * a.numEdges / float64(d)
+	}
+	if a.serial {
+		a.hhTerms = append(a.hhTerms, term)
+	}
+	a.hh.AddUnit(term)
+	if !a.serial {
+		a.whh.AddUnit(term)
+	}
+	if a.serial {
+		if err := a.rw.AddInv(float64(t), float64(d), invD); err != nil {
+			return err
+		}
+	} else {
+		if err := a.wrw.AddInv(float64(t), float64(d), invD); err != nil {
+			return err
+		}
+	}
+	if retained {
+		if first {
+			if err := a.ht.AddFirst(float64(t), incl); err != nil {
+				return err
+			}
+		}
+		if !a.serial && firstW {
+			if err := a.wht.AddFirst(float64(t), inclW); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// endWalker closes the current walker, merging its RW draws into the pooled
+// ratio and recording its sub-estimates for the confidence intervals.
+func (a *neAgg) endWalker() {
+	if a.serial {
+		return
+	}
+	a.rw.Merge(a.wrw)
+	if a.wn > 0 {
+		a.perHH = append(a.perHH, a.whh.Estimate())
+		a.perHT = append(a.perHT, a.wht.Estimate()/2)
+		a.perRW = append(a.perRW, a.wrw.Ratio()*a.numNodes/2)
+	}
+}
+
+// finishInto writes the finished estimators into res (every field except
+// APICalls and Explorations, which are access-time statistics the caller
+// tracks).
+func (a *neAgg) finishInto(res *NeighborExplorationResult) {
+	res.Samples = a.samples
+	res.TargetEdgeMass = a.targetEdgeMass
+	res.HH = a.hh.Estimate()
+	res.HT = a.ht.Estimate() / 2
+	res.RW = a.rw.Ratio() * a.numNodes / 2
+	res.DistinctNodes = a.ht.Distinct()
+	if a.serial {
+		res.HHStdErr = batchSE(a.hhTerms)
+		res.Walkers = 1
+		return
+	}
+	res.HHCI = estimate.CIFromEstimates(a.perHH, ciLevel)
+	res.HTCI = estimate.CIFromEstimates(a.perHT, ciLevel)
+	res.RWCI = estimate.CIFromEstimates(a.perRW, ciLevel)
+	res.HHStdErr = res.HHCI.StdErr
+	res.Walkers = a.walkers
+}
+
+// aggregateNSSerial computes the NeighborSample estimators over one walker's
+// ordered edge samples, filling every field of res except APICalls.
+func aggregateNSSerial(res *NeighborSampleResult, samples []edgeSample, numEdges float64, thinGap int) error {
+	a, err := newNSAgg(numEdges, thinGap, true, []int{len(samples)})
+	if err != nil {
+		return err
+	}
+	a.beginWalker(len(samples))
+	for _, sm := range samples {
+		if err := a.add(sm.e, sm.target); err != nil {
+			return err
+		}
+	}
+	a.endWalker()
+	a.finishInto(res)
 	return nil
 }
 
@@ -57,59 +420,24 @@ func aggregateNSSerial(res *NeighborSampleResult, samples []edgeSample, numEdges
 // NeighborSample estimators and attaches between-walker confidence intervals,
 // filling every field of res except APICalls.
 func aggregateNSParallel(res *NeighborSampleResult, perSamples [][]edgeSample, numEdges float64, thinGap int) error {
-	W := len(perSamples)
-	retained := 0
-	for _, samples := range perSamples {
-		retained += retainedCount(len(samples), thinGap)
+	counts := make([]int, len(perSamples))
+	for i, samples := range perSamples {
+		counts[i] = len(samples)
 	}
-	if retained == 0 {
-		return errNoRetained(thinGap, totalLen(perSamples))
+	a, err := newNSAgg(numEdges, thinGap, false, counts)
+	if err != nil {
+		return err
 	}
-	incl := estimate.InclusionProbability(1/numEdges, retained)
-
-	hh := &estimate.HansenHurwitz{}
-	ht := estimate.NewHorvitzThompson[graph.Edge]()
-	perHH := make([]float64, 0, W)
-	perHT := make([]float64, 0, W)
 	for _, samples := range perSamples {
-		whh := &estimate.HansenHurwitz{}
-		wht := estimate.NewHorvitzThompson[graph.Edge]()
-		wincl := estimate.InclusionProbability(1/numEdges, retainedCount(len(samples), thinGap))
-		for i, sm := range samples {
-			res.Samples++
-			indicator := 0.0
-			if sm.target {
-				indicator = 1
-				res.TargetHits++
-			}
-			term := indicator * numEdges
-			if err := hh.Add(term, 1); err != nil {
+		a.beginWalker(len(samples))
+		for _, sm := range samples {
+			if err := a.add(sm.e, sm.target); err != nil {
 				return err
 			}
-			if err := whh.Add(term, 1); err != nil {
-				return err
-			}
-			if thinGap <= 1 || i%thinGap == 0 {
-				if err := ht.Add(sm.e, indicator, incl); err != nil {
-					return err
-				}
-				if err := wht.Add(sm.e, indicator, wincl); err != nil {
-					return err
-				}
-			}
 		}
-		if len(samples) > 0 {
-			perHH = append(perHH, whh.Estimate())
-			perHT = append(perHT, wht.Estimate())
-		}
+		a.endWalker()
 	}
-	res.HH = hh.Estimate()
-	res.HT = ht.Estimate()
-	res.HHCI = estimate.CIFromEstimates(perHH, ciLevel)
-	res.HTCI = estimate.CIFromEstimates(perHT, ciLevel)
-	res.HHStdErr = res.HHCI.StdErr
-	res.DistinctEdges = ht.Distinct()
-	res.Walkers = W
+	a.finishInto(res)
 	return nil
 }
 
@@ -117,45 +445,18 @@ func aggregateNSParallel(res *NeighborSampleResult, perSamples [][]edgeSample, n
 // walker's ordered node samples, filling every field of res except APICalls
 // and Explorations (an access-time statistic the caller tracks).
 func aggregateNESerial(res *NeighborExplorationResult, samples []nodeSample, numEdges, numNodes float64, thinGap int) error {
-	hh := &estimate.HansenHurwitz{}
-	ht := estimate.NewHorvitzThompson[graph.Node]()
-	rw := &estimate.Reweighted{}
-	retained := len(samples)
-	if thinGap > 1 {
-		retained = len(samples) / thinGap
-		if retained == 0 {
-			return errNoRetained(thinGap, len(samples))
-		}
+	a, err := newNEAgg(numEdges, numNodes, thinGap, true, []int{len(samples)})
+	if err != nil {
+		return err
 	}
-	hhTerms := make([]float64, 0, len(samples))
-	for i, sm := range samples {
-		res.Samples++
-		res.TargetEdgeMass += int64(sm.t)
-		// HH (Eq. 11): average of |E|·T(u)/d(u); |E|/d(u) is the
-		// 1/(2·π(u)) factor with π(u) = d(u)/2|E|.
-		term := float64(sm.t) * numEdges / float64(sm.d)
-		hhTerms = append(hhTerms, term)
-		if err := hh.Add(term, 1); err != nil {
+	a.beginWalker(len(samples))
+	for _, sm := range samples {
+		if err := a.add(sm.u, sm.t, sm.d); err != nil {
 			return err
 		}
-		// RW (Eq. 19): ratio of Σ T/d to 2·Σ 1/d, scaled by |V|.
-		if err := rw.Add(float64(sm.t), float64(sm.d)); err != nil {
-			return err
-		}
-		// HT (Eq. 13): distinct nodes, inclusion 1−(1−d(u)/2|E|)^m.
-		if thinGap <= 1 || i%thinGap == 0 {
-			incl := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), retained)
-			if err := ht.Add(sm.u, float64(sm.t), incl); err != nil {
-				return err
-			}
-		}
 	}
-	res.HH = hh.Estimate()
-	res.HHStdErr = batchSE(hhTerms)
-	res.HT = ht.Estimate() / 2
-	res.RW = rw.Ratio() * numNodes / 2
-	res.DistinctNodes = ht.Distinct()
-	res.Walkers = 1
+	a.endWalker()
+	a.finishInto(res)
 	return nil
 }
 
@@ -163,65 +464,23 @@ func aggregateNESerial(res *NeighborExplorationResult, samples []nodeSample, num
 // NeighborExploration estimators with between-walker confidence intervals,
 // filling every field of res except APICalls and Explorations.
 func aggregateNEParallel(res *NeighborExplorationResult, perSamples [][]nodeSample, numEdges, numNodes float64, thinGap int) error {
-	W := len(perSamples)
-	retained := 0
-	for _, samples := range perSamples {
-		retained += retainedCount(len(samples), thinGap)
+	counts := make([]int, len(perSamples))
+	for i, samples := range perSamples {
+		counts[i] = len(samples)
 	}
-	if retained == 0 {
-		return errNoRetained(thinGap, totalLen2(perSamples))
+	a, err := newNEAgg(numEdges, numNodes, thinGap, false, counts)
+	if err != nil {
+		return err
 	}
-
-	hh := &estimate.HansenHurwitz{}
-	ht := estimate.NewHorvitzThompson[graph.Node]()
-	rw := &estimate.Reweighted{}
-	perHH := make([]float64, 0, W)
-	perHT := make([]float64, 0, W)
-	perRW := make([]float64, 0, W)
 	for _, samples := range perSamples {
-		whh := &estimate.HansenHurwitz{}
-		wht := estimate.NewHorvitzThompson[graph.Node]()
-		wrw := &estimate.Reweighted{}
-		wret := retainedCount(len(samples), thinGap)
-		for i, sm := range samples {
-			res.Samples++
-			res.TargetEdgeMass += int64(sm.t)
-			term := float64(sm.t) * numEdges / float64(sm.d)
-			if err := hh.Add(term, 1); err != nil {
+		a.beginWalker(len(samples))
+		for _, sm := range samples {
+			if err := a.add(sm.u, sm.t, sm.d); err != nil {
 				return err
-			}
-			if err := whh.Add(term, 1); err != nil {
-				return err
-			}
-			if err := wrw.Add(float64(sm.t), float64(sm.d)); err != nil {
-				return err
-			}
-			if thinGap <= 1 || i%thinGap == 0 {
-				incl := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), retained)
-				if err := ht.Add(sm.u, float64(sm.t), incl); err != nil {
-					return err
-				}
-				winc := estimate.InclusionProbability(float64(sm.d)/(2*numEdges), wret)
-				if err := wht.Add(sm.u, float64(sm.t), winc); err != nil {
-					return err
-				}
 			}
 		}
-		rw.Merge(wrw)
-		if len(samples) > 0 {
-			perHH = append(perHH, whh.Estimate())
-			perHT = append(perHT, wht.Estimate()/2)
-			perRW = append(perRW, wrw.Ratio()*numNodes/2)
-		}
+		a.endWalker()
 	}
-	res.HH = hh.Estimate()
-	res.HT = ht.Estimate() / 2
-	res.RW = rw.Ratio() * numNodes / 2
-	res.HHCI = estimate.CIFromEstimates(perHH, ciLevel)
-	res.HTCI = estimate.CIFromEstimates(perHT, ciLevel)
-	res.RWCI = estimate.CIFromEstimates(perRW, ciLevel)
-	res.HHStdErr = res.HHCI.StdErr
-	res.DistinctNodes = ht.Distinct()
-	res.Walkers = W
+	a.finishInto(res)
 	return nil
 }

@@ -68,39 +68,21 @@ func EstimateCensus(s *osn.Session, k int, opts Options) (CensusResult, error) {
 // historical fleet census.
 func CensusFromTrajectory(t *Trajectory, top int) (CensusResult, error) {
 	var res CensusResult
-	if t == nil || len(t.Steps) == 0 {
+	if t == nil || t.Samples() == 0 {
 		return res, fmt.Errorf("core: census replay needs a recorded trajectory")
 	}
-	if top < 0 {
-		return res, fmt.Errorf("core: census replay needs top >= 0, got %d", top)
+	v, err := newCensusVisitor(t, top)
+	if err != nil {
+		return res, err
 	}
-	hits := make(map[graph.LabelPair]int)
-	seen := make(map[graph.LabelPair]struct{}, 8)
-	for _, steps := range t.Steps {
-		for _, st := range steps {
-			res.Samples++
-			censusHits(t.labels, st.Prev, st.Node, hits, seen)
-		}
+	if err := RunVisitors(t, []TrajectoryVisitor{v}); err != nil {
+		return res, err
 	}
-	if res.Samples == 0 {
-		return res, errCensusEmpty()
+	out, err := v.Result()
+	if err != nil {
+		return res, err
 	}
-	numEdges := float64(t.NumEdges)
-	res.Pairs = make([]PairEstimate, 0, len(hits))
-	for p, h := range hits {
-		res.Pairs = append(res.Pairs, PairEstimate{
-			Pair:     p,
-			Estimate: numEdges * float64(h) / float64(res.Samples),
-			Hits:     h,
-		})
-	}
-	sortPairEstimates(res.Pairs)
-	if top > 0 && top < len(res.Pairs) {
-		res.Pairs = res.Pairs[:top]
-	}
-	res.APICalls = t.APICalls
-	res.Walkers = t.Walkers
-	return res, nil
+	return out.(CensusResult), nil
 }
 
 // censusHits credits one hit to every label pair the edge (u, v) carries,

@@ -210,22 +210,6 @@ func retainedCount(n, gap int) int {
 	return n
 }
 
-func totalLen(s [][]edgeSample) int {
-	n := 0
-	for _, x := range s {
-		n += len(x)
-	}
-	return n
-}
-
-func totalLen2(s [][]nodeSample) int {
-	n := 0
-	for _, x := range s {
-		n += len(x)
-	}
-	return n
-}
-
 func sum64(xs []int64) int64 {
 	var n int64
 	for _, x := range xs {

@@ -190,8 +190,8 @@ func TestRecordTrajectoryTinyBudgetNotEmpty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for wi, steps := range traj.Steps {
-			if len(steps) == 0 {
+		for wi := 0; wi < traj.NumWalkers(); wi++ {
+			if traj.WalkerLen(wi) == 0 {
 				t.Errorf("walkers=%d: walker %d recorded no steps at budget share 1", walkers, wi)
 			}
 		}
@@ -214,15 +214,16 @@ func TestTrajectoryRecordsStarts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(traj.Starts) != len(traj.Steps) {
-			t.Fatalf("walkers=%d: %d starts for %d streams", walkers, len(traj.Starts), len(traj.Steps))
+		if !traj.HasStarts() {
+			t.Fatalf("walkers=%d: trajectory lacks per-walker starts", walkers)
 		}
-		for wi, st := range traj.Starts {
-			if len(traj.Steps[wi]) == 0 {
+		for wi := 0; wi < traj.NumWalkers(); wi++ {
+			st := traj.StartAt(wi)
+			if traj.WalkerLen(wi) == 0 {
 				continue
 			}
-			if traj.Steps[wi][0].Prev != st.Node {
-				t.Errorf("walker %d: first step leaves %d, start records %d", wi, traj.Steps[wi][0].Prev, st.Node)
+			if first := traj.StepAt(wi, 0); first.Prev != st.Node {
+				t.Errorf("walker %d: first step leaves %d, start records %d", wi, first.Prev, st.Node)
 			}
 			if st.Degree != len(st.Neighbors) {
 				t.Errorf("walker %d: start degree %d != |neighbors| %d", wi, st.Degree, len(st.Neighbors))

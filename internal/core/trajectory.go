@@ -23,6 +23,14 @@ import (
 // budget-driven mode; replayed NeighborSample estimates match a standalone
 // run bit for bit in sample-driven mode (in budget-driven mode NeighborSample
 // alone would have spent the neighbor-fetch call on one extra walk step).
+//
+// Storage is columnar: instead of per-step structs carrying their own
+// neighbor slices, a Trajectory holds flat prev/node/degree arrays, one
+// shared neighbor-ID arena with per-step offsets, and per-walker extents.
+// Replays iterate cache-friendly columns and allocate nothing; the .osnt
+// store (internal/store) decodes straight into the same columns. TrajStep
+// and TrajStart survive as row views over the columns (StepAt / StartAt) for
+// callers that want one step at a time.
 
 // TrajStart is one walker's post-burn-in starting state: the node its first
 // recorded step moves from, with that node's degree and friend list.
@@ -34,8 +42,9 @@ type TrajStart struct {
 	Node graph.Node
 	// Degree is d(Node).
 	Degree int
-	// Neighbors is Node's friend list. Shared with the session's response
-	// store; must not be modified.
+	// Neighbors is Node's friend list. Shared with the trajectory's arena
+	// (or, during recording, the session's response store); must not be
+	// modified.
 	Neighbors []graph.Node
 }
 
@@ -49,8 +58,9 @@ type TrajStep struct {
 	Node graph.Node
 	// Degree is d(Node).
 	Degree int
-	// Neighbors is Node's friend list. The slice is shared with the session's
-	// response store and must not be modified.
+	// Neighbors is Node's friend list. The slice is shared with the
+	// trajectory's arena (or, during recording, the session's response
+	// store) and must not be modified.
 	Neighbors []graph.Node
 }
 
@@ -67,15 +77,34 @@ type LabelReader interface {
 type labelAPI = LabelReader
 
 // Trajectory is a recorded multi-walker sample stream, reusable across label
-// pairs. It is immutable once recorded: EstimateManyPairs only reads it, so
-// one Trajectory may serve concurrent queries.
+// pairs. It is immutable once recorded: replays only read it, so one
+// Trajectory may serve concurrent queries.
+//
+// The sample stream lives in flat columns — prev[i], node[i], degree[i] for
+// global step index i, with walker w owning the contiguous index range
+// WalkerSpan(w). Every neighbor list (the W start lists first, then the step
+// lists in walker-major step order) is a subslice of one shared arena, so a
+// loaded or recorded trajectory is a fixed number of allocations regardless
+// of length, and replays touch memory sequentially.
 type Trajectory struct {
-	// Steps holds each walker's recorded transitions in walk order; serial
-	// recordings have exactly one stream.
-	Steps [][]TrajStep
-	// Starts holds each walker's post-burn-in start state, index-aligned
-	// with Steps.
-	Starts []TrajStart
+	// ext[w]..ext[w+1] is walker w's global step-index range; len W+1.
+	ext []int64
+	// prev, node and deg are the step columns; len Samples().
+	prev []graph.Node
+	node []graph.Node
+	deg  []int32
+	// nbrOff[i]..nbrOff[i+1] is step i's neighbor range in arena; len S+1.
+	// nbrOff[0] == startOff[W]: step lists follow the start lists.
+	nbrOff []int64
+	// startNode, startDeg and startOff are the per-walker start columns;
+	// startOff[w]..startOff[w+1] is start w's neighbor range in arena.
+	startNode []graph.Node
+	startDeg  []int32
+	startOff  []int64
+	// arena holds every neighbor list back to back: the W start lists in
+	// walker order, then the step lists in walker-major step order.
+	arena []graph.Node
+
 	// Walkers is the fleet size the trajectory was recorded with.
 	Walkers int
 	// APICalls is the total billed sampling cost of the recording (summed
@@ -97,16 +126,82 @@ type Trajectory struct {
 	// BudgetDriven records how k was interpreted during recording.
 	BudgetDriven bool
 
-	labels labelAPI
+	labels  labelAPI
+	colsH   *colsHolder
+	replayH *replayHolder
+}
+
+// NumWalkers returns the number of recorded walker streams.
+func (t *Trajectory) NumWalkers() int {
+	if len(t.ext) == 0 {
+		return 0
+	}
+	return len(t.ext) - 1
 }
 
 // Samples returns the total recorded sample count across walkers.
-func (t *Trajectory) Samples() int {
-	n := 0
-	for _, steps := range t.Steps {
-		n += len(steps)
+func (t *Trajectory) Samples() int { return len(t.prev) }
+
+// WalkerSpan returns the half-open global step-index range [lo, hi) owned by
+// walker w. Step accessors take global indices from this range.
+func (t *Trajectory) WalkerSpan(w int) (lo, hi int) {
+	return int(t.ext[w]), int(t.ext[w+1])
+}
+
+// WalkerLen returns walker w's recorded sample count.
+func (t *Trajectory) WalkerLen(w int) int { return int(t.ext[w+1] - t.ext[w]) }
+
+// StepPrev returns the node global step i moved from.
+func (t *Trajectory) StepPrev(i int) graph.Node { return t.prev[i] }
+
+// StepNode returns the node global step i arrived at.
+func (t *Trajectory) StepNode(i int) graph.Node { return t.node[i] }
+
+// StepDegree returns d(StepNode(i)).
+func (t *Trajectory) StepDegree(i int) int { return int(t.deg[i]) }
+
+// StepNeighbors returns step i's recorded friend list as a view into the
+// shared arena; it must not be modified.
+func (t *Trajectory) StepNeighbors(i int) []graph.Node {
+	return t.arena[t.nbrOff[i]:t.nbrOff[i+1]]
+}
+
+// HasStarts reports whether the trajectory records one start state per
+// walker. Replays that need both endpoints of each walker's first edge
+// (triangle counting) require them.
+func (t *Trajectory) HasStarts() bool { return len(t.startNode) == t.NumWalkers() }
+
+// StartNode returns walker w's post-burn-in start position.
+func (t *Trajectory) StartNode(w int) graph.Node { return t.startNode[w] }
+
+// StartDegree returns d(StartNode(w)).
+func (t *Trajectory) StartDegree(w int) int { return int(t.startDeg[w]) }
+
+// StartNeighbors returns walker w's start friend list as an arena view; it
+// must not be modified.
+func (t *Trajectory) StartNeighbors(w int) []graph.Node {
+	return t.arena[t.startOff[w]:t.startOff[w+1]]
+}
+
+// StepAt materializes walker w's i-th recorded step as a row view. The
+// Neighbors field aliases the shared arena.
+func (t *Trajectory) StepAt(w, i int) TrajStep {
+	g := t.ext[w] + int64(i)
+	return TrajStep{
+		Prev:      t.prev[g],
+		Node:      t.node[g],
+		Degree:    int(t.deg[g]),
+		Neighbors: t.arena[t.nbrOff[g]:t.nbrOff[g+1]],
 	}
-	return n
+}
+
+// StartAt materializes walker w's start state as a row view.
+func (t *Trajectory) StartAt(w int) TrajStart {
+	return TrajStart{
+		Node:      t.startNode[w],
+		Degree:    int(t.startDeg[w]),
+		Neighbors: t.arena[t.startOff[w]:t.startOff[w+1]],
+	}
 }
 
 // Labels exposes the free label-read surface a replay may consult. The
@@ -120,8 +215,162 @@ func (t *Trajectory) Labels() LabelReader { return t.labels }
 // then bound to the labels the file carries (or to the served graph, which
 // recorded them in the first place). Binding replaces the reader wholesale;
 // it must cover every node the trajectory references, or replays will
-// silently treat the missing nodes as unlabeled.
-func (t *Trajectory) BindLabels(lr LabelReader) { t.labels = lr }
+// silently treat the missing nodes as unlabeled. It also discards the cached
+// label-mask columns (they are derived from the reader), so it must not race
+// with in-flight replays.
+func (t *Trajectory) BindLabels(lr LabelReader) {
+	t.labels = lr
+	t.colsH = &colsHolder{}
+	// The replay columns derive from the step columns alone, not from
+	// labels, so a rebind keeps them — but a literal-built trajectory that
+	// never went through SetData gets its holder here.
+	if t.replayH == nil {
+		t.replayH = &replayHolder{}
+	}
+}
+
+// NewTrajectoryFromSteps assembles the columnar sample stream from row-form
+// recorded steps, copying every neighbor list into one shared arena (the
+// rows may alias session-owned response slices; the result is
+// self-contained). Metadata fields (Walkers, APICalls, ...) are left zero
+// for the caller to fill, and labels are bound with BindLabels.
+func NewTrajectoryFromSteps(perSteps [][]TrajStep, perStarts []TrajStart) *Trajectory {
+	W := len(perSteps)
+	S := 0
+	nbrs := 0
+	for _, start := range perStarts {
+		nbrs += len(start.Neighbors)
+	}
+	for _, steps := range perSteps {
+		S += len(steps)
+		for _, st := range steps {
+			nbrs += len(st.Neighbors)
+		}
+	}
+	t := &Trajectory{
+		ext:       make([]int64, W+1),
+		prev:      make([]graph.Node, S),
+		node:      make([]graph.Node, S),
+		deg:       make([]int32, S),
+		nbrOff:    make([]int64, S+1),
+		startNode: make([]graph.Node, len(perStarts)),
+		startDeg:  make([]int32, len(perStarts)),
+		startOff:  make([]int64, len(perStarts)+1),
+		arena:     make([]graph.Node, 0, nbrs),
+		colsH:     &colsHolder{},
+		replayH:   &replayHolder{},
+	}
+	for w, start := range perStarts {
+		t.startOff[w] = int64(len(t.arena))
+		t.arena = append(t.arena, start.Neighbors...)
+		t.startNode[w] = start.Node
+		t.startDeg[w] = int32(start.Degree)
+	}
+	t.startOff[len(perStarts)] = int64(len(t.arena))
+	i := 0
+	for w, steps := range perSteps {
+		t.ext[w] = int64(i)
+		for _, st := range steps {
+			t.prev[i] = st.Prev
+			t.node[i] = st.Node
+			t.deg[i] = int32(st.Degree)
+			t.nbrOff[i] = int64(len(t.arena))
+			t.arena = append(t.arena, st.Neighbors...)
+			i++
+		}
+	}
+	t.ext[W] = int64(i)
+	t.nbrOff[S] = int64(len(t.arena))
+	return t
+}
+
+// TrajectoryData is the raw columnar layout of a Trajectory — the exchange
+// format between the core and the .osnt persistence layer, which decodes a
+// file straight into these columns (no per-step allocation) and hands them
+// over wholesale with SetData.
+type TrajectoryData struct {
+	// Ext is the per-walker extent prefix (len W+1, Ext[0] == 0): walker w
+	// owns global steps Ext[w]..Ext[w+1].
+	Ext []int64
+	// Prev, Node and Degree are the step columns (len S).
+	Prev   []graph.Node
+	Node   []graph.Node
+	Degree []int32
+	// NbrOff is the per-step arena offset prefix (len S+1); NbrOff[0] must
+	// equal StartOff[W] (step lists follow the start lists in the arena).
+	NbrOff []int64
+	// StartNode, StartDegree and StartOff are the per-walker start columns
+	// (len W; StartOff has len W+1 with StartOff[0] == 0).
+	StartNode   []graph.Node
+	StartDegree []int32
+	StartOff    []int64
+	// Arena holds every neighbor list back to back: start lists first, then
+	// step lists in walker-major step order.
+	Arena []graph.Node
+}
+
+// Data returns zero-copy views of the trajectory's columns. The views are
+// read-only; mutating them breaks the immutability invariant replays rely on.
+func (t *Trajectory) Data() TrajectoryData {
+	return TrajectoryData{
+		Ext:         t.ext,
+		Prev:        t.prev,
+		Node:        t.node,
+		Degree:      t.deg,
+		NbrOff:      t.nbrOff,
+		StartNode:   t.startNode,
+		StartDegree: t.startDeg,
+		StartOff:    t.startOff,
+		Arena:       t.arena,
+	}
+}
+
+// SetData installs raw columns into t, taking ownership of every slice. It
+// validates the structural invariants (consistent lengths, monotone extents
+// and offsets, arena coverage) but not graph-level semantics — the store
+// layer checks node ranges against its header before calling this.
+func (t *Trajectory) SetData(d TrajectoryData) error {
+	W := len(d.StartNode)
+	S := len(d.Prev)
+	switch {
+	case len(d.Node) != S || len(d.Degree) != S:
+		return fmt.Errorf("core: trajectory data: step columns disagree (%d/%d/%d)", S, len(d.Node), len(d.Degree))
+	case len(d.NbrOff) != S+1:
+		return fmt.Errorf("core: trajectory data: NbrOff len %d, want %d", len(d.NbrOff), S+1)
+	case len(d.StartDegree) != W:
+		return fmt.Errorf("core: trajectory data: start columns disagree (%d/%d)", W, len(d.StartDegree))
+	case len(d.StartOff) != W+1:
+		return fmt.Errorf("core: trajectory data: StartOff len %d, want %d", len(d.StartOff), W+1)
+	case len(d.Ext) != W+1:
+		return fmt.Errorf("core: trajectory data: Ext len %d, want %d", len(d.Ext), W+1)
+	case d.Ext[0] != 0 || d.Ext[W] != int64(S):
+		return fmt.Errorf("core: trajectory data: Ext spans [%d,%d], want [0,%d]", d.Ext[0], d.Ext[W], S)
+	case d.StartOff[0] != 0 || d.NbrOff[0] != d.StartOff[W] || d.NbrOff[S] != int64(len(d.Arena)):
+		return fmt.Errorf("core: trajectory data: arena offsets do not tile the arena")
+	}
+	for w := 0; w < W; w++ {
+		if d.Ext[w+1] < d.Ext[w] || d.StartOff[w+1] < d.StartOff[w] {
+			return fmt.Errorf("core: trajectory data: walker %d extent or start offset decreases", w)
+		}
+	}
+	for i := 0; i < S; i++ {
+		if d.NbrOff[i+1] < d.NbrOff[i] {
+			return fmt.Errorf("core: trajectory data: step %d neighbor offset decreases", i)
+		}
+	}
+	t.ext = d.Ext
+	t.prev = d.Prev
+	t.node = d.Node
+	t.deg = d.Degree
+	t.nbrOff = d.NbrOff
+	t.startNode = d.StartNode
+	t.startDeg = d.StartDegree
+	t.startOff = d.StartOff
+	t.arena = d.Arena
+	t.colsH = &colsHolder{}
+	t.replayH = &replayHolder{}
+	return nil
+}
 
 // PairEstimates is one label pair's full replay: every estimator of both
 // algorithms computed from the shared trajectory. The APICalls fields of both
@@ -192,19 +441,17 @@ func RecordTrajectory(s *osn.Session, k int, opts Options) (*Trajectory, error) 
 		steps = append(steps, TrajStep{Prev: prev, Node: cur, Degree: d, Neighbors: ns})
 		prev = cur
 	}
-	return &Trajectory{
-		Steps:          [][]TrajStep{steps},
-		Starts:         []TrajStart{start},
-		Walkers:        1,
-		APICalls:       s.Calls(),
-		PerWalkerCalls: []int64{s.Calls()},
-		NumNodes:       s.NumNodes(),
-		NumEdges:       s.NumEdges(),
-		ThinGap:        opts.ThinGap,
-		BurnIn:         opts.BurnIn,
-		BudgetDriven:   opts.BudgetDriven,
-		labels:         s,
-	}, nil
+	t := NewTrajectoryFromSteps([][]TrajStep{steps}, []TrajStart{start})
+	t.Walkers = 1
+	t.APICalls = s.Calls()
+	t.PerWalkerCalls = []int64{s.Calls()}
+	t.NumNodes = s.NumNodes()
+	t.NumEdges = s.NumEdges()
+	t.ThinGap = opts.ThinGap
+	t.BurnIn = opts.BurnIn
+	t.BudgetDriven = opts.BudgetDriven
+	t.BindLabels(s)
+	return t, nil
 }
 
 // recordStart fetches the start node's friend list through the metered
@@ -285,82 +532,42 @@ func recordTrajectoryParallel(s *osn.Session, k int, opts Options) (*Trajectory,
 	if err != nil {
 		return nil, err
 	}
-	return &Trajectory{
-		Steps:          perSteps,
-		Starts:         perStarts,
-		Walkers:        W,
-		APICalls:       sum64(calls),
-		PerWalkerCalls: calls,
-		NumNodes:       s.NumNodes(),
-		NumEdges:       s.NumEdges(),
-		ThinGap:        opts.ThinGap,
-		BurnIn:         opts.BurnIn,
-		BudgetDriven:   opts.BudgetDriven,
-		labels:         s,
-	}, nil
+	t := NewTrajectoryFromSteps(perSteps, perStarts)
+	t.Walkers = W
+	t.APICalls = sum64(calls)
+	t.PerWalkerCalls = calls
+	t.NumNodes = s.NumNodes()
+	t.NumEdges = s.NumEdges()
+	t.ThinGap = opts.ThinGap
+	t.BurnIn = opts.BurnIn
+	t.BudgetDriven = opts.BudgetDriven
+	t.BindLabels(s)
+	return t, nil
 }
 
 // EstimateManyPairs replays a recorded trajectory through the paper's HH/HT
 // (and, for NeighborExploration, RW) aggregators for every given label pair —
-// the same estimators a live walk feeds, at zero additional API cost. Serial
-// trajectories replay through the serial aggregation (batch-means standard
-// errors); fleet trajectories through the multi-walker merging (between-walker
-// confidence intervals).
+// the same estimators a live walk feeds, at zero additional API cost, in one
+// fused pass over the step columns (all pairs' aggregators advance together;
+// each still receives exactly the sample sequence a per-pair replay would
+// feed it). Serial trajectories replay through the serial aggregation
+// (batch-means standard errors); fleet trajectories through the multi-walker
+// merging (between-walker confidence intervals).
 func EstimateManyPairs(t *Trajectory, pairs []graph.LabelPair) ([]PairEstimates, error) {
-	if t == nil || len(t.Steps) == 0 {
+	if t == nil || t.Samples() == 0 {
 		return nil, fmt.Errorf("core: EstimateManyPairs needs a recorded trajectory")
 	}
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("core: EstimateManyPairs needs at least one label pair")
 	}
-	numEdges := float64(t.NumEdges)
-	numNodes := float64(t.NumNodes)
-	out := make([]PairEstimates, 0, len(pairs))
-	edgesPer := make([][]edgeSample, len(t.Steps))
-	nodesPer := make([][]nodeSample, len(t.Steps))
-	for _, pair := range pairs {
-		pe := PairEstimates{Pair: pair}
-		explorations := 0
-		for wi, steps := range t.Steps {
-			es := make([]edgeSample, 0, len(steps))
-			nsamps := make([]nodeSample, 0, len(steps))
-			explored := make(map[graph.Node]bool)
-			for _, st := range steps {
-				e := graph.Edge{U: st.Prev, V: st.Node}.Canonical()
-				target := t.labels.HasLabel(e.U, pair.T1) && t.labels.HasLabel(e.V, pair.T2) ||
-					t.labels.HasLabel(e.U, pair.T2) && t.labels.HasLabel(e.V, pair.T1)
-				es = append(es, edgeSample{e: e, target: target})
-				tt, explores := ReplayTargetDegree(t.labels, st, pair)
-				if explores && !explored[st.Node] {
-					explored[st.Node] = true
-					explorations++
-				}
-				nsamps = append(nsamps, nodeSample{u: st.Node, t: tt, d: st.Degree})
-			}
-			edgesPer[wi] = es
-			nodesPer[wi] = nsamps
-		}
-		if t.Walkers <= 1 {
-			if err := aggregateNSSerial(&pe.NS, edgesPer[0], numEdges, t.ThinGap); err != nil {
-				return nil, err
-			}
-			if err := aggregateNESerial(&pe.NE, nodesPer[0], numEdges, numNodes, t.ThinGap); err != nil {
-				return nil, err
-			}
-		} else {
-			if err := aggregateNSParallel(&pe.NS, edgesPer, numEdges, t.ThinGap); err != nil {
-				return nil, err
-			}
-			if err := aggregateNEParallel(&pe.NE, nodesPer, numEdges, numNodes, t.ThinGap); err != nil {
-				return nil, err
-			}
-		}
-		pe.NS.APICalls = t.APICalls
-		pe.NE.APICalls = t.APICalls
-		pe.NE.Explorations = explorations
-		out = append(out, pe)
+	v, err := newPairsVisitor(t, pairs)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	if err := RunVisitors(t, []TrajectoryVisitor{v}); err != nil {
+		return nil, err
+	}
+	return v.estimates()
 }
 
 // ReplayTargetDegree recomputes T(u) for a recorded step from the step's
@@ -427,6 +634,7 @@ func NewRecorder(s *osn.Session, budget int64, opts Options) (*Recorder, error) 
 	if err := walk.BurninCtx[graph.Node](opts.ctx(), w, opts.BurnIn); err != nil {
 		return nil, fmt.Errorf("core: burn-in: %w", err)
 	}
+	m.Flush() // settle deferred burn-in debits before re-arming
 	m.Reset(budget)
 	ts, err := recordStart(m, w.Current())
 	if err != nil {
@@ -483,25 +691,27 @@ func (r *Recorder) Extend(k int) (added int, exhausted bool, err error) {
 }
 
 // Calls returns the sampling API calls billed so far (burn-in excluded).
-func (r *Recorder) Calls() int64 { return r.m.Calls() }
+func (r *Recorder) Calls() int64 {
+	r.m.Flush() // keep the session's global counter settled for observers
+	return r.m.Calls()
+}
 
 // Samples returns the cumulative recorded sample count.
 func (r *Recorder) Samples() int { return len(r.steps) }
 
 // Trajectory snapshots the recording so far as a replayable Trajectory. The
-// snapshot shares the recorded steps; replay only reads them, so it remains
-// valid across later Extend calls (which only append).
+// snapshot copies the recorded rows into fresh columns (an O(samples) copy),
+// so it stays valid — and immutable — across later Extend calls.
 func (r *Recorder) Trajectory() *Trajectory {
-	return &Trajectory{
-		Steps:          [][]TrajStep{r.steps},
-		Starts:         []TrajStart{r.start},
-		Walkers:        1,
-		APICalls:       r.m.Calls(),
-		PerWalkerCalls: []int64{r.m.Calls()},
-		NumNodes:       r.nNodes,
-		NumEdges:       r.nEdges,
-		ThinGap:        r.opts.ThinGap,
-		BurnIn:         r.opts.BurnIn,
-		labels:         r.labels,
-	}
+	r.m.Flush()
+	t := NewTrajectoryFromSteps([][]TrajStep{r.steps}, []TrajStart{r.start})
+	t.Walkers = 1
+	t.APICalls = r.m.Calls()
+	t.PerWalkerCalls = []int64{r.m.Calls()}
+	t.NumNodes = r.nNodes
+	t.NumEdges = r.nEdges
+	t.ThinGap = r.opts.ThinGap
+	t.BurnIn = r.opts.BurnIn
+	t.BindLabels(r.labels)
+	return t
 }

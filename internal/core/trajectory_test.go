@@ -236,8 +236,8 @@ func TestRecorderResumesOneWalk(t *testing.T) {
 	if inc.Samples() != 300 || oneShot.Samples() != 300 {
 		t.Fatalf("samples: incremental %d, one-shot %d", inc.Samples(), oneShot.Samples())
 	}
-	for i := range inc.Steps[0] {
-		a, b := inc.Steps[0][i], oneShot.Steps[0][i]
+	for i := 0; i < inc.WalkerLen(0); i++ {
+		a, b := inc.StepAt(0, i), oneShot.StepAt(0, i)
 		if a.Prev != b.Prev || a.Node != b.Node || a.Degree != b.Degree {
 			t.Fatalf("step %d differs: %+v vs %+v", i, a, b)
 		}

@@ -30,6 +30,13 @@ func (h *HansenHurwitz) Add(y, p float64) error {
 	return nil
 }
 
+// AddUnit records one draw with probability 1 — bit-identical to Add(y, 1)
+// (IEEE division by 1 is exact) without the division, for hot replay loops.
+func (h *HansenHurwitz) AddUnit(y float64) {
+	h.sum += y
+	h.n++
+}
+
 // N returns the number of draws recorded.
 func (h *HansenHurwitz) N() int { return h.n }
 
@@ -45,14 +52,19 @@ func (h *HansenHurwitz) Estimate() float64 {
 // where Pr(unit) is the probability the unit enters the sample at least
 // once. Each distinct unit contributes once regardless of how many times it
 // is drawn — the H(e ∈ S) indicator of Eqs. (3) and (13).
+// The zero value is ready to use. Callers that have already deduplicated
+// their sample stream (a replay over a fixed trajectory knows, per step,
+// whether the unit is new) can feed AddFirst instead of Add and skip the
+// map entirely; the two entry points must not be mixed on one accumulator.
 type HorvitzThompson[K comparable] struct {
-	seen map[K]struct{}
-	sum  float64
+	seen     map[K]struct{}
+	distinct int
+	sum      float64
 }
 
 // NewHorvitzThompson returns an empty HT accumulator over unit keys K.
 func NewHorvitzThompson[K comparable]() *HorvitzThompson[K] {
-	return &HorvitzThompson[K]{seen: make(map[K]struct{})}
+	return &HorvitzThompson[K]{}
 }
 
 // Add records that unit was sampled, with value y and inclusion probability
@@ -64,13 +76,30 @@ func (h *HorvitzThompson[K]) Add(unit K, y, incl float64) error {
 	if _, dup := h.seen[unit]; dup {
 		return nil
 	}
+	if h.seen == nil {
+		h.seen = make(map[K]struct{})
+	}
 	h.seen[unit] = struct{}{}
+	h.distinct++
+	h.sum += y / incl
+	return nil
+}
+
+// AddFirst records a unit the caller already knows is distinct (its first
+// occurrence in a pre-indexed sample stream), with value y and inclusion
+// probability incl in (0, 1]. It accumulates exactly what Add would on a
+// first sighting, without the dedup map.
+func (h *HorvitzThompson[K]) AddFirst(y, incl float64) error {
+	if incl <= 0 || incl > 1 {
+		return fmt.Errorf("estimate: Horvitz-Thompson inclusion probability must be in (0,1], got %g", incl)
+	}
+	h.distinct++
 	h.sum += y / incl
 	return nil
 }
 
 // Distinct returns the number of distinct units recorded.
-func (h *HorvitzThompson[K]) Distinct() int { return len(h.seen) }
+func (h *HorvitzThompson[K]) Distinct() int { return h.distinct }
 
 // Estimate returns the accumulated HT estimate (0 when nothing was added —
 // an empty sample legitimately estimates 0 for a total).
@@ -93,6 +122,24 @@ func (r *Reweighted) Add(y, w float64) error {
 	}
 	r.num += y / w
 	r.den += 1 / w
+	r.n++
+	return nil
+}
+
+// AddInv records one draw like Add, with the reciprocal weight supplied by
+// the caller (invW must equal 1/w). Replays precompute 1/d(u) once per step
+// and share it across every queried pair; the accumulated bits are identical
+// because the same quotient is added, just not recomputed per pair.
+func (r *Reweighted) AddInv(y, w, invW float64) error {
+	if w <= 0 {
+		return fmt.Errorf("estimate: re-weighted trial weight must be positive, got %g", w)
+	}
+	if y != 0 {
+		// y/w == +0 when y == 0 here (y, w >= 0), and num only ever sums
+		// non-negative terms, so skipping the +0 add changes no bits.
+		r.num += y / w
+	}
+	r.den += invW
 	r.n++
 	return nil
 }

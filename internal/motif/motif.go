@@ -148,37 +148,79 @@ func WedgesFromTrajectory(t *core.Trajectory, pair *graph.LabelPair) (Result, er
 	if t == nil || t.Samples() == 0 {
 		return res, fmt.Errorf("motif: wedge replay needs a recorded trajectory")
 	}
-	labels := t.Labels()
-	numEdges := float64(t.NumEdges)
-	hh := &estimate.HansenHurwitz{}
-	perWalker := make([]float64, 0, len(t.Steps))
-	for _, steps := range t.Steps {
-		whh := &estimate.HansenHurwitz{}
-		for _, st := range steps {
-			res.Samples++
-			tt := st.Degree
-			if pair != nil {
-				tt, _ = core.ReplayTargetDegree(labels, st, *pair)
-			}
-			wedges := float64(tt) * float64(tt-1) / 2
-			// HH term: value / π(u) with π(u) = d(u)/2|E|.
-			term := wedges * 2 * numEdges / float64(st.Degree)
-			if err := hh.Add(term, 1); err != nil {
-				return res, err
-			}
-			if err := whh.Add(term, 1); err != nil {
-				return res, err
-			}
-		}
-		if len(steps) > 0 {
-			perWalker = append(perWalker, whh.Estimate())
-		}
+	v := newWedgeVisitor(t, pair)
+	if err := core.RunVisitors(t, []core.TrajectoryVisitor{v}); err != nil {
+		return res, err
 	}
-	res.Estimate = hh.Estimate()
-	res.APICalls = t.APICalls
-	res.Walkers = t.Walkers
-	if t.Walkers > 1 {
-		res.CI = estimate.CIFromEstimates(perWalker, ciLevel)
+	out, err := v.Result()
+	if err != nil {
+		return res, err
+	}
+	return out.(Result), nil
+}
+
+// wedgeVisitor streams the wedge estimator over a trajectory's step columns.
+// Labeled target degrees come from the trajectory's precomputed label-mask
+// columns (core.TargetDegreeAt) when available.
+type wedgeVisitor struct {
+	t         *core.Trajectory
+	pair      *graph.LabelPair
+	numEdges  float64
+	hh        *estimate.HansenHurwitz
+	whh       *estimate.HansenHurwitz
+	perWalker []float64
+	samples   int
+	wn        int
+}
+
+func newWedgeVisitor(t *core.Trajectory, pair *graph.LabelPair) *wedgeVisitor {
+	return &wedgeVisitor{
+		t:         t,
+		pair:      pair,
+		numEdges:  float64(t.NumEdges),
+		hh:        &estimate.HansenHurwitz{},
+		perWalker: make([]float64, 0, t.NumWalkers()),
+	}
+}
+
+func (v *wedgeVisitor) BeginWalker(w, n int) error {
+	v.whh = &estimate.HansenHurwitz{}
+	v.wn = n
+	return nil
+}
+
+func (v *wedgeVisitor) VisitStep(i int) error {
+	v.samples++
+	d := v.t.StepDegree(i)
+	tt := d
+	if v.pair != nil {
+		tt, _ = v.t.TargetDegreeAt(i, *v.pair)
+	}
+	wedges := float64(tt) * float64(tt-1) / 2
+	// HH term: value / π(u) with π(u) = d(u)/2|E|.
+	term := wedges * 2 * v.numEdges / float64(d)
+	if err := v.hh.Add(term, 1); err != nil {
+		return err
+	}
+	return v.whh.Add(term, 1)
+}
+
+func (v *wedgeVisitor) EndWalker(w int) error {
+	if v.wn > 0 {
+		v.perWalker = append(v.perWalker, v.whh.Estimate())
+	}
+	return nil
+}
+
+func (v *wedgeVisitor) Result() (any, error) {
+	res := Result{
+		Estimate: v.hh.Estimate(),
+		Samples:  v.samples,
+		APICalls: v.t.APICalls,
+		Walkers:  v.t.Walkers,
+	}
+	if v.t.Walkers > 1 {
+		res.CI = estimate.CIFromEstimates(v.perWalker, ciLevel)
 	}
 	return res, nil
 }
@@ -195,44 +237,108 @@ func TrianglesFromTrajectory(t *core.Trajectory, pair *graph.LabelPair) (Result,
 	if t == nil || t.Samples() == 0 {
 		return res, fmt.Errorf("motif: triangle replay needs a recorded trajectory")
 	}
-	if len(t.Starts) != len(t.Steps) {
-		return res, fmt.Errorf("motif: trajectory lacks per-walker start states; re-record it")
+	v, err := newTriangleVisitor(t, pair)
+	if err != nil {
+		return res, err
 	}
-	labels := t.Labels()
-	numEdges := float64(t.NumEdges)
-	hh := &estimate.HansenHurwitz{}
-	perWalker := make([]float64, 0, len(t.Steps))
-	for wi, steps := range t.Steps {
-		whh := &estimate.HansenHurwitz{}
-		prevNeighbors := t.Starts[wi].Neighbors
-		for _, st := range steps {
-			res.Samples++
-			u, v := st.Prev, st.Node
-			value := 0.0
-			if pair == nil {
-				value = triangleCreditAll(prevNeighbors, st.Neighbors)
-			} else if isTarget(labels, u, v, *pair) {
-				value = triangleCredit(labels, u, v, prevNeighbors, st.Neighbors, *pair)
-			}
-			// Sampled edge is uniform over E: π = 1/|E|.
-			term := value * numEdges
-			if err := hh.Add(term, 1); err != nil {
-				return res, err
-			}
-			if err := whh.Add(term, 1); err != nil {
-				return res, err
-			}
-			prevNeighbors = st.Neighbors
-		}
-		if len(steps) > 0 {
-			perWalker = append(perWalker, whh.Estimate())
-		}
+	if err := core.RunVisitors(t, []core.TrajectoryVisitor{v}); err != nil {
+		return res, err
 	}
-	res.Estimate = hh.Estimate()
-	res.APICalls = t.APICalls
-	res.Walkers = t.Walkers
-	if t.Walkers > 1 {
-		res.CI = estimate.CIFromEstimates(perWalker, ciLevel)
+	out, err := v.Result()
+	if err != nil {
+		return res, err
+	}
+	return out.(Result), nil
+}
+
+// triangleVisitor streams the triangle estimator over a trajectory's step
+// columns, chaining each step's friend list to the next step's previous-node
+// list (seeded per walker from the recorded start state).
+type triangleVisitor struct {
+	t             *core.Trajectory
+	pair          *graph.LabelPair
+	labels        core.LabelReader
+	numEdges      float64
+	hh            *estimate.HansenHurwitz
+	whh           *estimate.HansenHurwitz
+	perWalker     []float64
+	prevNeighbors []graph.Node
+	common        []int32
+	samples       int
+	wn            int
+}
+
+func newTriangleVisitor(t *core.Trajectory, pair *graph.LabelPair) (*triangleVisitor, error) {
+	if !t.HasStarts() {
+		return nil, fmt.Errorf("motif: trajectory lacks per-walker start states; re-record it")
+	}
+	tv := &triangleVisitor{
+		t:         t,
+		pair:      pair,
+		labels:    t.Labels(),
+		numEdges:  float64(t.NumEdges),
+		hh:        &estimate.HansenHurwitz{},
+		perWalker: make([]float64, 0, t.NumWalkers()),
+	}
+	if pair == nil {
+		// The unlabeled credit is common/3, and the common-neighbor count
+		// is a precomputed trajectory column — no per-step intersections.
+		tv.common = t.EdgeCommonNeighbors()
+	}
+	return tv, nil
+}
+
+func (tv *triangleVisitor) BeginWalker(w, n int) error {
+	tv.whh = &estimate.HansenHurwitz{}
+	if tv.common == nil {
+		tv.prevNeighbors = tv.t.StartNeighbors(w)
+	}
+	tv.wn = n
+	return nil
+}
+
+func (tv *triangleVisitor) VisitStep(i int) error {
+	tv.samples++
+	value := 0.0
+	if tv.common != nil {
+		value = float64(tv.common[i]) / 3
+	} else {
+		u, v := tv.t.StepPrev(i), tv.t.StepNode(i)
+		nbrs := tv.t.StepNeighbors(i)
+		if tv.pair == nil {
+			value = triangleCreditAll(tv.prevNeighbors, nbrs)
+		} else if isTarget(tv.labels, u, v, *tv.pair) {
+			value = triangleCredit(tv.labels, u, v, tv.prevNeighbors, nbrs, *tv.pair)
+		}
+		tv.prevNeighbors = nbrs
+	}
+	// Sampled edge is uniform over E: π = 1/|E|.
+	term := value * tv.numEdges
+	if err := tv.hh.Add(term, 1); err != nil {
+		return err
+	}
+	if err := tv.whh.Add(term, 1); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (tv *triangleVisitor) EndWalker(w int) error {
+	if tv.wn > 0 {
+		tv.perWalker = append(tv.perWalker, tv.whh.Estimate())
+	}
+	return nil
+}
+
+func (tv *triangleVisitor) Result() (any, error) {
+	res := Result{
+		Estimate: tv.hh.Estimate(),
+		Samples:  tv.samples,
+		APICalls: tv.t.APICalls,
+		Walkers:  tv.t.Walkers,
+	}
+	if tv.t.Walkers > 1 {
+		res.CI = estimate.CIFromEstimates(tv.perWalker, ciLevel)
 	}
 	return res, nil
 }

@@ -69,6 +69,84 @@ func (mt motifTask) Estimate(t *core.Trajectory) (any, error) {
 	return res, nil
 }
 
+// NewVisitor lets the motif task join a fused replay pass
+// (core.RunTasksFused): all queried pairs stream over ONE column sweep
+// instead of one full replay per pair, with each pair's accumulator fed the
+// identical sample sequence Estimate would feed it.
+func (mt motifTask) NewVisitor(t *core.Trajectory) (core.TrajectoryVisitor, error) {
+	pairs := make([]*graph.LabelPair, 0, len(mt.pairs)+1)
+	if len(mt.pairs) == 0 {
+		pairs = append(pairs, nil)
+	} else {
+		for i := range mt.pairs {
+			pairs = append(pairs, &mt.pairs[i])
+		}
+	}
+	subs := make([]core.TrajectoryVisitor, len(pairs))
+	for i, p := range pairs {
+		if mt.shape == ShapeTriangles {
+			v, err := newTriangleVisitor(t, p)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = v
+		} else {
+			subs[i] = newWedgeVisitor(t, p)
+		}
+	}
+	return &motifVisitor{shape: mt.shape, pairs: pairs, subs: subs}, nil
+}
+
+// motifVisitor fans one fused pass out to per-pair wedge/triangle visitors.
+type motifVisitor struct {
+	shape string
+	pairs []*graph.LabelPair
+	subs  []core.TrajectoryVisitor
+}
+
+func (mv *motifVisitor) BeginWalker(w, n int) error {
+	for _, s := range mv.subs {
+		if err := s.BeginWalker(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mv *motifVisitor) VisitStep(i int) error {
+	for _, s := range mv.subs {
+		if err := s.VisitStep(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mv *motifVisitor) EndWalker(w int) error {
+	for _, s := range mv.subs {
+		if err := s.EndWalker(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mv *motifVisitor) Result() (any, error) {
+	res := TaskResult{Shape: mv.shape}
+	for i, s := range mv.subs {
+		out, err := s.Result()
+		if err != nil {
+			return nil, err
+		}
+		r := out.(Result)
+		res.Rows = append(res.Rows, TaskRow{Pair: mv.pairs[i], Estimate: r.Estimate, CI: r.CI})
+		res.Samples = r.Samples
+		res.APICalls = r.APICalls
+		res.Walkers = r.Walkers
+	}
+	return res, nil
+}
+
 func init() {
 	core.RegisterTask(core.TaskSpec{
 		Kind: "motif",

@@ -72,37 +72,41 @@ func GlobalClusteringFromTrajectory(t *core.Trajectory) (ClusteringResult, error
 	if t == nil || t.Samples() == 0 {
 		return res, fmt.Errorf("motif: clustering replay needs a recorded trajectory")
 	}
-	if len(t.Starts) != len(t.Steps) {
+	if !t.HasStarts() {
 		return res, fmt.Errorf("motif: trajectory lacks per-walker start states; re-record it")
 	}
 	numEdges := float64(t.NumEdges)
 	triHH := &estimate.HansenHurwitz{}
 	wedgeHH := &estimate.HansenHurwitz{}
-	perCoeff := make([]float64, 0, len(t.Steps))
-	for wi, steps := range t.Steps {
+	W := t.NumWalkers()
+	perCoeff := make([]float64, 0, W)
+	// The per-step common-neighbor counts are a precomputed trajectory
+	// column (the credit is count/3), shared with the triangle estimator.
+	common := t.EdgeCommonNeighbors()
+	for wi := 0; wi < W; wi++ {
 		wtri := &estimate.HansenHurwitz{}
 		wwedge := &estimate.HansenHurwitz{}
-		prevNeighbors := t.Starts[wi].Neighbors
-		for _, st := range steps {
+		lo, hi := t.WalkerSpan(wi)
+		for i := lo; i < hi; i++ {
 			res.Samples++
-			triTerm := triangleCreditAll(prevNeighbors, st.Neighbors) * numEdges
+			triTerm := float64(common[i]) / 3 * numEdges
 			if err := triHH.Add(triTerm, 1); err != nil {
 				return res, err
 			}
 			if err := wtri.Add(triTerm, 1); err != nil {
 				return res, err
 			}
-			wedges := float64(st.Degree) * float64(st.Degree-1) / 2
-			wedgeTerm := wedges * 2 * numEdges / float64(st.Degree)
+			d := float64(t.StepDegree(i))
+			wedges := d * (d - 1) / 2
+			wedgeTerm := wedges * 2 * numEdges / d
 			if err := wedgeHH.Add(wedgeTerm, 1); err != nil {
 				return res, err
 			}
 			if err := wwedge.Add(wedgeTerm, 1); err != nil {
 				return res, err
 			}
-			prevNeighbors = st.Neighbors
 		}
-		if len(steps) > 0 && wwedge.Estimate() > 0 {
+		if hi > lo && wwedge.Estimate() > 0 {
 			perCoeff = append(perCoeff, 3*wtri.Estimate()/wwedge.Estimate())
 		}
 	}

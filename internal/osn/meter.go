@@ -7,6 +7,13 @@ import (
 	"repro/internal/graph"
 )
 
+// meterFlushEvery is how many deferred global debits a Meter accumulates
+// before forwarding them to the shared session counter in one atomic add.
+// Amortizing the contended atomic over a batch is what lets W walkers on W
+// cores scale on CPU-bound walks; 64 keeps the session counter at most a few
+// cache-line bounces behind while staying negligible against any real budget.
+const meterFlushEvery = 64
+
 // Meter is a per-walker metered view of a shared Session: it implements the
 // same API surface, but bills calls against its own budget slice with its
 // own duplicate-detection cache. Because a walker's trajectory depends only
@@ -22,32 +29,101 @@ import (
 // a response store, so Session.Calls() <= the sum of Meter.Calls() across
 // walkers.
 //
+// Two mechanisms keep the walk fast path off shared state, where concurrent
+// walkers would otherwise serialize on cache-line traffic:
+//
+//   - a per-walker read-through arena: once this meter has fetched a node,
+//     repeat queries are answered from walker-local storage (a bitmap over
+//     the immutable graph for in-memory sources, a private response map
+//     otherwise) without touching the session's fetched bits or shards;
+//   - batched global debits: when the session enforces no budget and injects
+//     no failures, global charges accumulate locally and are flushed to the
+//     shared atomic counter every meterFlushEvery calls (and on Flush), so
+//     the per-step cost is a plain local increment. Local accounting — the
+//     deterministic quantity estimates depend on — is always exact.
+//
 // A Meter is owned by exactly one goroutine and is NOT safe for concurrent
 // use; concurrency safety lives in the Session underneath.
 type Meter struct {
 	s       *Session
 	budget  int64
 	calls   int64
-	fetched map[graph.Node]struct{}
+	pending int64 // global debits not yet forwarded to s.calls
+
+	// Walker-local read-through arena. bits is used when the session serves
+	// from an immutable in-memory graph (the response slice needs no local
+	// copy); arena stores the response slices otherwise.
+	bits  []uint64
+	arena map[graph.Node][]graph.Node
 }
 
 // Meter returns a fresh metering view over s with the given call budget
 // (0 = unlimited).
 func (s *Session) Meter(budget int64) *Meter {
-	return &Meter{s: s, budget: budget, fetched: make(map[graph.Node]struct{})}
+	m := &Meter{s: s, budget: budget}
+	if s.graphFast != nil {
+		m.bits = make([]uint64, (s.NumNodes()+63)/64)
+	} else {
+		m.arena = make(map[graph.Node][]graph.Node)
+	}
+	return m
 }
 
-// Reset zeroes the meter's accounting and duplicate cache and installs a new
+// Reset zeroes the meter's accounting and local arena and installs a new
 // budget — the per-walker analogue of Session.ResetAccounting, used at the
-// burn-in/sampling boundary.
+// burn-in/sampling boundary. Pending global debits are discarded, because
+// the caller resets the session's counter at the same barrier; call Flush
+// first to settle them instead.
 func (m *Meter) Reset(budget int64) {
 	m.budget = budget
 	m.calls = 0
-	clear(m.fetched)
+	m.pending = 0
+	clear(m.bits)
+	clear(m.arena)
 }
 
-// chargeOne spends one local call for a fetch of u. The shared Session is
-// billed (and failure-injected) only when the response is not already in
+// Flush forwards the batched global debits to the shared session counter.
+// Call it before reading Session.Calls() for accounting.
+func (m *Meter) Flush() {
+	if m.pending > 0 {
+		m.s.calls.Add(m.pending)
+		m.pending = 0
+	}
+}
+
+// fastBill reports whether global debits may be batched: with a session-level
+// budget every charge must be refused exactly at the cap, and with failure
+// injection every charge must roll (and possibly fail) individually, so both
+// force the exact per-call path.
+func (m *Meter) fastBill() bool {
+	return m.s.cfg.Budget == 0 && m.s.cfg.FailureRate == 0
+}
+
+// localHit returns u's response if this meter has already fetched it.
+func (m *Meter) localHit(u graph.Node) ([]graph.Node, bool) {
+	if m.bits != nil {
+		w := uint(u) >> 6
+		if int(w) < len(m.bits) && m.bits[w]&(1<<(uint(u)&63)) != 0 {
+			return m.s.graphFast.Neighbors(u), true
+		}
+		return nil, false
+	}
+	adj, ok := m.arena[u]
+	return adj, ok
+}
+
+// markLocal records u's response in the walker-local arena.
+func (m *Meter) markLocal(u graph.Node, adj []graph.Node) {
+	if m.bits != nil {
+		m.bits[uint(u)>>6] |= 1 << (uint(u) & 63)
+		return
+	}
+	m.arena[u] = adj
+}
+
+// chargeOne spends one local call for a fetch of u — the exact path, used
+// when the session enforces a budget or injects failures. The shared Session
+// is billed (and failure-injected) only when the response is not already in
 // the shared cache — i.e. when an actual upstream request happens — so
 // global accounting tracks real traffic while local accounting stays
 // schedule-independent.
@@ -78,13 +154,44 @@ func (m *Meter) serve(u graph.Node) ([]graph.Node, error) {
 
 // Neighbors returns the friend list of u, charging one call against the
 // meter's budget. Repeat queries for a node this meter already fetched are
-// free, mirroring Session semantics.
+// free, mirroring Session semantics — and are answered entirely from the
+// walker-local arena, without touching shared state.
 func (m *Meter) Neighbors(u graph.Node) ([]graph.Node, error) {
+	if adj, ok := m.localHit(u); ok && !m.s.cfg.ChargeDuplicates {
+		return adj, nil
+	}
+	return m.fetch(u)
+}
+
+// fetch bills and serves a node the local arena does not cover (or a charged
+// duplicate).
+func (m *Meter) fetch(u graph.Node) ([]graph.Node, error) {
 	if err := m.s.checkNode(u); err != nil {
 		return nil, err
 	}
-	if _, hit := m.fetched[u]; hit && !m.s.cfg.ChargeDuplicates {
-		return m.serve(u)
+	if m.fastBill() {
+		if m.budget > 0 && m.calls >= m.budget {
+			return nil, ErrBudgetExhausted
+		}
+		adj, hit := m.s.cached(u)
+		if !hit || m.s.cfg.ChargeDuplicates {
+			// An actual upstream request (or a charged duplicate): defer the
+			// global debit, batched into one atomic add per flush window.
+			m.pending++
+			if m.pending >= meterFlushEvery {
+				m.Flush()
+			}
+		}
+		m.calls++
+		if !hit {
+			var err error
+			adj, err = m.s.fill(u)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m.markLocal(u, adj)
+		return adj, nil
 	}
 	for attempt := 0; ; attempt++ {
 		err := m.chargeOne(u)
@@ -99,7 +206,7 @@ func (m *Meter) Neighbors(u graph.Node) ([]graph.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.fetched[u] = struct{}{}
+	m.markLocal(u, adj)
 	return adj, nil
 }
 

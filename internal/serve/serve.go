@@ -676,20 +676,26 @@ func (e *Engine) EstimateBatch(ctx context.Context, qs []Query) ([]*Answer, erro
 		return nil, ent.err
 	}
 
+	// One fused pass over the trajectory's step columns answers the whole
+	// batch: every streaming task's aggregators ride the same column sweep,
+	// and per-query replay failures drop out without disturbing the rest.
+	outs, errs := core.RunTasksFused(ent.traj, tasks)
 	answers := make([]*Answer, len(qs))
 	for i := range qs {
-		ans, err := e.replay(kinds[i], tasks[i], ent, hit)
-		if err != nil {
+		var ans *Answer
+		if errs[i] != nil {
 			// Replay failures are per-query: the shared trajectory still
 			// answers the rest of the batch.
 			ans = &Answer{
 				Kind:     kinds[i],
-				Err:      err,
+				Err:      fmt.Errorf("%w: kind %q: %v", ErrEstimation, kinds[i], errs[i]),
 				APICalls: ent.traj.APICalls,
 				CacheHit: hit || ent.fromStore,
 				Walkers:  ent.traj.Walkers,
 				Samples:  ent.traj.Samples(),
 			}
+		} else {
+			ans = e.assembleAnswer(kinds[i], outs[i], ent, hit)
 		}
 		if !ans.CacheHit {
 			// The batch occupied one seat in the co-triggering split; divide
@@ -710,6 +716,11 @@ func (e *Engine) replay(kind string, task core.EstimationTask, ent *entry, hit b
 	if err != nil {
 		return nil, fmt.Errorf("%w: kind %q: %v", ErrEstimation, kind, err)
 	}
+	return e.assembleAnswer(kind, out, ent, hit), nil
+}
+
+// assembleAnswer wraps one task's replay result in the answer envelope.
+func (e *Engine) assembleAnswer(kind string, out any, ent *entry, hit bool) *Answer {
 	ans := &Answer{
 		Kind:     kind,
 		APICalls: ent.traj.APICalls,
@@ -739,7 +750,7 @@ func (e *Engine) replay(kind string, task core.EstimationTask, ent *entry, hit b
 	} else {
 		ans.Result = out
 	}
-	return ans, nil
+	return ans
 }
 
 // countQuery folds one answered query into the stats.

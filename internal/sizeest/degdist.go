@@ -51,11 +51,10 @@ func DegreeDistributionFromTrajectory(t *core.Trajectory) ([]DegreeBucket, error
 	// denominator Σ1/d.
 	numer := make(map[int]float64)
 	var denom float64
-	for _, steps := range t.Steps {
-		for _, st := range steps {
-			numer[st.Degree] += 1 / float64(st.Degree)
-			denom += 1 / float64(st.Degree)
-		}
+	for i, k := 0, t.Samples(); i < k; i++ {
+		d := t.StepDegree(i)
+		numer[d] += 1 / float64(d)
+		denom += 1 / float64(d)
 	}
 	if denom == 0 {
 		return nil, fmt.Errorf("sizeest: no usable samples")

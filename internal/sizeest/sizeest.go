@@ -155,81 +155,154 @@ func FromTrajectory(t *core.Trajectory, thinGap int) (Result, error) {
 	if t == nil || t.Samples() == 0 {
 		return res, fmt.Errorf("sizeest: size replay needs a recorded trajectory")
 	}
-	if thinGap < 0 {
-		return res, fmt.Errorf("sizeest: negative thinning gap %d", thinGap)
+	v, err := newSizeVisitor(t, thinGap)
+	if err != nil {
+		return res, err
 	}
-	k := t.Samples()
-	W := len(t.Steps)
-	var psi1, psi2 float64
-	collisions := 0
-	perPsi1 := make([]float64, W)
-	perPsi2 := make([]float64, W)
-	perWithin := make([]int, W)
-	perCross := make([]int, W)
-	// visitCounts accumulates, per node, how many times each walker hit it
-	// — the input to the cross-walker collision count below.
-	type walkerCount struct{ walker, count int }
-	visitCounts := make(map[graph.Node][]walkerCount)
-	for wi, steps := range t.Steps {
-		var wp1, wp2 float64
-		positions := make(map[graph.Node][]int, len(steps))
-		for i, st := range steps {
-			wp1 += 1 / float64(st.Degree)
-			wp2 += float64(st.Degree)
-			positions[st.Node] = append(positions[st.Node], i)
-		}
-		gap := thinGap
+	if err := core.RunVisitors(t, []core.TrajectoryVisitor{v}); err != nil {
+		return res, err
+	}
+	out, err := v.Result()
+	if err != nil {
+		return res, err
+	}
+	return out.(Result), nil
+}
+
+// sizeVisitor streams the trajectory's degree column through the
+// collision-counting size estimator. Only the Ψ sums stream per step (their
+// float accumulation order is the determinism contract); the collision
+// counts are integer sums over unordered same-node sample pairs, so Result
+// reads them off the trajectory's precomputed node-occurrence index instead
+// of rebuilding per-walker position maps on every replay.
+type sizeVisitor struct {
+	t       *core.Trajectory
+	thinGap int
+	W       int
+
+	// Per-walker scratch, reset in BeginWalker.
+	wi       int
+	pos      int
+	wp1, wp2 float64
+
+	// Pooled accumulators.
+	psi1, psi2 float64
+	perPsi1    []float64
+	perPsi2    []float64
+	perWithin  []int
+	perCross   []int
+	walkerLens []int
+}
+
+func newSizeVisitor(t *core.Trajectory, thinGap int) (*sizeVisitor, error) {
+	if thinGap < 0 {
+		return nil, fmt.Errorf("sizeest: negative thinning gap %d", thinGap)
+	}
+	W := t.NumWalkers()
+	return &sizeVisitor{
+		t:          t,
+		thinGap:    thinGap,
+		W:          W,
+		perPsi1:    make([]float64, W),
+		perPsi2:    make([]float64, W),
+		perWithin:  make([]int, W),
+		perCross:   make([]int, W),
+		walkerLens: make([]int, W),
+	}, nil
+}
+
+func (v *sizeVisitor) BeginWalker(w, n int) error {
+	v.wi = w
+	v.pos = 0
+	v.wp1, v.wp2 = 0, 0
+	return nil
+}
+
+func (v *sizeVisitor) VisitStep(i int) error {
+	d := float64(v.t.StepDegree(i))
+	v.wp1 += 1 / d
+	v.wp2 += d
+	v.pos++
+	return nil
+}
+
+func (v *sizeVisitor) EndWalker(w int) error {
+	v.perPsi1[w] = v.wp1
+	v.perPsi2[w] = v.wp2
+	v.walkerLens[w] = v.pos
+	v.psi1 += v.wp1
+	v.psi2 += v.wp2
+	return nil
+}
+
+// countCollisions tallies same-node sample pairs from the occurrence index:
+// within-walker pairs at least the walker's spacing gap apart, plus every
+// cross-walker pair (independent chains need no spacing exclusion). It
+// fills perWithin / perCross and returns the pooled count.
+func (v *sizeVisitor) countCollisions() int {
+	occ := v.t.Occurrences()
+	gaps := make([]int, v.W)
+	for w := range gaps {
+		gap := v.thinGap
 		if gap <= 0 {
-			gap = len(steps) / 40 // 2.5%·k, the [11] spacing
+			gap = v.walkerLens[w] / 40 // 2.5%·k, the [11] spacing
 			if gap < 1 {
 				gap = 1
 			}
 		}
-		// Count collisions among same-walk pairs at least gap apart. Hash
-		// by node; for each node's sorted position list, count far pairs.
-		wcol := 0
-		for u, ps := range positions {
-			for a := 0; a < len(ps); a++ {
-				for b := a + 1; b < len(ps); b++ {
-					if ps[b]-ps[a] >= gap {
-						wcol++
-					}
+		gaps[w] = gap
+	}
+	collisions := 0
+	for j := range occ.Nodes {
+		lo, hi := int(occ.Off[j]), int(occ.Off[j+1])
+		// Within-walker far pairs: occurrences are walker-major, so each
+		// walker's positions form a contiguous ascending run.
+		for a := lo; a < hi; a++ {
+			wa, pa := occ.Walker[a], occ.Pos[a]
+			gap := int32(gaps[wa])
+			for b := a + 1; b < hi && occ.Walker[b] == wa; b++ {
+				if occ.Pos[b]-pa >= gap {
+					collisions++
+					v.perWithin[wa]++
 				}
 			}
-			visitCounts[u] = append(visitCounts[u], walkerCount{walker: wi, count: len(ps)})
 		}
-		perPsi1[wi] = wp1
-		perPsi2[wi] = wp2
-		perWithin[wi] = wcol
-		psi1 += wp1
-		psi2 += wp2
-		collisions += wcol
-	}
-	if W > 1 {
-		// Cross-walker pairs: Σ_{i<j} c_i·c_j per node = (T² − Σc_i²)/2;
-		// each walker i is party to Σ_u c_{i,u}·(T_u − c_{i,u}) of them.
-		for _, counts := range visitCounts {
-			total, sq := 0, 0
-			for _, wc := range counts {
-				total += wc.count
-				sq += wc.count * wc.count
+		if v.W > 1 && hi-lo > 1 {
+			// Cross-walker pairs: Σ_{i<j} c_i·c_j = (T² − Σc_i²)/2 per node;
+			// walker i is party to c_i·(T − c_i) of them.
+			total := hi - lo
+			sq := 0
+			for a := lo; a < hi; {
+				b := a + 1
+				for b < hi && occ.Walker[b] == occ.Walker[a] {
+					b++
+				}
+				c := b - a
+				sq += c * c
+				v.perCross[occ.Walker[a]] += c * (total - c)
+				a = b
 			}
 			collisions += (total*total - sq) / 2
-			for _, wc := range counts {
-				perCross[wc.walker] += wc.count * (total - wc.count)
-			}
 		}
 	}
+	return collisions
+}
+
+func (v *sizeVisitor) Result() (any, error) {
+	var res Result
+	k := v.t.Samples()
+	W := v.W
+	collisions := v.countCollisions()
 	res.Samples = k
-	res.APICalls = t.APICalls
-	res.Walkers = t.Walkers
+	res.APICalls = v.t.APICalls
+	res.Walkers = v.t.Walkers
 	res.Collisions = collisions
-	res.MeanDegree = float64(k) / psi1
+	res.MeanDegree = float64(k) / v.psi1
 	if collisions == 0 {
 		return res, fmt.Errorf("sizeest: no collisions among %d samples; increase k (graph too large for this budget)", k)
 	}
-	res.Nodes = psi1 * psi2 / (2 * float64(collisions))
-	res.Edges = res.Nodes * float64(k) / (2 * psi1)
+	res.Nodes = v.psi1 * v.psi2 / (2 * float64(collisions))
+	res.Edges = res.Nodes * float64(k) / (2 * v.psi1)
 	if W > 1 {
 		// Leave-one-walker-out jackknife. The collision estimator is too
 		// nonlinear for per-walker subsample estimates (a 1/W-sized sample
@@ -240,13 +313,13 @@ func FromTrajectory(t *core.Trajectory, thinGap int) (Result, error) {
 		loNodes := make([]float64, 0, W)
 		loEdges := make([]float64, 0, W)
 		for wi := 0; wi < W; wi++ {
-			loCol := collisions - perWithin[wi] - perCross[wi]
-			loPsi1 := psi1 - perPsi1[wi]
-			loK := k - len(t.Steps[wi])
+			loCol := collisions - v.perWithin[wi] - v.perCross[wi]
+			loPsi1 := v.psi1 - v.perPsi1[wi]
+			loK := k - v.walkerLens[wi]
 			if loCol <= 0 || loPsi1 <= 0 || loK <= 0 {
 				continue
 			}
-			n := loPsi1 * (psi2 - perPsi2[wi]) / (2 * float64(loCol))
+			n := loPsi1 * (v.psi2 - v.perPsi2[wi]) / (2 * float64(loCol))
 			loNodes = append(loNodes, n)
 			loEdges = append(loEdges, n*float64(loK)/(2*loPsi1))
 		}
@@ -305,6 +378,13 @@ func (sizeTask) Kind() string { return "size" }
 
 func (st sizeTask) Estimate(t *core.Trajectory) (any, error) {
 	return FromTrajectory(t, st.gap)
+}
+
+// NewVisitor lets the size task join a fused replay pass
+// (core.RunTasksFused): its collision counting streams over the shared
+// column sweep instead of re-walking the trajectory privately.
+func (st sizeTask) NewVisitor(t *core.Trajectory) (core.TrajectoryVisitor, error) {
+	return newSizeVisitor(t, st.gap)
 }
 
 func init() {

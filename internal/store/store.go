@@ -109,30 +109,30 @@ type layout struct {
 }
 
 // computeLayout scans t once: section totals for the header, plus the
-// interned label store covering every node the trajectory references.
+// interned label store covering every node the trajectory references. The
+// columnar layout makes the scan four flat slice sweeps: every neighbor list
+// (starts and steps alike) lives in the shared arena, so the neighbor total
+// is just the arena length.
 func computeLayout(t *core.Trajectory) layout {
 	var lay layout
-	lay.walkers = len(t.Steps)
+	d := t.Data()
+	lay.walkers = t.NumWalkers()
+	lay.totalSteps = int64(t.Samples())
+	lay.totalNeighbors = int64(len(d.Arena))
 
 	referenced := make(map[graph.Node]struct{})
 	ref := func(u graph.Node) { referenced[u] = struct{}{} }
-	for _, st := range t.Starts {
-		ref(st.Node)
-		lay.totalNeighbors += int64(len(st.Neighbors))
-		for _, v := range st.Neighbors {
-			ref(v)
-		}
+	for _, u := range d.StartNode {
+		ref(u)
 	}
-	for _, steps := range t.Steps {
-		lay.totalSteps += int64(len(steps))
-		for _, st := range steps {
-			ref(st.Prev)
-			ref(st.Node)
-			lay.totalNeighbors += int64(len(st.Neighbors))
-			for _, v := range st.Neighbors {
-				ref(v)
-			}
-		}
+	for _, u := range d.Prev {
+		ref(u)
+	}
+	for _, u := range d.Node {
+		ref(u)
+	}
+	for _, u := range d.Arena {
+		ref(u)
 	}
 
 	// The label offsets section always carries its leading 0, even for a
@@ -212,12 +212,13 @@ func EncodedSize(t *core.Trajectory) int64 {
 // buffered writer; memory overhead beyond the trajectory itself is the
 // interned label store (one entry per distinct referenced node).
 func Write(w io.Writer, t *core.Trajectory) error {
-	if t == nil || len(t.Steps) == 0 {
+	if t == nil || t.NumWalkers() == 0 {
 		return fmt.Errorf("store: cannot write an empty trajectory")
 	}
-	if len(t.Starts) != len(t.Steps) || len(t.PerWalkerCalls) != len(t.Steps) {
+	d := t.Data()
+	if !t.HasStarts() || len(t.PerWalkerCalls) != t.NumWalkers() {
 		return fmt.Errorf("store: trajectory has %d step streams but %d starts and %d per-walker bills",
-			len(t.Steps), len(t.Starts), len(t.PerWalkerCalls))
+			t.NumWalkers(), len(d.StartNode), len(t.PerWalkerCalls))
 	}
 	lay := computeLayout(t)
 
@@ -247,27 +248,29 @@ func Write(w io.Writer, t *core.Trajectory) error {
 		return fmt.Errorf("store: writing header: %w", err)
 	}
 
+	// The columns serialize without any row materialization: the arena holds
+	// start lists first, then step lists in walker-major order — exactly the
+	// file's record order — so every neighbor list is a contiguous subslice.
 	enc := encoder{w: bw}
 	for _, calls := range t.PerWalkerCalls {
 		enc.u64(uint64(calls))
 	}
-	for _, steps := range t.Steps {
-		enc.u32(uint32(len(steps)))
+	W := t.NumWalkers()
+	for wi := 0; wi < W; wi++ {
+		enc.u32(uint32(t.WalkerLen(wi)))
 	}
-	for _, st := range t.Starts {
-		enc.u32(uint32(st.Node))
-		enc.u32(uint32(st.Degree))
-		enc.u32(uint32(len(st.Neighbors)))
-		enc.nodes(st.Neighbors)
+	for wi := 0; wi < W; wi++ {
+		enc.u32(uint32(d.StartNode[wi]))
+		enc.u32(uint32(d.StartDegree[wi]))
+		enc.u32(uint32(d.StartOff[wi+1] - d.StartOff[wi]))
+		enc.nodes(d.Arena[d.StartOff[wi]:d.StartOff[wi+1]])
 	}
-	for _, steps := range t.Steps {
-		for _, st := range steps {
-			enc.u32(uint32(st.Prev))
-			enc.u32(uint32(st.Node))
-			enc.u32(uint32(st.Degree))
-			enc.u32(uint32(len(st.Neighbors)))
-			enc.nodes(st.Neighbors)
-		}
+	for i := 0; i < len(d.Prev); i++ {
+		enc.u32(uint32(d.Prev[i]))
+		enc.u32(uint32(d.Node[i]))
+		enc.u32(uint32(d.Degree[i]))
+		enc.u32(uint32(d.NbrOff[i+1] - d.NbrOff[i]))
+		enc.nodes(d.Arena[d.NbrOff[i]:d.NbrOff[i+1]])
 	}
 	for _, u := range lay.labelNodes {
 		enc.u32(uint32(u))
@@ -371,28 +374,46 @@ func Read(r io.Reader) (*core.Trajectory, error) {
 		return nil, fmt.Errorf("store: per-walker step counts sum to %d, header says %d (corrupt file?)", sumSteps, totalSteps)
 	}
 
-	// neighborsLeft caps every neighbor-list allocation by the header's
-	// global total, so a corrupt per-record length cannot drive a huge
-	// allocation.
-	neighborsLeft := totalNeighbors
-	readNeighbors := func(n uint32) ([]graph.Node, error) {
-		if uint64(n) > neighborsLeft {
-			return nil, fmt.Errorf("store: neighbor list of %d entries exceeds the header's remaining total %d (corrupt file?)", n, neighborsLeft)
-		}
-		neighborsLeft -= uint64(n)
-		ns := make([]graph.Node, n)
-		for i := range ns {
-			v, err := checkNode(dec.u32(), "neighbor")
-			if err != nil {
-				return nil, err
-			}
-			ns[i] = v
-		}
-		return ns, nil
+	// Decode straight into the trajectory's columnar layout: the file's
+	// record order (start lists first, then step lists walker-major) IS the
+	// arena order, so every neighbor entry appends to one preallocated arena
+	// and the whole decode is a fixed number of allocations regardless of
+	// trajectory length (pinned by TestLoadAllocsPerStep).
+	S := int(totalSteps)
+	data := core.TrajectoryData{
+		Ext:         make([]int64, W+1),
+		Prev:        make([]graph.Node, S),
+		Node:        make([]graph.Node, S),
+		Degree:      make([]int32, S),
+		NbrOff:      make([]int64, S+1),
+		StartNode:   make([]graph.Node, W),
+		StartDegree: make([]int32, W),
+		StartOff:    make([]int64, W+1),
+		Arena:       make([]graph.Node, 0, totalNeighbors),
+	}
+	for w := 0; w < W; w++ {
+		data.Ext[w+1] = data.Ext[w] + int64(stepCounts[w])
 	}
 
-	starts := make([]core.TrajStart, W)
-	for i := range starts {
+	// neighborsLeft caps arena appends by the header's global total, so a
+	// corrupt per-record length cannot overrun the preallocated arena.
+	neighborsLeft := totalNeighbors
+	readNeighbors := func(n uint32) error {
+		if uint64(n) > neighborsLeft {
+			return fmt.Errorf("store: neighbor list of %d entries exceeds the header's remaining total %d (corrupt file?)", n, neighborsLeft)
+		}
+		neighborsLeft -= uint64(n)
+		for i := uint32(0); i < n; i++ {
+			v, err := checkNode(dec.u32(), "neighbor")
+			if err != nil {
+				return err
+			}
+			data.Arena = append(data.Arena, v)
+		}
+		return nil
+	}
+
+	for w := 0; w < W; w++ {
 		node, err := checkNode(dec.u32(), "start node")
 		if err != nil {
 			return nil, err
@@ -400,40 +421,40 @@ func Read(r io.Reader) (*core.Trajectory, error) {
 		degree := dec.u32()
 		nbrLen := dec.u32()
 		if dec.err != nil {
-			return nil, fmt.Errorf("store: reading start record %d: %w", i, dec.err)
+			return nil, fmt.Errorf("store: reading start record %d: %w", w, dec.err)
 		}
-		ns, err := readNeighbors(nbrLen)
+		data.StartNode[w] = node
+		data.StartDegree[w] = int32(degree)
+		data.StartOff[w] = int64(len(data.Arena))
+		if err := readNeighbors(nbrLen); err != nil {
+			return nil, err
+		}
+	}
+	data.StartOff[W] = int64(len(data.Arena))
+
+	for i := 0; i < S; i++ {
+		prev, err := checkNode(dec.u32(), "step prev")
 		if err != nil {
 			return nil, err
 		}
-		starts[i] = core.TrajStart{Node: node, Degree: int(degree), Neighbors: ns}
-	}
-
-	steps := make([][]core.TrajStep, W)
-	for w := range steps {
-		stream := make([]core.TrajStep, stepCounts[w])
-		for i := range stream {
-			prev, err := checkNode(dec.u32(), "step prev")
-			if err != nil {
-				return nil, err
-			}
-			node, err := checkNode(dec.u32(), "step node")
-			if err != nil {
-				return nil, err
-			}
-			degree := dec.u32()
-			nbrLen := dec.u32()
-			if dec.err != nil {
-				return nil, fmt.Errorf("store: reading walker %d step %d: %w", w, i, dec.err)
-			}
-			ns, err := readNeighbors(nbrLen)
-			if err != nil {
-				return nil, err
-			}
-			stream[i] = core.TrajStep{Prev: prev, Node: node, Degree: int(degree), Neighbors: ns}
+		node, err := checkNode(dec.u32(), "step node")
+		if err != nil {
+			return nil, err
 		}
-		steps[w] = stream
+		degree := dec.u32()
+		nbrLen := dec.u32()
+		if dec.err != nil {
+			return nil, fmt.Errorf("store: reading step %d: %w", i, dec.err)
+		}
+		data.Prev[i] = prev
+		data.Node[i] = node
+		data.Degree[i] = int32(degree)
+		data.NbrOff[i] = int64(len(data.Arena))
+		if err := readNeighbors(nbrLen); err != nil {
+			return nil, err
+		}
 	}
+	data.NbrOff[S] = int64(len(data.Arena))
 	if neighborsLeft != 0 {
 		return nil, fmt.Errorf("store: %d neighbor entries promised by the header were never consumed (corrupt file?)", neighborsLeft)
 	}
@@ -492,8 +513,6 @@ func Read(r io.Reader) (*core.Trajectory, error) {
 	}
 
 	t := &core.Trajectory{
-		Steps:          steps,
-		Starts:         starts,
 		Walkers:        W,
 		APICalls:       int64(apiCalls),
 		PerWalkerCalls: perCalls,
@@ -502,6 +521,9 @@ func Read(r io.Reader) (*core.Trajectory, error) {
 		ThinGap:        int(thinGap),
 		BurnIn:         int(burnIn),
 		BudgetDriven:   flags&flagBudgetDriven != 0,
+	}
+	if err := t.SetData(data); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	t.BindLabels(ls)
 	return t, nil

@@ -118,7 +118,7 @@ func TestRoundTripBitIdentical(t *testing.T) {
 			loaded.BurnIn != traj.BurnIn || loaded.BurnIn != 50 {
 			t.Fatalf("walkers=%d: header fields differ: %+v vs %+v", walkers, loaded, traj)
 		}
-		if !reflect.DeepEqual(loaded.Steps, traj.Steps) || !reflect.DeepEqual(loaded.Starts, traj.Starts) ||
+		if !reflect.DeepEqual(loaded.Data(), traj.Data()) ||
 			!reflect.DeepEqual(loaded.PerWalkerCalls, traj.PerWalkerCalls) {
 			t.Fatalf("walkers=%d: recorded streams differ after round trip", walkers)
 		}
@@ -316,17 +316,17 @@ func TestKeyNameRoundTrip(t *testing.T) {
 // size matches EncodedSize and loads back — regression for the layout
 // omitting the mandatory leading label offset when labels were nil.
 func TestNilLabelRoundTrip(t *testing.T) {
-	traj := &core.Trajectory{
-		Steps: [][]core.TrajStep{{
+	traj := core.NewTrajectoryFromSteps(
+		[][]core.TrajStep{{
 			{Prev: 0, Node: 1, Degree: 2, Neighbors: []graph.Node{0, 2}},
 		}},
-		Starts:         []core.TrajStart{{Node: 0, Degree: 1, Neighbors: []graph.Node{1}}},
-		Walkers:        1,
-		APICalls:       3,
-		PerWalkerCalls: []int64{3},
-		NumNodes:       3,
-		NumEdges:       2,
-	}
+		[]core.TrajStart{{Node: 0, Degree: 1, Neighbors: []graph.Node{1}}},
+	)
+	traj.Walkers = 1
+	traj.APICalls = 3
+	traj.PerWalkerCalls = []int64{3}
+	traj.NumNodes = 3
+	traj.NumEdges = 2
 	var buf bytes.Buffer
 	if err := Write(&buf, traj); err != nil {
 		t.Fatal(err)
@@ -354,8 +354,68 @@ func TestWriteRejectsMalformed(t *testing.T) {
 	g := testGraph(t, 17)
 	traj := record(t, g, 2, 3)
 	mangled := *traj
-	mangled.Starts = mangled.Starts[:1]
+	mangled.PerWalkerCalls = mangled.PerWalkerCalls[:1]
 	if err := Write(&bytes.Buffer{}, &mangled); err == nil {
-		t.Error("trajectory with mismatched starts accepted")
+		t.Error("trajectory with mismatched per-walker bills accepted")
 	}
+}
+
+// recordBudget is record with an explicit step budget, for tests that need
+// trajectories of different lengths.
+func recordBudget(t testing.TB, g *graph.Graph, budget int, seed int64) *core.Trajectory {
+	t.Helper()
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := core.RecordTrajectory(s, budget, core.Options{
+		BurnIn: 50,
+		Rng:    stats.NewSeedSequence(seed).NextRand(),
+		Start:  -1,
+		Seed:   stats.Derive(seed, "fleet"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+// TestLoadAllocsPerStep pins the decoder's allocation contract: the file's
+// record order is the arena order, so decoding fills preallocated columns
+// and the allocation COUNT is a constant — it must not grow with the number
+// of recorded steps. A per-step (or per-neighbor) allocation sneaking into
+// the decode loop would show up here as the long trajectory allocating more
+// than the short one.
+func TestLoadAllocsPerStep(t *testing.T) {
+	g := testGraph(t, 9)
+	encode := func(budget int) []byte {
+		traj := recordBudget(t, g, budget, 13)
+		var buf bytes.Buffer
+		if err := Write(&buf, traj); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	allocs := func(data []byte) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Read(bytes.NewReader(data)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := encode(150)
+	long := encode(600)
+	if len(long) <= len(short) {
+		t.Fatalf("long trajectory encodes to %d bytes, short to %d; lengths should differ", len(long), len(short))
+	}
+	shortAllocs := allocs(short)
+	longAllocs := allocs(long)
+	// The label store sections scale with the distinct referenced nodes, so
+	// a handful of size-dependent slice headers is fine; 4x the steps must
+	// not mean anywhere near 4x the allocations. The bound is deliberately
+	// tight: one stray allocation per step would add hundreds.
+	if longAllocs > shortAllocs+8 {
+		t.Errorf("decoding 4x the steps costs %.0f allocs vs %.0f — a per-step allocation crept into Load", longAllocs, shortAllocs)
+	}
+	t.Logf("decode allocations: %.0f (short) vs %.0f (long)", shortAllocs, longAllocs)
 }

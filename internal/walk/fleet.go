@@ -165,6 +165,11 @@ func RunFleet[N comparable](cfg FleetConfig[N]) ([]int64, error) {
 		}(r)
 	}
 	wg.Wait()
+	// Settle every meter's batched global debits so Session.Calls() reflects
+	// the full upstream traffic before any caller reads it.
+	for _, r := range runs {
+		r.Meter.Flush()
+	}
 	if err := firstFleetErr(errs); err != nil {
 		return nil, err
 	}

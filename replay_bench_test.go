@@ -1,0 +1,195 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// This file benchmarks the replay layer itself, below the serving engine:
+// the columnar trajectory's fused batch replay against (a) paying the
+// recording again and (b) replaying the same requests one task at a time.
+// Together with BenchmarkWarmStart (the engine view) they are the tentpole
+// acceptance evidence that warm replays are an order of magnitude cheaper
+// than cold recordings. Both benchmarks feed one BENCH_replay.json, written
+// once the numbers of both are in.
+
+const (
+	replayBenchSamples = 1000
+	replayBenchBurnIn  = 300
+	replayBenchSeed    = 11
+)
+
+// replayBenchState is filled by the two benchmarks as they run (one process,
+// sequential order under `go test -bench`); the last one with a complete
+// picture writes the report.
+var replayBenchState replayReport
+
+func replayBenchGraph(b *testing.B) (*Graph, []LabelPair) {
+	b.Helper()
+	g, err := GenerateStandIn("facebook", 1.0, 2018)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, pairsFromCensus(b, g, 8)
+}
+
+func replayBenchRequests(pairs []LabelPair) []TaskRequest {
+	return []TaskRequest{
+		{Kind: "pairs", Pairs: pairs},
+		{Kind: "size"},
+		{Kind: "motif", Motif: MotifWedges, Pairs: pairs[:1]},
+		{Kind: "motif", Motif: MotifTriangles},
+		{Kind: "census", Top: 10},
+	}
+}
+
+func replayBenchRecord(b *testing.B, g *Graph, seed int64) *Trajectory {
+	b.Helper()
+	traj, err := RecordTrajectory(g, MultiPairOptions{
+		Samples: replayBenchSamples,
+		BurnIn:  replayBenchBurnIn,
+		Seed:    seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return traj
+}
+
+func checkBatch(b *testing.B, res *BatchResult, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ans := range res.Answers {
+		if ans.Err != nil {
+			b.Fatal(ans.Err)
+		}
+	}
+}
+
+// BenchmarkReplayColdVsWarm contrasts the full cold pipeline — record a
+// fresh trajectory, then replay the mixed batch — with a warm replay of the
+// same batch over an already recorded trajectory. The warm path is the
+// steady state of a serving process (and of every restart, via the .osnt
+// store); the tentpole contract is that it costs a small fraction of cold.
+//
+// Run: go test -bench BenchmarkReplayColdVsWarm -benchtime 100x -run '^$' .
+func BenchmarkReplayColdVsWarm(b *testing.B) {
+	g, pairs := replayBenchGraph(b)
+	reqs := replayBenchRequests(pairs)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			traj := replayBenchRecord(b, g, replayBenchSeed+int64(i))
+			res, err := ReplayBatch(traj, reqs...)
+			checkBatch(b, res, err)
+		}
+		replayBenchState.NsPerOpCold = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		traj := replayBenchRecord(b, g, replayBenchSeed)
+		// Prime the lazy trajectory columns so the loop times the steady
+		// state, exactly like a long-running process replaying its cache.
+		res, err := ReplayBatch(traj, reqs...)
+		checkBatch(b, res, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ReplayBatch(traj, reqs...)
+			checkBatch(b, res, err)
+		}
+		replayBenchState.NsPerOpWarm = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	writeReplayBenchIfComplete(b)
+}
+
+// BenchmarkFusedVsSequentialReplay contrasts ONE fused ReplayBatch over the
+// mixed batch (a single trajectory pass feeding every task's aggregators)
+// with replaying the same requests one task at a time. The answers are
+// asserted identical — fusion is a scheduling change, not an estimator
+// change.
+//
+// Run: go test -bench BenchmarkFusedVsSequentialReplay -benchtime 100x -run '^$' .
+func BenchmarkFusedVsSequentialReplay(b *testing.B) {
+	g, pairs := replayBenchGraph(b)
+	reqs := replayBenchRequests(pairs)
+	traj := replayBenchRecord(b, g, replayBenchSeed)
+	fused, err := ReplayBatch(traj, reqs...)
+	checkBatch(b, fused, err)
+	for qi, req := range reqs {
+		one, err := ReplayBatch(traj, req)
+		checkBatch(b, one, err)
+		if !reflect.DeepEqual(one.Answers[0], fused.Answers[qi]) {
+			b.Fatalf("request %d: fused answer differs from its sequential replay", qi)
+		}
+	}
+
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ReplayBatch(traj, reqs...)
+			checkBatch(b, res, err)
+		}
+		replayBenchState.NsPerOpFused = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				res, err := ReplayBatch(traj, req)
+				checkBatch(b, res, err)
+			}
+		}
+		replayBenchState.NsPerOpSequential = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	writeReplayBenchIfComplete(b)
+}
+
+// replayReport is the schema of BENCH_replay.json.
+type replayReport struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	Samples    int `json:"trajectory_samples"`
+	BurnIn     int `json:"burn_in"`
+	Queries    int `json:"queries"`
+	Pairs      int `json:"pairs"`
+	// NsPerOpCold is record + fused replay; NsPerOpWarm replays the same
+	// batch over an existing trajectory.
+	NsPerOpCold        float64 `json:"ns_per_op_cold"`
+	NsPerOpWarm        float64 `json:"ns_per_op_warm"`
+	ColdOverWarm       float64 `json:"cold_over_warm_speedup"`
+	NsPerOpFused       float64 `json:"ns_per_op_fused"`
+	NsPerOpSequential  float64 `json:"ns_per_op_sequential"`
+	SequentialOverFuse float64 `json:"sequential_over_fused_speedup"`
+}
+
+// writeReplayBenchIfComplete writes BENCH_replay.json once both benchmarks
+// have reported (running only one of them, or filtering a sub-benchmark,
+// skips the report).
+func writeReplayBenchIfComplete(b *testing.B) {
+	b.Helper()
+	r := &replayBenchState
+	if r.NsPerOpCold == 0 || r.NsPerOpWarm == 0 || r.NsPerOpFused == 0 || r.NsPerOpSequential == 0 {
+		return
+	}
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
+	r.Samples = replayBenchSamples
+	r.BurnIn = replayBenchBurnIn
+	r.Queries = 5
+	r.Pairs = 8
+	r.ColdOverWarm = r.NsPerOpCold / r.NsPerOpWarm
+	r.SequentialOverFuse = r.NsPerOpSequential / r.NsPerOpFused
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_replay.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_replay.json: warm replay %.1fx faster than cold, fused %.1fx faster than sequential",
+		r.ColdOverWarm, r.SequentialOverFuse)
+}

@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFusedReplayBitIdentity is the fused-replay determinism sweep: for
+// every registered task kind, under both a serial and a multi-walker
+// recording, ONE fused pass feeding all aggregators must reproduce the
+// standalone per-task replay bit for bit. The fused pass interleaves every
+// task's VisitStep on each step, so this pins the contract that fusion is
+// pure scheduling: each aggregator still sees exactly its own Add sequence,
+// in the same order, over the same floats.
+func TestFusedReplayBitIdentity(t *testing.T) {
+	g, err := GenerateStandIn("facebook", 1.0, 2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := pairsFromCensus(t, g, 4)
+	reqs := []TaskRequest{
+		{Kind: "pairs", Pairs: pairs},
+		{Kind: "size"},
+		{Kind: "census", Top: 10},
+		{Kind: "motif", Motif: MotifWedges, Pairs: pairs[:1]},
+		{Kind: "motif", Motif: MotifTriangles},
+	}
+	for _, walkers := range []int{1, 4} {
+		traj, err := RecordTrajectory(g, MultiPairOptions{
+			Samples: 800,
+			BurnIn:  150,
+			Seed:    21,
+			Walkers: walkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, tasks, err := buildTasks(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fusedOuts, fusedErrs := core.RunTasksFused(traj, tasks)
+		for qi, task := range tasks {
+			if fusedErrs[qi] != nil {
+				t.Fatalf("walkers=%d: fused task %d (%s) failed: %v", walkers, qi, task.Kind(), fusedErrs[qi])
+			}
+			// The standalone path: this task alone, via its own Estimate.
+			single, err := task.Estimate(traj)
+			if err != nil {
+				t.Fatalf("walkers=%d: standalone task %d (%s) failed: %v", walkers, qi, task.Kind(), err)
+			}
+			if !reflect.DeepEqual(single, fusedOuts[qi]) {
+				t.Errorf("walkers=%d: task %d (%s): fused result differs from standalone replay\nfused:      %#v\nstandalone: %#v",
+					walkers, qi, task.Kind(), fusedOuts[qi], single)
+			}
+		}
+	}
+}

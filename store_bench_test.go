@@ -12,14 +12,23 @@ import (
 	"repro/internal/store"
 )
 
-// BenchmarkWarmStart measures what trajectory persistence buys at restart:
-// a serving engine answering a mixed-kind batch by walking from scratch
-// (cold — burn-in plus budgeted sampling, all API-metered) versus a fresh
-// engine over a populated store, which reloads the persisted .osnt and
-// replays it. Both API-call figures are read from the engine's real
-// upstream meter — nothing is assumed — and the headline, api_calls_warm,
-// must measure exactly 0. It writes BENCH_store.json so CI tracks the
-// zero-spend invariant and the reload latency.
+// BenchmarkWarmStart measures what trajectory persistence buys at restart,
+// with the recording, reloading and replaying costs separated (earlier
+// revisions folded engine construction and .osnt parsing into the "warm"
+// number, hiding how cheap a warm replay actually is):
+//
+//   - cold: a fresh storeless engine answers a mixed-kind batch — burn-in
+//     plus budgeted sampling, all API-metered, then the replay.
+//   - reload: a fresh engine over a populated store — engine construction
+//     plus .osnt load plus the replay (the restart path).
+//   - warm: an engine whose trajectory is already in memory answers the
+//     same batch — the pure fused replay over the step columns, which is
+//     what every repeat query pays.
+//
+// Both API-call figures are read from the engine's real upstream meter —
+// nothing is assumed — and api_calls_warm must measure exactly 0. It writes
+// BENCH_store.json so CI tracks the zero-spend invariant, the reload
+// latency, and the cold-over-warm replay speedup.
 //
 // Run: go test -bench BenchmarkWarmStart -benchtime 1x -run '^$' .
 func BenchmarkWarmStart(b *testing.B) {
@@ -51,14 +60,14 @@ func BenchmarkWarmStart(b *testing.B) {
 	}
 
 	var (
-		nsCold, nsWarm       float64
-		callsCold, callsWarm int64 = 0, -1
-		fileBytes            int64
-		coldAns, warmAns     []*serve.Answer
-		coldRan, warmRan     bool
+		nsCold, nsReload, nsWarm float64
+		callsCold, callsWarm     int64 = 0, -1
+		fileBytes                int64
+		coldAns, warmAns         []*serve.Answer
+		coldRan, warmRan         bool
 	)
 
-	// Populate the store once: the walk the warm engines will reload.
+	// Populate the store once: the walk the reload and warm paths rest on.
 	st, err := store.NewDir(b.TempDir())
 	if err != nil {
 		b.Fatal(err)
@@ -85,20 +94,40 @@ func BenchmarkWarmStart(b *testing.B) {
 		coldRan = true
 	})
 
-	b.Run("warm", func(b *testing.B) {
-		callsWarm = 0
+	b.Run("reload", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := newEngine(st) // fresh engine, populated store: a restart
+			if _, err := e.EstimateBatch(ctx, queries); err != nil {
+				b.Fatal(err)
+			}
+			if e.Stats().UpstreamCalls != 0 {
+				b.Fatalf("reload path spent %d API calls, want 0", e.Stats().UpstreamCalls)
+			}
+			if e.Stats().StoreLoads == 0 {
+				b.Fatal("reload engine did not load from the store")
+			}
+		}
+		nsReload = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		e := newEngine(st)
+		// Prime untimed: the .osnt loads into the in-memory cache here, so
+		// the timed loop below measures the replay alone.
+		if _, err := e.EstimateBatch(ctx, queries); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
 			warmAns, err = e.EstimateBatch(ctx, queries)
 			if err != nil {
 				b.Fatal(err)
 			}
-			// Measured, not assumed: the engine's real upstream meter.
-			callsWarm += e.Stats().UpstreamCalls
-			if e.Stats().StoreLoads == 0 {
-				b.Fatal("warm engine did not load from the store")
-			}
 		}
+		b.StopTimer()
+		// Measured, not assumed: the engine's real upstream meter, covering
+		// the priming batch and every timed batch.
+		callsWarm = e.Stats().UpstreamCalls
 		nsWarm = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 		warmRan = true
 	})
@@ -117,17 +146,19 @@ func BenchmarkWarmStart(b *testing.B) {
 		}
 	}
 	writeWarmStartBench(b, warmStartReport{
-		GoMaxProcs:   runtime.GOMAXPROCS(0),
-		Nodes:        g.NumNodes(),
-		Edges:        g.NumEdges(),
-		Budget:       budget,
-		BurnIn:       burnIn,
-		FileBytes:    fileBytes,
-		APICallsCold: callsCold,
-		APICallsWarm: callsWarm,
-		NsPerOpCold:  nsCold,
-		NsPerOpWarm:  nsWarm,
-		ColdOverWarm: nsCold / nsWarm,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		Budget:         budget,
+		BurnIn:         burnIn,
+		FileBytes:      fileBytes,
+		APICallsCold:   callsCold,
+		APICallsWarm:   callsWarm,
+		NsPerOpCold:    nsCold,
+		NsPerOpReload:  nsReload,
+		NsPerOpWarm:    nsWarm,
+		ColdOverReload: nsCold / nsReload,
+		ColdOverWarm:   nsCold / nsWarm,
 	})
 }
 
@@ -138,20 +169,26 @@ type warmStartReport struct {
 	Edges      int64 `json:"graph_edges"`
 	Budget     int   `json:"trajectory_budget"`
 	BurnIn     int   `json:"burn_in"`
-	// FileBytes is the persisted .osnt size the warm path loads.
+	// FileBytes is the persisted .osnt size the reload path parses.
 	FileBytes int64 `json:"osnt_file_bytes"`
 	// APICallsCold is the metered cost of walking from scratch.
 	APICallsCold int64 `json:"api_calls_cold"`
 	// APICallsWarm is the acceptance headline: the warm engine's measured
-	// upstream spend, which MUST be 0.
-	APICallsWarm int64   `json:"api_calls_warm"`
-	NsPerOpCold  float64 `json:"ns_per_op_cold"`
-	NsPerOpWarm  float64 `json:"ns_per_op_warm"`
-	// ColdOverWarm is the wall-clock ratio of re-walk over reload IN THIS
-	// IN-PROCESS SIMULATION, where an API call costs nanoseconds; ~1 is
-	// expected here. In a metered deployment the cold path additionally
-	// pays api_calls_cold crawl round-trips (seconds to minutes), which is
-	// the saving the zero in api_calls_warm certifies.
+	// upstream spend (priming included), which MUST be 0.
+	APICallsWarm int64 `json:"api_calls_warm"`
+	// NsPerOpCold is record + replay; NsPerOpReload is .osnt load + replay
+	// (the restart path); NsPerOpWarm is the pure in-memory fused replay.
+	NsPerOpCold   float64 `json:"ns_per_op_cold"`
+	NsPerOpReload float64 `json:"ns_per_op_reload"`
+	NsPerOpWarm   float64 `json:"ns_per_op_warm"`
+	// ColdOverReload compares re-walking against restarting from disk IN
+	// THIS IN-PROCESS SIMULATION, where an API call costs nanoseconds; in a
+	// metered deployment the cold path additionally pays api_calls_cold
+	// crawl round-trips (seconds to minutes), which is the saving the zero
+	// in api_calls_warm certifies.
+	ColdOverReload float64 `json:"cold_over_reload_speedup"`
+	// ColdOverWarm is the recording-vs-replaying ratio: how much faster a
+	// warm repeat query is than paying for the walk again.
 	ColdOverWarm float64 `json:"cold_over_warm_speedup"`
 }
 
@@ -168,6 +205,6 @@ func writeWarmStartBench(b *testing.B, rep warmStartReport) {
 	if err := os.WriteFile("BENCH_store.json", append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("wrote BENCH_store.json: cold %d calls / %.1fms, warm %d calls / %.1fms (%.1fx), %d-byte .osnt",
-		rep.APICallsCold, rep.NsPerOpCold/1e6, rep.APICallsWarm, rep.NsPerOpWarm/1e6, rep.ColdOverWarm, rep.FileBytes)
+	b.Logf("wrote BENCH_store.json: cold %d calls / %.1fms, reload %.1fms, warm %d calls / %.2fms (%.1fx cold/warm), %d-byte .osnt",
+		rep.APICallsCold, rep.NsPerOpCold/1e6, rep.NsPerOpReload/1e6, rep.APICallsWarm, rep.NsPerOpWarm/1e6, rep.ColdOverWarm, rep.FileBytes)
 }

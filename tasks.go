@@ -137,7 +137,9 @@ func buildTasks(reqs []TaskRequest) ([]string, []core.EstimationTask, error) {
 
 // replayTasks dispatches every built task over one shared trajectory — the
 // replay half of EstimateBatch, also reached by ReplayBatch for recorded or
-// loaded trajectories.
+// loaded trajectories. All tasks ride ONE fused pass over the trajectory's
+// step columns (core.RunTasksFused): N questions cost one column sweep, not
+// N full replays, with bit-identical results.
 func replayTasks(traj *core.Trajectory, burn int, kinds []string, tasks []core.EstimationTask) *BatchResult {
 	res := &BatchResult{
 		Answers:  make([]TaskAnswer, 0, len(tasks)),
@@ -146,18 +148,18 @@ func replayTasks(traj *core.Trajectory, burn int, kinds []string, tasks []core.E
 		BurnIn:   burn,
 		Walkers:  traj.Walkers,
 	}
-	for i, task := range tasks {
-		out, err := task.Estimate(traj)
-		if err != nil {
+	outs, errs := core.RunTasksFused(traj, tasks)
+	for i := range tasks {
+		if errs[i] != nil {
 			// A replay failure is per-task: the shared walk still answers
 			// the other requests.
 			res.Answers = append(res.Answers, TaskAnswer{
 				Kind: kinds[i],
-				Err:  fmt.Errorf("repro: request %d (%s): %w", i, kinds[i], err),
+				Err:  fmt.Errorf("repro: request %d (%s): %w", i, kinds[i], errs[i]),
 			})
 			continue
 		}
-		ans, err := taskAnswer(kinds[i], out, burn, traj)
+		ans, err := taskAnswer(kinds[i], outs[i], burn, traj)
 		if err != nil {
 			res.Answers = append(res.Answers, TaskAnswer{Kind: kinds[i], Err: err})
 			continue

@@ -68,16 +68,20 @@ func BenchmarkHeterogeneousTasks(b *testing.B) {
 		nsSingle = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	})
 
-	// Shared: one engine answers the whole mixed batch; every kind after
-	// the first rides the cached trajectory.
+	// Shared: one engine answers the whole mixed batch in one EstimateBatch
+	// call — a single recording, then one fused replay pass feeding every
+	// query's aggregators.
 	b.Run("shared", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			engine := newEngine(int64(1 + i))
+			answers, err := engine.EstimateBatch(ctx, mixedQueries())
+			if err != nil {
+				b.Fatal(err)
+			}
 			var charged int64
-			for _, q := range mixedQueries() {
-				ans, err := engine.Estimate(ctx, q)
-				if err != nil {
-					b.Fatal(err)
+			for _, ans := range answers {
+				if ans.Err != nil {
+					b.Fatal(ans.Err)
 				}
 				charged += ans.Charged
 			}

@@ -35,7 +35,7 @@ func RecordTrajectory(g *Graph, opts MultiPairOptions) (*Trajectory, error) {
 // answer for answer, bit for bit, including across a SaveTrajectory /
 // LoadTrajectory round trip.
 func ReplayBatch(t *Trajectory, reqs ...TaskRequest) (*BatchResult, error) {
-	if t == nil || len(t.Steps) == 0 {
+	if t == nil || t.Samples() == 0 {
 		return nil, fmt.Errorf("repro: ReplayBatch needs a recorded trajectory")
 	}
 	kinds, tasks, err := buildTasks(reqs)
