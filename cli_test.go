@@ -92,6 +92,13 @@ func TestCLIFlagValidation(t *testing.T) {
 	runExpectUsageError(t, genosn, "-dataset", "-dataset", "")
 	runExpectUsageError(t, genosn, "-graph", "-dataset", "facebook", "-text=false")
 
+	// Delta-log flags (PR 7): genosn churn and serve compaction validate up
+	// front like everything else.
+	runExpectUsageError(t, genosn, "-churn", "-dataset", "facebook", "-scale", "0.1", "-graph", "x.osnb", "-churn", "-0.1")
+	runExpectUsageError(t, genosn, "-churn", "-dataset", "facebook", "-scale", "0.1", "-graph", "x.osnb", "-churn", "1")
+	runExpectUsageError(t, genosn, "-graph", "-dataset", "facebook", "-scale", "0.1", "-churn", "0.01")
+	runExpectUsageError(t, serve, "-compact-segments", "-dataset", "facebook", "-scale", "0.1", "-compact-segments", "-1")
+
 	// sizeest (new in PR 4) validates like its siblings.
 	runExpectUsageError(t, sizeest, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "0")
 	runExpectUsageError(t, sizeest, "-samples", "-dataset", "facebook", "-scale", "0.1", "-samples", "-5")

@@ -14,11 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
 	"repro"
 	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph/snapshot"
 	"repro/internal/textio"
 )
 
@@ -28,9 +31,11 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "scale factor")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "output file prefix (default: dataset name)")
-		graphOut = flag.String("graph", "", "also write a .osnb binary snapshot to this path")
-		text     = flag.Bool("text", true, "write the .edges/.labels text files")
-		census   = flag.Int("census", 10, "print the N rarest and N most frequent label pairs (0 = skip)")
+		graphOut  = flag.String("graph", "", "also write a .osnb binary snapshot to this path")
+		text      = flag.Bool("text", true, "write the .edges/.labels text files")
+		census    = flag.Int("census", 10, "print the N rarest and N most frequent label pairs (0 = skip)")
+		churn     = flag.Float64("churn", 0, "additionally write a .osnd delta segment churning this fraction of edges (requires -graph; 0 = off)")
+		churnSeed = flag.Int64("churn-seed", 1, "random seed for -churn edge selection")
 	)
 	flag.Parse()
 
@@ -49,6 +54,12 @@ func main() {
 	}
 	if !*text && *graphOut == "" {
 		fail("nothing to write: -text=false needs -graph")
+	}
+	if *churn < 0 || *churn >= 1 {
+		fail("-churn must be in [0, 1), got %g", *churn)
+	}
+	if *churn > 0 && *graphOut == "" {
+		fail("-churn writes a .osnd segment beside the snapshot and needs -graph")
 	}
 
 	prefix := *out
@@ -99,6 +110,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d bytes in %.2fs)\n", *graphOut, st.Size(), time.Since(start).Seconds())
+
+		if *churn > 0 {
+			d, err := gen.Churn(g, *churn, rand.New(rand.NewSource(*churnSeed)))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "genosn:", err)
+				os.Exit(1)
+			}
+			ng, err := g.ApplyDelta(d)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "genosn:", err)
+				os.Exit(1)
+			}
+			segPath, err := snapshot.SaveDelta(*graphOut, g, ng, d)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "genosn:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (+%d/-%d edges, version %d -> %d; snapshot loaders apply it automatically)\n",
+				segPath, len(d.Adds), len(d.Dels), g.Version(), ng.Version())
+		}
 	}
 
 	if *census > 0 {

@@ -71,6 +71,7 @@ func main() {
 		window     = flag.Duration("window", 25*time.Millisecond, "batching window: queries arriving within it share one recording")
 		ttl        = flag.Duration("ttl", 10*time.Minute, "cached trajectory lifetime (0 = keep until eviction)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		compactSeg = flag.Int("compact-segments", 0, "compact a graph's .osnd delta log into its .osnb once it exceeds this many segments (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -113,6 +114,9 @@ func main() {
 	if *drain <= 0 {
 		fail("-drain must be positive, got %s", *drain)
 	}
+	if *compactSeg < 0 {
+		fail("-compact-segments must be non-negative, got %d", *compactSeg)
+	}
 
 	var st *store.Dir
 	if *storeDir != "" {
@@ -128,11 +132,12 @@ func main() {
 		CacheBytes: *cacheBytes,
 		GraphsDir:  *graphsDir,
 		Defaults: serve.GraphOptions{
-			BurnIn:      *burnin,
-			Walkers:     *walkers,
-			Seed:        *seed,
-			BatchWindow: *window,
-			TTL:         *ttl,
+			BurnIn:          *burnin,
+			Walkers:         *walkers,
+			Seed:            *seed,
+			BatchWindow:     *window,
+			TTL:             *ttl,
+			CompactSegments: *compactSeg,
 		},
 	})
 	if err != nil {
@@ -141,14 +146,18 @@ func main() {
 	}
 
 	// addGraph loads one graph into the workspace, resolving the fractional
-	// -budget against that graph's size.
-	addGraph := func(name string, g *repro.Graph) {
+	// -budget against that graph's size. snapPath, when non-empty, is the
+	// graph's .osnb on disk: PATCH deltas then persist beside it as .osnd
+	// segments (generated and text-loaded graphs have no snapshot to anchor
+	// a delta log to, so their deltas live in memory only).
+	addGraph := func(name string, g *repro.Graph, snapPath string) {
 		callBudget := int(*budget * float64(g.NumNodes()))
 		if callBudget < 100 {
 			callBudget = 100
 		}
 		opts := ws.Defaults()
 		opts.Budget = callBudget
+		opts.SnapshotPath = snapPath
 		warmed, err := ws.AddGraph(name, g, &opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
@@ -170,7 +179,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			os.Exit(1)
 		}
-		addGraph(*dataset, g)
+		addGraph(*dataset, g, "")
 	case *graphF != "":
 		start := time.Now()
 		g, err := repro.LoadSnapshot(*graphF)
@@ -180,14 +189,14 @@ func main() {
 		}
 		name := strings.TrimSuffix(filepath.Base(*graphF), filepath.Ext(*graphF))
 		log.Printf("loaded %s in %.3fs", *graphF, time.Since(start).Seconds())
-		addGraph(name, g)
+		addGraph(name, g, *graphF)
 	case *edges != "":
 		g, err := repro.LoadGraph(*edges, *labels)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			os.Exit(1)
 		}
-		addGraph("default", g)
+		addGraph("default", g, "")
 	case *graphsDir != "":
 		snaps, err := filepath.Glob(filepath.Join(*graphsDir, "*.osnb"))
 		if err != nil {
@@ -201,7 +210,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "serve:", err)
 				os.Exit(1)
 			}
-			addGraph(strings.TrimSuffix(filepath.Base(snap), filepath.Ext(snap)), g)
+			addGraph(strings.TrimSuffix(filepath.Base(snap), filepath.Ext(snap)), g, snap)
 		}
 		if len(snaps) == 0 {
 			log.Printf("no .osnb snapshots in %s; load graphs at runtime with PUT /graphs/{name}", *graphsDir)

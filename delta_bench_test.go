@@ -1,0 +1,241 @@
+package repro
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/osn"
+)
+
+// BenchmarkDeltaTopUp measures what the delta log buys when a served graph
+// churns: after ~1% of edges change, a mixed-kind batch can be answered by
+// incrementally topping up the pre-churn trajectory instead of re-recording
+// from scratch. Both paths run against a latency-injected Source (each
+// upstream fetch sleeps, like a real OSN API round trip), so the wall-clock
+// numbers reflect what actually dominates a metered deployment: upstream
+// round trips, which the top-up mostly redeems from the stale recording.
+//
+//   - full: record a fresh trajectory on the churned graph and replay the
+//     mixed-kind batch — every fetch pays the upstream latency.
+//   - topup: ResumeRecording on the churned graph from the pre-churn
+//     trajectory, then the same replay — only the churn-invalidated
+//     responses hit upstream; the rest are redeemed at memory speed.
+//
+// The two trajectories are bit-identical by construction (asserted), so the
+// batch answers match exactly; the acceptance gates are the top-up's
+// upstream bill (≤25% of the full re-record's) and wall clock (≤50%). It
+// writes BENCH_delta.json so CI tracks both ratios.
+//
+// Run: go test -bench BenchmarkDeltaTopUp -benchtime 1x -run '^$' .
+func BenchmarkDeltaTopUp(b *testing.B) {
+	g0, err := GenerateStandIn("facebook", 1.0, 2026)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The budget covers most of the graph's degree-weighted stationary mass:
+	// that is the regime where top-ups shine, because the fresh walk on the
+	// churned graph then revisits mostly nodes the old recording already
+	// paid for. (At small budgets the post-divergence suffix wanders into
+	// unrecorded territory and the redemption rate drops — the bench's
+	// ratios are a function of coverage, not a free lunch.)
+	const (
+		budget     = 3500
+		burnIn     = 300
+		churnFrac  = 0.01
+		optionSeed = 99
+	)
+	// The injected latency must dwarf time.Sleep's scheduler overshoot
+	// (which can reach a couple of milliseconds on a loaded 1-core box)
+	// or the wall-clock ratio turns into a timer-noise measurement.
+	const delay = 5 * time.Millisecond
+	mkOpts := func() core.Options {
+		return core.Options{
+			BurnIn:       burnIn,
+			Rng:          rand.New(rand.NewSource(optionSeed)),
+			Start:        -1,
+			BudgetDriven: true,
+		}
+	}
+	newSession := func(g *graph.Graph) *osn.Session {
+		src := osn.WithLatency(osn.NewGraphSource(g), delay, 0, 1)
+		s, err := osn.NewSessionFrom(src, osn.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	mkTasks := func() []core.EstimationTask {
+		specs := []struct {
+			kind   string
+			params core.TaskParams
+		}{
+			{"pairs", core.TaskParams{Pairs: pairsFromCensus(b, g0, 8)}},
+			{"size", core.TaskParams{}},
+			{"census", core.TaskParams{Top: 10}},
+			{"motif", core.TaskParams{Motif: MotifWedges}},
+		}
+		tasks := make([]core.EstimationTask, len(specs))
+		for i, ts := range specs {
+			spec, ok := core.LookupTask(ts.kind)
+			if !ok {
+				b.Fatalf("task kind %q not registered", ts.kind)
+			}
+			tasks[i], err = spec.NewTask(ts.params)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return tasks
+	}
+	replay := func(t *core.Trajectory) []any {
+		outs, errs := core.RunTasksFused(t, mkTasks())
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return outs
+	}
+
+	// The pre-churn recording — the capital the top-up redeems. Untimed
+	// (it was paid for before the graph changed), so it skips the injected
+	// latency: the recorded responses are identical either way.
+	oldSession, err := osn.NewSession(g0, osn.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	old, err := core.RecordTrajectory(oldSession, budget, mkOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := gen.Churn(g0, churnFrac, rand.New(rand.NewSource(5)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g1, err := g0.ApplyDelta(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var (
+		nsFull, nsTopUp   float64
+		callsFull         int64
+		topUpStats        core.TopUpStats
+		fullOuts, topOuts []any
+		fullTraj, topTraj *core.Trajectory
+		fullRan, topUpRan bool
+	)
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fullTraj, err = core.RecordTrajectory(newSession(g1), budget, mkOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			fullOuts = replay(fullTraj)
+		}
+		nsFull = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		callsFull = fullTraj.APICalls
+		fullRan = true
+	})
+
+	b.Run("topup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topTraj, topUpStats, err = core.ResumeRecording(newSession(g1), g1, old, budget, mkOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			topOuts = replay(topTraj)
+		}
+		nsTopUp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		topUpRan = true
+	})
+
+	if !fullRan || !topUpRan {
+		return // a sub-benchmark was filtered out; skip the report
+	}
+	// The partial-invalidation invariant: topping up must reproduce the
+	// fresh recording bit for bit, so the batch answers are identical.
+	if !reflect.DeepEqual(fullTraj.Data(), topTraj.Data()) {
+		b.Error("topped-up trajectory differs from the fresh recording on the churned graph")
+	}
+	if !reflect.DeepEqual(fullOuts, topOuts) {
+		b.Error("mixed-kind batch answers differ between full re-record and top-up")
+	}
+	writeDeltaBench(b, deltaReport{
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Nodes:          g1.NumNodes(),
+		Edges:          g1.NumEdges(),
+		Budget:         budget,
+		BurnIn:         burnIn,
+		ChurnFraction:  churnFrac,
+		ChurnedEdges:   len(d.Adds) + len(d.Dels),
+		LatencyNs:      delay.Nanoseconds(),
+		APICallsFull:   callsFull,
+		APICallsTopUp:  topUpStats.ChargedCalls,
+		PrepaidHits:    topUpStats.PrepaidHits,
+		StaleSteps:     topUpStats.StaleSteps,
+		TotalSteps:     topUpStats.TotalSteps,
+		NsPerOpFull:    nsFull,
+		NsPerOpTopUp:   nsTopUp,
+		CallRatio:      float64(topUpStats.ChargedCalls) / float64(callsFull),
+		WallClockRatio: nsTopUp / nsFull,
+	})
+}
+
+// deltaReport is the schema of BENCH_delta.json.
+type deltaReport struct {
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Nodes      int   `json:"graph_nodes"`
+	Edges      int64 `json:"graph_edges"`
+	Budget     int   `json:"trajectory_budget"`
+	BurnIn     int   `json:"burn_in"`
+	// ChurnFraction and ChurnedEdges describe the applied delta.
+	ChurnFraction float64 `json:"churn_fraction"`
+	ChurnedEdges  int     `json:"churned_edges"`
+	// LatencyNs is the injected per-fetch upstream latency.
+	LatencyNs int64 `json:"upstream_latency_ns"`
+	// APICallsFull is the re-record's upstream bill; APICallsTopUp is the
+	// top-up's actual upstream spend (its nominal bill is the same as the
+	// full one — PrepaidHits of it were redeemed from the old trajectory).
+	APICallsFull  int64 `json:"api_calls_full"`
+	APICallsTopUp int64 `json:"api_calls_topup"`
+	PrepaidHits   int64 `json:"prepaid_hits"`
+	// StaleSteps of TotalSteps had churn-invalidated responses.
+	StaleSteps int `json:"stale_steps"`
+	TotalSteps int `json:"total_steps"`
+	// NsPerOp figures cover record + mixed-kind batch replay.
+	NsPerOpFull  float64 `json:"ns_per_op_full"`
+	NsPerOpTopUp float64 `json:"ns_per_op_topup"`
+	// CallRatio is the acceptance headline: topup upstream calls over full,
+	// gated at ≤0.25. WallClockRatio is gated at ≤0.50.
+	CallRatio      float64 `json:"call_ratio"`
+	WallClockRatio float64 `json:"wall_clock_ratio"`
+}
+
+// writeDeltaBench validates and writes the churn/top-up report.
+func writeDeltaBench(b *testing.B, rep deltaReport) {
+	b.Helper()
+	if rep.CallRatio > 0.25 {
+		b.Errorf("top-up spent %.1f%% of the full re-record's upstream calls, acceptance gate is 25%%", 100*rep.CallRatio)
+	}
+	if rep.WallClockRatio > 0.50 {
+		b.Errorf("top-up took %.1f%% of the full re-record's wall clock, acceptance gate is 50%%", 100*rep.WallClockRatio)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_delta.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("BENCH_delta.json: %s", buf)
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/osn"
+)
+
+// TopUpStats describes what an incremental re-recording inherited from a
+// stale trajectory and what it had to re-buy.
+type TopUpStats struct {
+	// TotalSteps is the new trajectory's sample count.
+	TotalSteps int
+	// StaleSteps is how many of those steps visit a node whose recorded
+	// response had changed — steps whose data had to be re-fetched upstream.
+	StaleSteps int
+	// InheritedSteps is TotalSteps - StaleSteps: steps served from the old
+	// recording's still-valid responses.
+	InheritedSteps int
+	// APICalls is the new trajectory's billed cost — identical to a fresh
+	// recording's bill by construction.
+	APICalls int64
+	// PrepaidHits is how many of those billed calls were served from the old
+	// trajectory instead of the upstream source.
+	PrepaidHits int64
+	// ChargedCalls is APICalls - PrepaidHits: the upstream spend the top-up
+	// actually incurred.
+	ChargedCalls int64
+}
+
+// ValidateAgainst walks the trajectory's flat prev/node/degree columns
+// against g and returns, per walker, the longest step prefix whose recorded
+// data is still exact on g: every transition edge still exists and every
+// visited node's recorded degree and neighbor list equal g's. The second
+// result is the summed prefix length. A walker whose start record is stale
+// has prefix 0.
+//
+// This is the cheap staleness probe — O(valid data) array scans, no API
+// spend. It deliberately checks full response equality, not mere edge
+// existence: a prefix is only reusable if replaying every estimator over it
+// reads byte-identical data.
+func (t *Trajectory) ValidateAgainst(g *graph.Graph) ([]int, int) {
+	sameResponse := func(u graph.Node, deg int, ns []graph.Node) bool {
+		if u < 0 || int(u) >= g.NumNodes() {
+			return false
+		}
+		if g.Degree(u) != deg || len(ns) != deg {
+			return false
+		}
+		cur := g.Neighbors(u)
+		for i, v := range ns {
+			if cur[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	w := t.NumWalkers()
+	prefixes := make([]int, w)
+	total := 0
+	for wi := 0; wi < w; wi++ {
+		if t.HasStarts() && !sameResponse(t.StartNode(wi), t.StartDegree(wi), t.StartNeighbors(wi)) {
+			continue
+		}
+		lo, hi := t.WalkerSpan(wi)
+		n := 0
+		for i := lo; i < hi; i++ {
+			if !g.HasEdge(t.StepPrev(i), t.StepNode(i)) {
+				break
+			}
+			if !sameResponse(t.StepNode(i), t.StepDegree(i), t.StepNeighbors(i)) {
+				break
+			}
+			n++
+		}
+		prefixes[wi] = n
+		total += n
+	}
+	return prefixes, total
+}
+
+// prepaidResponses collects the old trajectory's recorded responses that are
+// still exact on g — the carry-over capital a top-up redeems instead of
+// re-buying. First recording wins on duplicates (responses within one
+// recording are identical anyway).
+func prepaidResponses(old *Trajectory, g *graph.Graph) map[graph.Node][]graph.Node {
+	resp := make(map[graph.Node][]graph.Node)
+	consider := func(u graph.Node, deg int, ns []graph.Node) {
+		if _, seen := resp[u]; seen {
+			return
+		}
+		if u < 0 || int(u) >= g.NumNodes() || g.Degree(u) != deg || len(ns) != deg {
+			return
+		}
+		cur := g.Neighbors(u)
+		for i, v := range ns {
+			if cur[i] != v {
+				return
+			}
+		}
+		resp[u] = cur // share g's backing array, not the old arena
+	}
+	if old.HasStarts() {
+		for w := 0; w < old.NumWalkers(); w++ {
+			consider(old.StartNode(w), old.StartDegree(w), old.StartNeighbors(w))
+		}
+	}
+	for i := 0; i < old.Samples(); i++ {
+		consider(old.StepNode(i), old.StepDegree(i), old.StepNeighbors(i))
+	}
+	return resp
+}
+
+// ResumeRecording records a trajectory on the current graph g while
+// redeeming the still-valid responses of a stale trajectory old instead of
+// re-fetching them upstream. The recording re-runs deterministically from
+// opts (same seeds, same budget rule), so the result is bit-identical to
+// what RecordTrajectory would produce fresh on g — the partial-invalidation
+// invariant the serving layer's caches rely on — but every node whose
+// response survived the graph change is served from old at zero upstream
+// cost: the bill that matters is TopUpStats.ChargedCalls, not APICalls.
+//
+// s must be a fresh session over g (or a source equivalent to it) with no
+// calls spent; opts must equal the original recording's options for the
+// bit-identity guarantee to hold.
+func ResumeRecording(s *osn.Session, g *graph.Graph, old *Trajectory, k int, opts Options) (*Trajectory, TopUpStats, error) {
+	var st TopUpStats
+	if old == nil {
+		return nil, st, fmt.Errorf("core: ResumeRecording needs a previous trajectory")
+	}
+	if s.NumNodes() != g.NumNodes() {
+		return nil, st, fmt.Errorf("core: session spans %d nodes, graph %d", s.NumNodes(), g.NumNodes())
+	}
+	prepaid := prepaidResponses(old, g)
+	s.Prepay(prepaid)
+	t, err := RecordTrajectory(s, k, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	t.GraphVersion = g.Version()
+	t.GraphFingerprint = g.Fingerprint()
+
+	st.TotalSteps = t.Samples()
+	for i := 0; i < t.Samples(); i++ {
+		if _, ok := prepaid[t.StepNode(i)]; ok {
+			st.InheritedSteps++
+		} else {
+			st.StaleSteps++
+		}
+	}
+	st.APICalls = t.APICalls
+	st.PrepaidHits = s.PrepaidHits()
+	st.ChargedCalls = st.APICalls - st.PrepaidHits
+	if st.ChargedCalls < 0 {
+		st.ChargedCalls = 0
+	}
+	return t, st, nil
+}

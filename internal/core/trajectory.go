@@ -125,6 +125,11 @@ type Trajectory struct {
 	BurnIn int
 	// BudgetDriven records how k was interpreted during recording.
 	BudgetDriven bool
+	// GraphVersion and GraphFingerprint identify the exact graph version the
+	// trajectory was recorded against (see graph.Version / Fingerprint).
+	// Zero for recordings made outside the versioned serving path.
+	GraphVersion     uint64
+	GraphFingerprint uint64
 
 	labels  labelAPI
 	colsH   *colsHolder

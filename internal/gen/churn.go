@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Churn builds a delta that rewires frac of g's edges: half of the budget
+// deletes existing edges, half adds new non-edges, so the total number of
+// changed edges is ~frac*|E| while |E| stays (nearly) constant — the "1%
+// edge churn" workload the dynamic-graph benchmarks apply. Deletions skip
+// edges whose removal would isolate an endpoint, so every node keeps a
+// positive degree and random walks stay well-defined. Deterministic given
+// rng. The delta is NOT applied; pass it to graph.ApplyDelta.
+func Churn(g *graph.Graph, frac float64, rng *rand.Rand) (graph.Delta, error) {
+	var d graph.Delta
+	if frac < 0 || frac >= 1 {
+		return d, fmt.Errorf("gen: churn fraction must be in [0,1), got %g", frac)
+	}
+	n := g.NumNodes()
+	m := g.NumEdges()
+	if n < 2 || m == 0 {
+		return d, fmt.Errorf("gen: cannot churn a graph with %d nodes / %d edges", n, m)
+	}
+	half := int(frac * float64(m) / 2)
+
+	// Deletions: sample directed slots uniformly, canonicalize, skip
+	// duplicates and edges whose endpoints are already down to degree 1
+	// (accounting for deletions picked so far).
+	degLoss := make(map[graph.Node]int)
+	picked := make(map[graph.Edge]bool)
+	for attempts := 0; len(d.Dels) < half && attempts < 50*half+100; attempts++ {
+		u, v := g.EdgeAt(rng.Int63n(2 * m))
+		e := graph.Edge{U: u, V: v}.Canonical()
+		if picked[e] {
+			continue
+		}
+		if g.Degree(e.U)-degLoss[e.U] <= 1 || g.Degree(e.V)-degLoss[e.V] <= 1 {
+			continue
+		}
+		picked[e] = true
+		degLoss[e.U]++
+		degLoss[e.V]++
+		d.Dels = append(d.Dels, e)
+	}
+
+	// Additions: uniform random non-edges, deduplicated against the graph,
+	// the deletions above (an edge must not appear twice in one batch), and
+	// each other.
+	for attempts := 0; len(d.Adds) < half && attempts < 50*half+100; attempts++ {
+		e := graph.Edge{U: graph.Node(rng.Intn(n)), V: graph.Node(rng.Intn(n))}.Canonical()
+		if e.U == e.V || picked[e] || g.HasEdge(e.U, e.V) {
+			continue
+		}
+		picked[e] = true
+		d.Adds = append(d.Adds, e)
+	}
+	return d, nil
+}

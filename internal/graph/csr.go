@@ -11,8 +11,14 @@ import "fmt"
 //
 // The returned slices are the graph's own backing arrays, shared, and must
 // not be modified. The snapshot writer serializes them directly; everything
-// else should go through the accessor methods.
+// else should go through the accessor methods. For a graph carrying a delta
+// overlay the merged CSR is materialized (and memoized) first, so the
+// returned arrays always describe the effective topology.
 func (g *Graph) CSR() (off []int64, adj []Node, labelOff []int32, labelVal []Label) {
+	if g.overlay != nil {
+		f := g.flatten()
+		return f.off, f.adj, g.labelOff, g.labelVal
+	}
 	return g.off, g.adj, g.labelOff, g.labelVal
 }
 
@@ -77,6 +83,8 @@ func StripLabels(g *Graph) *Graph {
 		labelOff: make([]int32, n+1),
 		labelVal: nil,
 		numEdges: g.numEdges,
+		version:  g.version,
+		overlay:  g.overlay,
 	}
 }
 
@@ -92,6 +100,8 @@ func ReplaceLabels(g *Graph, labelsOf func(u Node) []Label) (*Graph, error) {
 		adj:      g.adj,
 		labelOff: make([]int32, n+1),
 		numEdges: g.numEdges,
+		version:  g.version,
+		overlay:  g.overlay,
 	}
 	for u := 0; u < n; u++ {
 		ls := labelsOf(Node(u))

@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Delta is one batch of edge mutations against a graph version: edges to
+// append and edges to delete. Endpoints are unordered (each mutation touches
+// both adjacency lists). A batch is validated as a whole before any of it
+// applies: every endpoint must be in range, self-loops are rejected, an
+// added edge must not already exist, a deleted edge must exist, and no edge
+// may appear twice in the batch.
+type Delta struct {
+	// Adds are the edges to append.
+	Adds []Edge
+	// Dels are the edges to delete.
+	Dels []Edge
+}
+
+// Empty reports whether the delta carries no mutations.
+func (d Delta) Empty() bool { return len(d.Adds) == 0 && len(d.Dels) == 0 }
+
+// flatCSR is the lazily materialized merged CSR of an overlay graph, backing
+// CSR() and EdgeAt for graphs that carry uncompacted deltas.
+type flatCSR struct {
+	off []int64
+	adj []Node
+}
+
+// Version returns the graph's version: 0 for a freshly built graph, bumped
+// by one per applied delta batch. Loaders restore it with SetVersion.
+func (g *Graph) Version() uint64 { return g.version }
+
+// SetVersion overrides the graph's version counter. It exists for snapshot
+// loaders restoring a persisted graph at its recorded version; everything
+// else should let ApplyDelta manage the counter.
+func (g *Graph) SetVersion(v uint64) { g.version = v }
+
+// HasOverlay reports whether the graph carries uncompacted deltas — i.e.
+// whether its accessors consult an overlay before the base CSR arrays.
+func (g *Graph) HasOverlay() bool { return g.overlay != nil }
+
+// validateDelta checks d as a whole against g, returning the canonical edge
+// set (value 1 for adds, 2 for dels) on success.
+func (g *Graph) validateDelta(d Delta) (map[Edge]byte, error) {
+	n := g.NumNodes()
+	seen := make(map[Edge]byte, len(d.Adds)+len(d.Dels))
+	check := func(e Edge, add bool) error {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return fmt.Errorf("graph: delta edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph: delta self-loop at node %d", e.U)
+		}
+		c := e.Canonical()
+		if _, dup := seen[c]; dup {
+			return fmt.Errorf("graph: edge (%d,%d) appears twice in one delta batch", c.U, c.V)
+		}
+		if add {
+			if g.HasEdge(e.U, e.V) {
+				return fmt.Errorf("graph: delta adds existing edge (%d,%d)", c.U, c.V)
+			}
+			seen[c] = 1
+		} else {
+			if !g.HasEdge(e.U, e.V) {
+				return fmt.Errorf("graph: delta deletes missing edge (%d,%d)", c.U, c.V)
+			}
+			seen[c] = 2
+		}
+		return nil
+	}
+	for _, e := range d.Adds {
+		if err := check(e, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range d.Dels {
+		if err := check(e, false); err != nil {
+			return nil, err
+		}
+	}
+	return seen, nil
+}
+
+// ApplyDelta returns a NEW graph with the batch applied and the version
+// bumped by one; g itself is never mutated, so replays holding the old
+// pointer keep reading the old topology (copy-on-write). The new graph
+// shares g's base CSR and label arrays and carries the mutations in a
+// per-node overlay that Degree/Neighbors consult first; call Compact to fold
+// the overlay back into a fresh CSR when the overlay has grown large.
+// Labels are untouched: a delta edits edges, not profiles.
+func (g *Graph) ApplyDelta(d Delta) (*Graph, error) {
+	if _, err := g.validateDelta(d); err != nil {
+		return nil, err
+	}
+	// Collect the per-node patches, both directions of every edge.
+	addsBy := make(map[Node][]Node)
+	delsBy := make(map[Node][]Node)
+	for _, e := range d.Adds {
+		addsBy[e.U] = append(addsBy[e.U], e.V)
+		addsBy[e.V] = append(addsBy[e.V], e.U)
+	}
+	for _, e := range d.Dels {
+		delsBy[e.U] = append(delsBy[e.U], e.V)
+		delsBy[e.V] = append(delsBy[e.V], e.U)
+	}
+	ng := &Graph{
+		off:      g.off,
+		adj:      g.adj,
+		labelOff: g.labelOff,
+		labelVal: g.labelVal,
+		numEdges: g.numEdges + int64(len(d.Adds)) - int64(len(d.Dels)),
+		version:  g.version + 1,
+	}
+	// Copy-on-write: the new overlay starts as a shallow copy of the old
+	// (the merged lists themselves are immutable), then the touched nodes
+	// get freshly merged lists.
+	ng.overlay = make(map[Node][]Node, len(g.overlay)+len(addsBy)+len(delsBy))
+	for u, ns := range g.overlay {
+		ng.overlay[u] = ns
+	}
+	touched := make(map[Node]bool, len(addsBy)+len(delsBy))
+	for u := range addsBy {
+		touched[u] = true
+	}
+	for u := range delsBy {
+		touched[u] = true
+	}
+	for u := range touched {
+		base := g.Neighbors(u)
+		dels := delsBy[u]
+		merged := make([]Node, 0, len(base)+len(addsBy[u])-len(dels))
+		for _, v := range base {
+			if !containsNode(dels, v) {
+				merged = append(merged, v)
+			}
+		}
+		merged = append(merged, addsBy[u]...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		ng.overlay[u] = merged
+	}
+	return ng, nil
+}
+
+// containsNode reports whether v occurs in the (short) patch list ns.
+func containsNode(ns []Node, v Node) bool {
+	for _, x := range ns {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// flatten materializes (and memoizes) the merged CSR of an overlay graph.
+// Safe for concurrent use: racing callers build identical arrays and one
+// wins the memo.
+func (g *Graph) flatten() *flatCSR {
+	if f := g.flat.Load(); f != nil {
+		return f
+	}
+	n := g.NumNodes()
+	off := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		off[u+1] = off[u] + int64(g.Degree(Node(u)))
+	}
+	adj := make([]Node, off[n])
+	for u := 0; u < n; u++ {
+		copy(adj[off[u]:off[u+1]], g.Neighbors(Node(u)))
+	}
+	f := &flatCSR{off: off, adj: adj}
+	g.flat.CompareAndSwap(nil, f)
+	return g.flat.Load()
+}
+
+// Compact folds the overlay into a fresh CSR graph, preserving the version
+// and sharing the label arrays. Compacting an overlay-free graph returns g
+// itself. Serving layers compact once the delta overlay has grown past a
+// few segments, restoring base-array access speed.
+func (g *Graph) Compact() *Graph {
+	if g.overlay == nil {
+		return g
+	}
+	f := g.flatten()
+	return &Graph{
+		off:      f.off,
+		adj:      f.adj,
+		labelOff: g.labelOff,
+		labelVal: g.labelVal,
+		numEdges: g.numEdges,
+		version:  g.version,
+	}
+}
+
+// Fingerprint returns a content hash of the graph's effective topology and
+// labels: FNV-1a over every node's degree, neighbor list and label set. Two
+// graphs with equal content hash equally regardless of representation — an
+// overlay graph and its compaction fingerprint identically — which is what
+// lets snapshots and trajectory stores verify "same graph" harder than the
+// |V|/|E| priors ever could. The hash is memoized; the first call is
+// O(|V|+|E|).
+func (g *Graph) Fingerprint() uint64 {
+	if p := g.fp.Load(); p != nil {
+		return *p
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put32 := func(x int32) {
+		buf[0] = byte(x)
+		buf[1] = byte(x >> 8)
+		buf[2] = byte(x >> 16)
+		buf[3] = byte(x >> 24)
+		h.Write(buf[:4])
+	}
+	n := g.NumNodes()
+	put32(int32(n))
+	for u := 0; u < n; u++ {
+		ns := g.Neighbors(Node(u))
+		put32(int32(len(ns)))
+		for _, v := range ns {
+			put32(int32(v))
+		}
+		ls := g.Labels(Node(u))
+		put32(int32(len(ls)))
+		for _, l := range ls {
+			put32(int32(l))
+		}
+	}
+	fp := h.Sum64()
+	g.fp.CompareAndSwap(nil, &fp)
+	return fp
+}

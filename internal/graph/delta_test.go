@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// applyOrFatal applies d to g, failing the test on error.
+func applyOrFatal(t *testing.T, g *Graph, d Delta) *Graph {
+	t.Helper()
+	ng, err := g.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng
+}
+
+func TestApplyDeltaOverlay(t *testing.T) {
+	g := buildTriangleWithTail(t) // 0-1-2-0, 2-3
+	ng := applyOrFatal(t, g, Delta{
+		Adds: []Edge{{U: 1, V: 3}},
+		Dels: []Edge{{U: 0, V: 2}},
+	})
+
+	if ng.Version() != 1 {
+		t.Errorf("version = %d, want 1", ng.Version())
+	}
+	if !ng.HasOverlay() {
+		t.Error("patched graph should carry an overlay")
+	}
+	if ng.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4 (one add, one del)", ng.NumEdges())
+	}
+	if got := ng.Neighbors(1); !reflect.DeepEqual(got, []Node{0, 2, 3}) {
+		t.Errorf("Neighbors(1) = %v, want [0 2 3]", got)
+	}
+	if ng.HasEdge(0, 2) || !ng.HasEdge(1, 3) {
+		t.Errorf("HasEdge: (0,2)=%v (want false), (1,3)=%v (want true)", ng.HasEdge(0, 2), ng.HasEdge(1, 3))
+	}
+	if d := ng.Degree(3); d != 2 {
+		t.Errorf("Degree(3) = %d, want 2", d)
+	}
+	if v := ng.Neighbor(3, 0); v != 1 {
+		t.Errorf("Neighbor(3,0) = %d, want 1", v)
+	}
+	if err := ng.Validate(); err != nil {
+		t.Errorf("patched graph fails Validate: %v", err)
+	}
+
+	// Copy-on-write: the original graph is untouched.
+	if g.Version() != 0 || g.HasOverlay() || !g.HasEdge(0, 2) || g.HasEdge(1, 3) || g.NumEdges() != 4 {
+		t.Error("ApplyDelta mutated the parent graph")
+	}
+}
+
+func TestApplyDeltaRejectsBadBatches(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	for name, d := range map[string]Delta{
+		"out-of-range":    {Adds: []Edge{{U: 0, V: 99}}},
+		"negative":        {Dels: []Edge{{U: -1, V: 1}}},
+		"self-loop":       {Adds: []Edge{{U: 2, V: 2}}},
+		"add-existing":    {Adds: []Edge{{U: 0, V: 1}}},
+		"del-missing":     {Dels: []Edge{{U: 0, V: 3}}},
+		"duplicate-add":   {Adds: []Edge{{U: 1, V: 3}, {U: 3, V: 1}}},
+		"add-then-delete": {Adds: []Edge{{U: 1, V: 3}}, Dels: []Edge{{U: 1, V: 3}}},
+	} {
+		if _, err := g.ApplyDelta(d); err == nil {
+			t.Errorf("%s: ApplyDelta accepted an invalid batch", name)
+		}
+	}
+}
+
+func TestCompactEqualsOverlay(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	ng := applyOrFatal(t, g, Delta{Adds: []Edge{{U: 1, V: 3}}, Dels: []Edge{{U: 0, V: 2}}})
+	ng = applyOrFatal(t, ng, Delta{Adds: []Edge{{U: 0, V: 3}}})
+
+	c := ng.Compact()
+	if c.HasOverlay() {
+		t.Error("Compact left an overlay behind")
+	}
+	if c.Version() != ng.Version() || c.NumEdges() != ng.NumEdges() {
+		t.Errorf("Compact changed version/edges: %d/%d vs %d/%d", c.Version(), c.NumEdges(), ng.Version(), ng.NumEdges())
+	}
+	for u := 0; u < ng.NumNodes(); u++ {
+		if !reflect.DeepEqual(append([]Node{}, ng.Neighbors(Node(u))...), append([]Node{}, c.Neighbors(Node(u))...)) {
+			t.Errorf("node %d: overlay neighbors %v != compacted %v", u, ng.Neighbors(Node(u)), c.Neighbors(Node(u)))
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("compacted graph fails Validate: %v", err)
+	}
+	if ng.Fingerprint() != c.Fingerprint() {
+		t.Error("overlay graph and its compaction fingerprint differently")
+	}
+	if g.Fingerprint() == ng.Fingerprint() {
+		t.Error("different topologies share a fingerprint")
+	}
+	// An overlay-free compaction is the identity.
+	if c.Compact() != c {
+		t.Error("Compact of a pure-CSR graph should return the graph itself")
+	}
+}
+
+func TestOverlayEdgeAtAndCSR(t *testing.T) {
+	g := buildTriangleWithTail(t)
+	ng := applyOrFatal(t, g, Delta{Adds: []Edge{{U: 1, V: 3}}, Dels: []Edge{{U: 0, V: 1}}})
+
+	off, adj, _, _ := ng.CSR()
+	if off[ng.NumNodes()] != 2*ng.NumEdges() || int64(len(adj)) != 2*ng.NumEdges() {
+		t.Fatalf("flattened CSR inconsistent: off[n]=%d, len(adj)=%d, 2|E|=%d", off[ng.NumNodes()], len(adj), 2*ng.NumEdges())
+	}
+	// Every flat index maps back to a consistent directed edge.
+	for idx := int64(0); idx < 2*ng.NumEdges(); idx++ {
+		u, v := ng.EdgeAt(idx)
+		if !ng.HasEdge(u, v) {
+			t.Fatalf("EdgeAt(%d) = (%d,%d), not an edge", idx, u, v)
+		}
+	}
+}

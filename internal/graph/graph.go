@@ -16,6 +16,7 @@ package graph
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Node identifies a node. Nodes are dense integers in [0, NumNodes).
@@ -28,6 +29,7 @@ type Label int32
 // Edge is an undirected edge between two nodes. The pair is unordered;
 // Canonical() returns the normalized form with U <= V.
 type Edge struct {
+	// U and V are the edge's endpoints, in no particular order.
 	U, V Node
 }
 
@@ -42,6 +44,7 @@ func (e Edge) Canonical() Edge {
 // LabelPair is an unordered pair of target labels (t1, t2), the query of the
 // paper's counting problem.
 type LabelPair struct {
+	// T1 and T2 are the queried labels, in no particular order.
 	T1, T2 Label
 }
 
@@ -58,6 +61,12 @@ func (p LabelPair) String() string { return fmt.Sprintf("(%d,%d)", p.T1, p.T2) }
 
 // Graph is an immutable undirected labeled graph in CSR form. Build one with
 // a Builder. The zero value is an empty graph.
+//
+// A Graph may additionally carry a delta overlay: ApplyDelta layers edge
+// mutations over the base CSR without rewriting it, returning a NEW graph at
+// the next version (copy-on-write — the old pointer keeps serving the old
+// topology). Accessors consult the overlay before the base arrays; Compact
+// folds the overlay back into a fresh CSR.
 type Graph struct {
 	// off has length NumNodes+1; the neighbors of node u occupy
 	// adj[off[u]:off[u+1]].
@@ -70,6 +79,17 @@ type Graph struct {
 	labelVal []Label
 
 	numEdges int64
+
+	// version counts applied delta batches; 0 for a freshly built graph.
+	version uint64
+	// overlay maps every node touched by an applied delta to its fully
+	// merged, sorted neighbor list; nil when the graph is pure CSR. The
+	// lists are immutable once the map is published.
+	overlay map[Node][]Node
+	// flat memoizes the merged CSR of an overlay graph for CSR()/EdgeAt.
+	flat atomic.Pointer[flatCSR]
+	// fp memoizes the content fingerprint (see Fingerprint).
+	fp atomic.Pointer[uint64]
 }
 
 // NumNodes returns |V|.
@@ -85,6 +105,11 @@ func (g *Graph) NumEdges() int64 { return g.numEdges }
 
 // Degree returns d(u), the number of neighbors of u.
 func (g *Graph) Degree(u Node) int {
+	if g.overlay != nil {
+		if ns, ok := g.overlay[u]; ok {
+			return len(ns)
+		}
+	}
 	return int(g.off[u+1] - g.off[u])
 }
 
@@ -92,11 +117,21 @@ func (g *Graph) Degree(u Node) int {
 // must not modify it. This is the only primitive the restricted-access OSN
 // layer exposes, per the paper's API model.
 func (g *Graph) Neighbors(u Node) []Node {
+	if g.overlay != nil {
+		if ns, ok := g.overlay[u]; ok {
+			return ns
+		}
+	}
 	return g.adj[g.off[u]:g.off[u+1]]
 }
 
 // Neighbor returns the i-th neighbor of u, 0 <= i < Degree(u).
 func (g *Graph) Neighbor(u Node, i int) Node {
+	if g.overlay != nil {
+		if ns, ok := g.overlay[u]; ok {
+			return ns[i]
+		}
+	}
 	return g.adj[g.off[u]+int64(i)]
 }
 
@@ -185,19 +220,25 @@ func (g *Graph) Edges(fn func(u, v Node) bool) {
 }
 
 // EdgeAt maps a flat index in [0, 2|E|) to the directed edge it denotes in
-// the adjacency array; used by samplers that need a uniform random edge.
+// the adjacency array; used by samplers that need a uniform random edge. On
+// an overlay graph it indexes the merged view (materialized lazily).
 func (g *Graph) EdgeAt(idx int64) (u, v Node) {
+	off, adj := g.off, g.adj
+	if g.overlay != nil {
+		f := g.flatten()
+		off, adj = f.off, f.adj
+	}
 	// Binary search over off to find the source node.
 	lo, hi := 0, g.NumNodes()
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if g.off[mid+1] <= idx {
+		if off[mid+1] <= idx {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return Node(lo), g.adj[idx]
+	return Node(lo), adj[idx]
 }
 
 // Validate checks structural invariants: monotone offsets, in-range and

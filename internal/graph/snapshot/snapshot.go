@@ -4,24 +4,30 @@
 // preprocess-once / query-many split that lets the tools operate on
 // million-node graphs without re-parsing text edge lists.
 //
-// # Format (version 1)
+// # Format (version 2)
 //
 // All integers are little-endian and unsigned on the wire. A file is a
 // fixed header, five array sections, and a trailing CRC:
 //
 //	offset  size              field
 //	0       4                 magic "OSNB"
-//	4       4                 format version (1)
+//	4       4                 format version (2)
 //	8       8                 numNodes  (n)
 //	16      8                 numEdges  (m, undirected count)
 //	24      8                 numLabels (distinct label table size, t)
 //	32      8                 labelRefs (total per-node label references, r)
-//	40      (n+1)*8           node offsets     off[0..n],      off[n] = 2m
+//	40      8                 graphVersion (delta-log version of the graph)
+//	48      (n+1)*8           node offsets     off[0..n],      off[n] = 2m
 //	...     2m*4              adjacency        adj, neighbor lists sorted per node
 //	...     (n+1)*4           label offsets    labelOff[0..n], labelOff[n] = r
 //	...     t*4               label table      sorted distinct label values
 //	...     r*4               label refs       indices into the label table
 //	...     4                 CRC-32 (IEEE) of everything before it
+//
+// Version 2 added graphVersion: a snapshot of a mutated graph records which
+// delta-log version its CSR arrays flatten (see graph.ApplyDelta). Beside a
+// base .osnb, later deltas persist as .osnd segments (see DeltaExt) that
+// Load replays in version order.
 //
 // Node labels are interned: the file stores each distinct label value once
 // in a sorted table and per-node label sets as table indices, so label-heavy
@@ -54,13 +60,13 @@ import (
 const Magic = "OSNB"
 
 // Version is the current format version written by this package.
-const Version = 1
+const Version = 2
 
 // Ext is the conventional file extension for snapshot files.
 const Ext = ".osnb"
 
-// headerSize is the fixed byte length of the v1 header.
-const headerSize = 4 + 4 + 8 + 8 + 8 + 8
+// headerSize is the fixed byte length of the v2 header.
+const headerSize = 4 + 4 + 8 + 8 + 8 + 8 + 8
 
 // maxSaneCount guards the reader's allocations against a corrupt or hostile
 // header: no v1 section may claim more than 2^35 elements (128+ GiB of
@@ -90,6 +96,7 @@ func Write(w io.Writer, g *graph.Graph) error {
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(g.NumEdges()))
 	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(table)))
 	binary.LittleEndian.PutUint64(hdr[32:40], uint64(len(refs)))
+	binary.LittleEndian.PutUint64(hdr[40:48], g.Version())
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("snapshot: writing header: %w", err)
 	}
@@ -145,6 +152,7 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	numEdges := binary.LittleEndian.Uint64(hdr[16:24])
 	numLabels := binary.LittleEndian.Uint64(hdr[24:32])
 	labelRefs := binary.LittleEndian.Uint64(hdr[32:40])
+	graphVersion := binary.LittleEndian.Uint64(hdr[40:48])
 	if numNodes > math.MaxInt32 {
 		return nil, fmt.Errorf("snapshot: %d nodes exceed the int32 node ID space", numNodes)
 	}
@@ -211,6 +219,7 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
+	g.SetVersion(graphVersion)
 	return g, nil
 }
 
@@ -245,7 +254,9 @@ func Save(path string, g *graph.Graph) error {
 	return nil
 }
 
-// Load reads the snapshot at path. Before allocating anything it
+// Load reads the snapshot at path and replays any .osnd delta segments
+// found beside it in version order (see applySegments), returning the graph
+// at its latest persisted version. Before allocating anything it
 // cross-checks the header's section sizes against the file's actual size,
 // so a truncated or size-inconsistent file fails fast.
 func Load(path string) (*graph.Graph, error) {
@@ -281,10 +292,10 @@ func Load(path string) (*graph.Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: loading %s: %w", path, err)
 	}
-	return g, nil
+	return applySegments(path, g)
 }
 
-// ExpectedSize returns the exact byte length of a v1 snapshot with the
+// ExpectedSize returns the exact byte length of a v2 snapshot with the
 // given header counts. Exposed for tests and integrity tooling.
 func ExpectedSize(numNodes, numEdges, numLabels, labelRefs uint64) int64 {
 	return int64(headerSize) +

@@ -143,10 +143,13 @@ func (m *Meter) chargeOne(u graph.Node) error {
 	return nil
 }
 
-// serve returns u's neighbors from the shared cache, filling it from the
-// Source (uncharged) on a miss.
+// serve returns u's neighbors from the shared cache, redeeming a prepaid
+// response or filling from the Source (uncharged) on a miss.
 func (m *Meter) serve(u graph.Node) ([]graph.Node, error) {
 	if adj, ok := m.s.cached(u); ok {
+		return adj, nil
+	}
+	if adj, ok := m.s.redeemPrepaid(u); ok {
 		return adj, nil
 	}
 	return m.s.fill(u)
@@ -184,10 +187,14 @@ func (m *Meter) fetch(u graph.Node) ([]graph.Node, error) {
 		}
 		m.calls++
 		if !hit {
-			var err error
-			adj, err = m.s.fill(u)
-			if err != nil {
-				return nil, err
+			if pAdj, ok := m.s.redeemPrepaid(u); ok {
+				adj = pAdj // billed identically, served without upstream
+			} else {
+				var err error
+				adj, err = m.s.fill(u)
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 		m.markLocal(u, adj)

@@ -113,6 +113,20 @@ type Session struct {
 
 	shards [cacheShards]cacheShard
 
+	// prepaid marks nodes whose response was carried over from a previous
+	// recording (see Prepay); nil when nothing is prepaid. Redeeming a
+	// prepaid node is billed exactly like a fresh fetch — counters, budget
+	// and failure rolls all advance identically — but skips the upstream
+	// Source and bumps prepaidHits, so callers can report the calls that
+	// cost nothing upstream. The bits are never cleared on redemption:
+	// once-per-accounting-phase semantics come from the fetched bitmap,
+	// which ResetAccounting wipes at the burn-in/sampling barrier.
+	prepaid []atomic.Bool
+	// prepaidResp holds the carried-over responses when the Source is not
+	// an in-memory graph; read-only after Prepay.
+	prepaidResp map[graph.Node][]graph.Node
+	prepaidHits atomic.Int64
+
 	failMu sync.Mutex // serializes FailureRng
 }
 
@@ -212,6 +226,59 @@ func (s *Session) chargeRetry(u graph.Node) error {
 	}
 }
 
+// Prepay registers carried-over neighbor responses from a previous
+// recording of the same source: fetching a prepaid node is metered exactly
+// like a fresh fetch (so a re-run stays bit-identical), but is served from
+// resp instead of the upstream Source and counted in PrepaidHits. The caller
+// must guarantee each response equals what the Source would return NOW —
+// core.ResumeRecording builds the map by filtering a stale trajectory's
+// recorded responses against the current graph. Call before any fetches;
+// Prepay must not race with in-flight calls.
+func (s *Session) Prepay(resp map[graph.Node][]graph.Node) {
+	if len(resp) == 0 {
+		return
+	}
+	p := make([]atomic.Bool, s.src.NumNodes())
+	for u := range resp {
+		if u >= 0 && int(u) < len(p) {
+			p[u].Store(true)
+		}
+	}
+	s.prepaid = p
+	if s.graphFast == nil {
+		s.prepaidResp = resp
+	}
+}
+
+// PrepaidHits returns how many charged calls were served from prepaid
+// responses instead of the upstream Source since the last ResetAccounting —
+// the API spend a trajectory top-up inherited rather than re-bought.
+func (s *Session) PrepaidHits() int64 { return s.prepaidHits.Load() }
+
+// redeemPrepaid serves u from the prepaid responses if it is prepaid,
+// populating the crawl cache like fill does. Callers charge first, so
+// accounting is identical to a fresh fetch.
+func (s *Session) redeemPrepaid(u graph.Node) ([]graph.Node, bool) {
+	if s.prepaid == nil || !s.prepaid[u].Load() {
+		return nil, false
+	}
+	var adj []graph.Node
+	if s.graphFast != nil {
+		adj = s.graphFast.Neighbors(u)
+	} else {
+		adj = s.prepaidResp[u]
+		sh := &s.shards[uint(u)%cacheShards]
+		sh.mu.Lock()
+		sh.m[u] = adj
+		sh.mu.Unlock()
+	}
+	if !s.fetched[u].Swap(true) {
+		s.unique.Add(1)
+		s.prepaidHits.Add(1)
+	}
+	return adj, true
+}
+
 // cached returns u's response if it is in the crawl cache.
 func (s *Session) cached(u graph.Node) ([]graph.Node, bool) {
 	if !s.fetched[u].Load() {
@@ -261,6 +328,9 @@ func (s *Session) Neighbors(u graph.Node) ([]graph.Node, error) {
 	}
 	if hit {
 		return adj, nil // charged duplicate, served from cache
+	}
+	if adj, ok := s.redeemPrepaid(u); ok {
+		return adj, nil // billed like a fresh fetch, served without upstream
 	}
 	return s.fill(u)
 }
@@ -327,6 +397,7 @@ func (s *Session) Remaining() int64 {
 func (s *Session) ResetAccounting() {
 	s.calls.Store(0)
 	s.unique.Store(0)
+	s.prepaidHits.Store(0)
 	for i := range s.fetched {
 		s.fetched[i].Store(false)
 	}

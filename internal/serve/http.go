@@ -125,6 +125,11 @@ type estimateResponse struct {
 	SharedBy int              `json:"shared_by"`
 	Walkers  int              `json:"walkers"`
 	Samples  int              `json:"samples"`
+	// GraphVersion is the delta-log version of the graph state the answer
+	// reflects; StaleSteps is how many trajectory steps an incremental
+	// top-up re-recorded to produce it (0 for one-piece recordings).
+	GraphVersion uint64 `json:"graph_version"`
+	StaleSteps   int    `json:"stale_steps"`
 }
 
 // batchResponse is the POST /estimate response for a batch request: one
@@ -140,6 +145,7 @@ type graphInfoJSON struct {
 	Nodes              int              `json:"nodes"`
 	Edges              int64            `json:"edges"`
 	BurnIn             int              `json:"burn_in"`
+	GraphVersion       uint64           `json:"graph_version"`
 	CachedTrajectories int              `json:"cached_trajectories"`
 	CachedBytes        int64            `json:"cached_bytes"`
 	Queries            int64            `json:"queries"`
@@ -147,6 +153,9 @@ type graphInfoJSON struct {
 	Recordings         int64            `json:"recordings"`
 	StoreLoads         int64            `json:"store_loads"`
 	UpstreamCalls      int64            `json:"upstream_api_calls"`
+	Deltas             int64            `json:"deltas"`
+	TopUps             int64            `json:"topups"`
+	TopUpSavedCalls    int64            `json:"topup_saved_calls"`
 	TasksByKind        map[string]int64 `json:"tasks_by_kind,omitempty"`
 }
 
@@ -182,6 +191,27 @@ type loadGraphResponse struct {
 	WarmTrajectories int `json:"warm_trajectories"`
 }
 
+// patchGraphRequest is the PATCH /graphs/{name} body: an edge delta to
+// apply to the served graph.
+type patchGraphRequest struct {
+	// Add lists edges to append as [u, v] node-id arrays.
+	Add [][2]int `json:"add,omitempty"`
+	// Del lists edges to delete as [u, v] node-id arrays.
+	Del [][2]int `json:"del,omitempty"`
+}
+
+// patchGraphResponse is the PATCH /graphs/{name} body on success.
+type patchGraphResponse struct {
+	Name string `json:"name"`
+	// Version is the graph's new delta-log version; subsequent estimates at
+	// this version report it as graph_version.
+	Version uint64 `json:"graph_version"`
+	Nodes   int    `json:"nodes"`
+	Edges   int64  `json:"edges"`
+	Added   int    `json:"added"`
+	Deleted int    `json:"deleted"`
+}
+
 // healthResponse is the GET /healthz body: liveness plus workspace-wide
 // counters (per-graph detail lives under GET /graphs).
 type healthResponse struct {
@@ -194,6 +224,9 @@ type healthResponse struct {
 	StoreSaves      int64  `json:"store_saves"`
 	StoreErrors     int64  `json:"store_errors"`
 	UpstreamCalls   int64  `json:"upstream_api_calls"`
+	Deltas          int64  `json:"deltas"`
+	TopUps          int64  `json:"topups"`
+	TopUpSavedCalls int64  `json:"topup_saved_calls"`
 	CacheBytesUsed  int64  `json:"cache_bytes_used"`
 	CacheByteBudget int64  `json:"cache_byte_budget"`
 	UptimeSec       int64  `json:"uptime_seconds"`
@@ -205,6 +238,7 @@ type healthResponse struct {
 //	                       {"graph": "pokec", "queries": [{"kind": "size"}, {"kind": "census", "top": 10}], ...}
 //	GET    /graphs         list the served graphs with cache and query stats
 //	PUT    /graphs/{name}  load a .osnb snapshot as a new graph (409 if the name is taken)
+//	PATCH  /graphs/{name}  apply an edge delta {"add": [[u,v],...], "del": [[u,v],...]} (404 if unknown)
 //	DELETE /graphs/{name}  unload a graph, flushing its dirty trajectories (404 if unknown)
 //	GET    /methods        the estimator names a "pairs" answer carries, plus the task kinds
 //	GET    /healthz        liveness plus workspace counters
@@ -249,6 +283,7 @@ func NewHandler(ws *Workspace) http.Handler {
 				Nodes:              gi.Nodes,
 				Edges:              gi.Edges,
 				BurnIn:             gi.BurnIn,
+				GraphVersion:       gi.Version,
 				CachedTrajectories: gi.CachedTrajectories,
 				CachedBytes:        gi.CachedBytes,
 				Queries:            gi.Stats.Queries,
@@ -256,6 +291,9 @@ func NewHandler(ws *Workspace) http.Handler {
 				Recordings:         gi.Stats.Recordings,
 				StoreLoads:         gi.Stats.StoreLoads,
 				UpstreamCalls:      gi.Stats.UpstreamCalls,
+				Deltas:             gi.Stats.Deltas,
+				TopUps:             gi.Stats.TopUps,
+				TopUpSavedCalls:    gi.Stats.TopUpSavedCalls,
 				TasksByKind:        gi.Stats.TasksByKind,
 			})
 		}
@@ -295,6 +333,9 @@ func NewHandler(ws *Workspace) http.Handler {
 			return
 		}
 		opts := ws.cfg.Defaults
+		// Remember where the graph came from, so PATCH deltas persist as
+		// .osnd segments beside the base snapshot.
+		opts.SnapshotPath = path
 		if req.Budget > 0 {
 			opts.Budget = req.Budget
 		}
@@ -326,6 +367,41 @@ func NewHandler(ws *Workspace) http.Handler {
 		})
 	})
 
+	mux.HandleFunc("PATCH /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		var req patchGraphRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+			return
+		}
+		var d graph.Delta
+		for _, e := range req.Add {
+			d.Adds = append(d.Adds, graph.Edge{U: graph.Node(e[0]), V: graph.Node(e[1])})
+		}
+		for _, e := range req.Del {
+			d.Dels = append(d.Dels, graph.Edge{U: graph.Node(e[0]), V: graph.Node(e[1])})
+		}
+		version, err := ws.ApplyDelta(name, d)
+		if err != nil {
+			writeEstimateError(w, r, err)
+			return
+		}
+		engine, err := ws.Graph(name)
+		if err != nil {
+			writeEstimateError(w, r, err)
+			return
+		}
+		g := engine.Graph()
+		writeJSON(w, http.StatusOK, patchGraphResponse{
+			Name:    name,
+			Version: version,
+			Nodes:   g.NumNodes(),
+			Edges:   g.NumEdges(),
+			Added:   len(d.Adds),
+			Deleted: len(d.Dels),
+		})
+	})
+
 	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if err := ws.RemoveGraph(name); err != nil {
@@ -349,7 +425,7 @@ func NewHandler(ws *Workspace) http.Handler {
 	for path, allow := range map[string]string{
 		"/estimate":      "POST only",
 		"/graphs":        "GET only",
-		"/graphs/{name}": "PUT or DELETE only",
+		"/graphs/{name}": "PUT, PATCH or DELETE only",
 		"/methods":       "GET only",
 		"/healthz":       "GET only",
 	} {
@@ -374,6 +450,9 @@ func NewHandler(ws *Workspace) http.Handler {
 			resp.StoreSaves += gi.Stats.StoreSaves
 			resp.StoreErrors += gi.Stats.StoreErrors
 			resp.UpstreamCalls += gi.Stats.UpstreamCalls
+			resp.Deltas += gi.Stats.Deltas
+			resp.TopUps += gi.Stats.TopUps
+			resp.TopUpSavedCalls += gi.Stats.TopUpSavedCalls
 			resp.CacheBytesUsed += gi.CachedBytes
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -473,14 +552,16 @@ func writeEstimateError(w http.ResponseWriter, r *http.Request, err error) {
 // renderAnswer maps an engine Answer onto the kind-specific wire schema.
 func renderAnswer(graphName string, ans *Answer) estimateResponse {
 	resp := estimateResponse{
-		Graph:    graphName,
-		Kind:     ans.Kind,
-		APICalls: ans.APICalls,
-		Charged:  ans.Charged,
-		CacheHit: ans.CacheHit,
-		SharedBy: ans.SharedBy,
-		Walkers:  ans.Walkers,
-		Samples:  ans.Samples,
+		Graph:        graphName,
+		Kind:         ans.Kind,
+		APICalls:     ans.APICalls,
+		Charged:      ans.Charged,
+		CacheHit:     ans.CacheHit,
+		SharedBy:     ans.SharedBy,
+		Walkers:      ans.Walkers,
+		Samples:      ans.Samples,
+		GraphVersion: ans.GraphVersion,
+		StaleSteps:   ans.StaleSteps,
 	}
 	if ans.Err != nil {
 		resp.Error = ans.Err.Error()

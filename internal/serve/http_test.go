@@ -2,10 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *Engine) {
@@ -140,5 +143,95 @@ func TestHTTPMethodsAndHealth(t *testing.T) {
 	}
 	if health.Queries != 1 || health.Recordings != 1 || health.UpstreamCalls == 0 {
 		t.Errorf("health counters = %+v", health)
+	}
+}
+
+func TestHTTPPatchGraph(t *testing.T) {
+	srv, e := testServer(t)
+	g := e.Graph()
+	// Pick a real edge to delete and a non-edge to add.
+	u := graph.Node(0)
+	for int(u) < g.NumNodes() && g.Degree(u) == 0 {
+		u++
+	}
+	v := g.Neighbors(u)[0]
+	var x, y graph.Node
+	found := false
+search:
+	for x = 0; int(x) < g.NumNodes(); x++ {
+		for y = x + 1; int(y) < g.NumNodes(); y++ {
+			if !g.HasEdge(x, y) {
+				found = true
+				break search
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no non-edge in test graph")
+	}
+
+	body := fmt.Sprintf(`{"add": [[%d,%d]], "del": [[%d,%d]]}`, x, y, u, v)
+	req, err := http.NewRequest(http.MethodPatch, srv.URL+"/graphs/g", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var patched patchGraphResponse
+	if err := json.NewDecoder(resp.Body).Decode(&patched); err != nil {
+		t.Fatal(err)
+	}
+	if patched.Version != g.Version()+1 || patched.Added != 1 || patched.Deleted != 1 {
+		t.Errorf("patch response = %+v", patched)
+	}
+	if patched.Edges != g.NumEdges() {
+		t.Errorf("1 add + 1 del changed edge count %d -> %d", g.NumEdges(), patched.Edges)
+	}
+	ng := e.Graph()
+	if !ng.HasEdge(x, y) || ng.HasEdge(u, v) {
+		t.Error("patch did not land in the served graph")
+	}
+
+	// An answer now reports the new version.
+	r2, err := http.Post(srv.URL+"/estimate", "application/json", strings.NewReader(`{"pairs": [[1,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var ans estimateResponse
+	if err := json.NewDecoder(r2.Body).Decode(&ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.GraphVersion != patched.Version {
+		t.Errorf("estimate reports graph_version %d, want %d", ans.GraphVersion, patched.Version)
+	}
+
+	// Error contract: unknown graph 404, empty delta 400, bad body 400.
+	for _, tc := range []struct {
+		target, body string
+		status       int
+	}{
+		{"/graphs/nope", `{"add": [[0,1]]}`, http.StatusNotFound},
+		{"/graphs/g", `{}`, http.StatusBadRequest},
+		{"/graphs/g", `{"add": "x"}`, http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(http.MethodPatch, srv.URL+tc.target, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("PATCH %s %s: status %d, want %d", tc.target, tc.body, resp.StatusCode, tc.status)
+		}
 	}
 }

@@ -29,10 +29,12 @@ import (
 	"fmt"
 	"io/fs"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/graph/snapshot"
 	"repro/internal/osn"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -121,6 +123,14 @@ type Config struct {
 	// could otherwise drive. A Workspace additionally enforces a byte
 	// budget across all of its engines' caches.
 	MaxCached int
+	// SnapshotPath, when set, is the graph's .osnb snapshot on disk:
+	// ApplyDelta persists each accepted delta as a .osnd segment beside it
+	// before the swap, so a restarted server reloads the mutated graph.
+	SnapshotPath string
+	// CompactSegments bounds how many .osnd delta segments may accumulate
+	// beside SnapshotPath before ApplyDelta compacts them into a fresh base
+	// snapshot; 0 means 8. Ignored without SnapshotPath.
+	CompactSegments int
 
 	// now is a test hook for the TTL clock; nil means time.Now.
 	now func() time.Time
@@ -202,6 +212,16 @@ type Answer struct {
 	// Walkers and Samples describe the serving trajectory.
 	Walkers int
 	Samples int // total recorded samples across the fleet
+	// GraphVersion is the delta-log version of the graph the serving
+	// trajectory was recorded (or topped up) on, so clients can tell which
+	// graph state an estimate reflects.
+	GraphVersion uint64
+	// StaleSteps is how many of the serving trajectory's steps had to be
+	// re-recorded because a graph delta invalidated them — non-zero only
+	// when the trajectory was produced by an incremental top-up. 0 means the
+	// answer replays a trajectory recorded in one piece on its graph
+	// version.
+	StaleSteps int
 }
 
 // Stats counts engine activity since construction.
@@ -226,8 +246,18 @@ type Stats struct {
 	// StoreSaves is how many trajectories were persisted to the store.
 	StoreSaves int64
 	// StoreErrors counts failed store reads/writes (corrupt files, IO
-	// errors, prior mismatches); the engine falls back to recording.
+	// errors, version mismatches); the engine falls back to recording.
 	StoreErrors int64
+	// Deltas is how many graph deltas the engine has applied.
+	Deltas int64
+	// TopUps is how many recordings were served by incrementally topping up
+	// a stale trajectory instead of re-recording from scratch.
+	TopUps int64
+	// TopUpSavedCalls is the upstream API spend the top-ups avoided: the sum
+	// of their redeemed (prepaid) calls. A top-up's nominal bill equals a
+	// fresh recording's; only its nominal bill minus this saving hits the
+	// upstream API, and UpstreamCalls counts that actual spend.
+	TopUpSavedCalls int64
 }
 
 // trajKey identifies a shareable trajectory configuration.
@@ -237,9 +267,12 @@ type trajKey struct {
 	seed    int64
 }
 
-// storeKey maps a cache key onto its persistent-store spelling.
-func storeKey(k trajKey) store.Key {
-	return store.Key{Budget: k.budget, Walkers: k.walkers, Seed: k.seed}
+// storeKey maps a cache key onto its persistent-store spelling at one graph
+// version. The version is part of the file name, so a graph's older
+// trajectories survive a delta as top-up sources instead of being
+// overwritten.
+func storeKey(k trajKey, graphVersion uint64) store.Key {
+	return store.Key{Budget: k.budget, Walkers: k.walkers, Seed: k.seed, GraphVersion: graphVersion}
 }
 
 // entry is one cache slot: a recording in flight (ready open) or done
@@ -264,6 +297,9 @@ type entry struct {
 	// fromStore marks a trajectory served from disk rather than recorded:
 	// its waiters are cache hits and nobody is billed.
 	fromStore bool
+	// staleSteps is how many steps a top-up re-recorded when it produced
+	// this entry's trajectory (0 for fresh recordings and store loads).
+	staleSteps int
 }
 
 // flushItem is a dirty trajectory pulled out of the cache for persistence
@@ -275,10 +311,19 @@ type flushItem struct {
 }
 
 // Engine owns one graph and serves estimate queries over shared
-// trajectories. All methods are safe for concurrent use.
+// trajectories. The graph is mutable: ApplyDelta swaps in a patched
+// copy-on-write version while queries and recordings in flight keep the
+// version they started on. All methods are safe for concurrent use.
 type Engine struct {
 	cfg    Config
 	burnIn int
+
+	// graph is the currently served graph version; reads are lock-free so
+	// the estimate hot path never contends with delta application.
+	graph atomic.Pointer[graph.Graph]
+	// deltaMu serializes ApplyDelta: delta persistence, the version chain
+	// and compaction must advance one delta at a time.
+	deltaMu sync.Mutex
 
 	mu    sync.Mutex
 	cache map[trajKey]*entry
@@ -294,14 +339,17 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Graph.NumNodes() == 0 || cfg.Graph.NumEdges() == 0 {
 		return nil, fmt.Errorf("serve: graph has no edges to sample")
 	}
-	if cfg.Budget < 0 || cfg.Walkers < 0 || cfg.BatchWindow < 0 || cfg.TTL < 0 || cfg.MaxCached < 0 {
-		return nil, fmt.Errorf("serve: negative Budget/Walkers/BatchWindow/TTL/MaxCached")
+	if cfg.Budget < 0 || cfg.Walkers < 0 || cfg.BatchWindow < 0 || cfg.TTL < 0 || cfg.MaxCached < 0 || cfg.CompactSegments < 0 {
+		return nil, fmt.Errorf("serve: negative Budget/Walkers/BatchWindow/TTL/MaxCached/CompactSegments")
 	}
 	if cfg.Store != nil && !store.ValidGraphName(cfg.Name) {
 		return nil, fmt.Errorf("serve: a stored engine needs a valid graph name, got %q", cfg.Name)
 	}
 	if cfg.MaxCached == 0 {
 		cfg.MaxCached = 64
+	}
+	if cfg.CompactSegments == 0 {
+		cfg.CompactSegments = 8
 	}
 	if cfg.Budget == 0 {
 		cfg.Budget = cfg.Graph.NumNodes() / 20
@@ -329,11 +377,61 @@ func New(cfg Config) (*Engine, error) {
 			burn = 10
 		}
 	}
-	return &Engine{cfg: cfg, burnIn: burn, cache: make(map[trajKey]*entry)}, nil
+	e := &Engine{cfg: cfg, burnIn: burn, cache: make(map[trajKey]*entry)}
+	e.graph.Store(cfg.Graph)
+	return e, nil
 }
 
-// Graph returns the served graph.
-func (e *Engine) Graph() *graph.Graph { return e.cfg.Graph }
+// Graph returns the currently served graph version. The pointer is a
+// consistent snapshot: deltas applied later swap in a new graph without
+// mutating this one.
+func (e *Engine) Graph() *graph.Graph { return e.graph.Load() }
+
+// ApplyDelta mutates the served graph: the delta is validated and applied
+// copy-on-write, persisted as a .osnd segment beside the graph's snapshot
+// (when the engine knows one), and the new version swapped in for subsequent
+// queries. Cached trajectories of older versions are NOT dropped — the next
+// query at their configuration redeems their still-valid steps through an
+// incremental top-up instead of paying for a full re-recording. When the
+// delta log outgrows CompactSegments, the snapshot is compacted: the base
+// .osnb is atomically rewritten at the current version and the absorbed
+// segments removed. Returns the new graph version.
+func (e *Engine) ApplyDelta(d graph.Delta) (uint64, error) {
+	if d.Empty() {
+		return 0, fmt.Errorf("%w: empty delta", ErrBadQuery)
+	}
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
+	old := e.Graph()
+	ng, err := old.ApplyDelta(d)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	// Persist the segment BEFORE the swap: once queries can observe the new
+	// version, a restart must be able to reproduce it.
+	if e.cfg.SnapshotPath != "" {
+		if _, err := snapshot.SaveDelta(e.cfg.SnapshotPath, old, ng, d); err != nil {
+			return 0, err
+		}
+	}
+	e.graph.Store(ng)
+	e.mu.Lock()
+	e.stats.Deltas++
+	e.mu.Unlock()
+	if e.cfg.SnapshotPath != "" {
+		segs, err := snapshot.ListDeltas(e.cfg.SnapshotPath)
+		if err == nil && len(segs) > e.cfg.CompactSegments {
+			if _, err := snapshot.CompactSnapshot(e.cfg.SnapshotPath, ng); err == nil {
+				// The overlay was folded into a fresh base on disk; serve the
+				// flattened CSR in memory too.
+				e.graph.Store(ng.Compact())
+			} else {
+				e.countStoreError()
+			}
+		}
+	}
+	return ng.Version(), nil
+}
 
 // Name returns the graph's workspace name ("" for a standalone engine).
 func (e *Engine) Name() string { return e.cfg.Name }
@@ -442,9 +540,11 @@ func (e *Engine) Flush() error {
 	return firstErr
 }
 
-// saveItem persists one dirty trajectory and clears its dirty mark.
+// saveItem persists one dirty trajectory and clears its dirty mark. The
+// file is keyed by the graph version the trajectory was recorded on, which
+// may be older than the engine's current graph.
 func (e *Engine) saveItem(it flushItem) error {
-	err := e.cfg.Store.Save(e.cfg.Name, storeKey(it.key), it.traj)
+	err := e.cfg.Store.Save(e.cfg.Name, storeKey(it.key, it.traj.GraphVersion), it.traj)
 	e.mu.Lock()
 	if err != nil {
 		e.stats.StoreErrors++
@@ -463,11 +563,13 @@ func (e *Engine) countStoreError() {
 	e.mu.Unlock()
 }
 
-// warmStart loads every persisted trajectory of this graph into the cache
-// (up to MaxCached), so the first queries after a restart are served with
-// zero API spend. Files that fail to load — corrupt, truncated, or recorded
-// against different graph priors — are skipped and counted in
-// Stats.StoreErrors. It returns how many trajectories were loaded.
+// warmStart loads every persisted trajectory of this graph's CURRENT
+// version into the cache (up to MaxCached), so the first queries after a
+// restart are served with zero API spend. Files of older graph versions are
+// left on disk as top-up sources; files that fail to load — corrupt,
+// truncated, or recorded against a different graph — are skipped and
+// counted in Stats.StoreErrors. It returns how many trajectories were
+// loaded.
 func (e *Engine) warmStart() int {
 	if e.cfg.Store == nil {
 		return 0
@@ -477,8 +579,12 @@ func (e *Engine) warmStart() int {
 		e.countStoreError()
 		return 0
 	}
+	version := e.Graph().Version()
 	loaded := 0
 	for _, k := range keys {
+		if k.GraphVersion != version {
+			continue
+		}
 		e.mu.Lock()
 		full := len(e.cache) >= e.cfg.MaxCached
 		e.mu.Unlock()
@@ -502,20 +608,25 @@ func (e *Engine) warmStart() int {
 	return loaded
 }
 
-// loadEntry reads one persisted trajectory and wraps it as a completed
-// cache entry, or returns nil (counting the error) if the file is missing,
-// corrupt, or recorded against different graph priors.
+// loadEntry reads the persisted trajectory recorded on the engine's current
+// graph version and wraps it as a completed cache entry, or returns nil
+// (counting the error) if the file is missing, corrupt, or recorded against
+// a different graph state.
 func (e *Engine) loadEntry(key trajKey) *entry {
-	traj, err := e.cfg.Store.Load(e.cfg.Name, storeKey(key))
+	g := e.Graph()
+	sk := storeKey(key, g.Version())
+	traj, err := e.cfg.Store.Load(e.cfg.Name, sk)
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
 			e.countStoreError()
 		}
 		return nil
 	}
-	if traj.NumNodes != e.cfg.Graph.NumNodes() || traj.NumEdges != e.cfg.Graph.NumEdges() {
-		// The file was recorded against a different graph (same name,
-		// swapped data): its estimates would scale by the wrong priors.
+	if traj.GraphVersion != g.Version() || traj.GraphFingerprint != g.Fingerprint() {
+		// Hard identity check: the header's delta-log version and content
+		// fingerprint must both match the served graph. This replaces the old
+		// |V|/|E| prior heuristic, which an equal-sized but rewired graph
+		// (exactly what edge churn produces) would slip past.
 		e.countStoreError()
 		return nil
 	}
@@ -528,10 +639,10 @@ func (e *Engine) loadEntry(key trajKey) *entry {
 		return nil
 	}
 	// Rebind the trajectory to the served graph's labels — the exact source
-	// the recording read — so replays run at CSR speed instead of through
-	// the file's self-contained label store.
-	traj.BindLabels(e.cfg.Graph)
-	bytes, err := e.cfg.Store.FileSize(e.cfg.Name, storeKey(key))
+	// the recording read (deltas touch edges, never labels) — so replays run
+	// at CSR speed instead of through the file's self-contained label store.
+	traj.BindLabels(g)
+	bytes, err := e.cfg.Store.FileSize(e.cfg.Name, sk)
 	if err != nil {
 		// Raced with a concurrent replace; fall back to re-deriving the
 		// size (equal by the format's construction).
@@ -687,12 +798,14 @@ func (e *Engine) EstimateBatch(ctx context.Context, qs []Query) ([]*Answer, erro
 			// Replay failures are per-query: the shared trajectory still
 			// answers the rest of the batch.
 			ans = &Answer{
-				Kind:     kinds[i],
-				Err:      fmt.Errorf("%w: kind %q: %v", ErrEstimation, kinds[i], errs[i]),
-				APICalls: ent.traj.APICalls,
-				CacheHit: hit || ent.fromStore,
-				Walkers:  ent.traj.Walkers,
-				Samples:  ent.traj.Samples(),
+				Kind:         kinds[i],
+				Err:          fmt.Errorf("%w: kind %q: %v", ErrEstimation, kinds[i], errs[i]),
+				APICalls:     ent.traj.APICalls,
+				CacheHit:     hit || ent.fromStore,
+				Walkers:      ent.traj.Walkers,
+				Samples:      ent.traj.Samples(),
+				GraphVersion: ent.traj.GraphVersion,
+				StaleSteps:   ent.staleSteps,
 			}
 		} else {
 			ans = e.assembleAnswer(kinds[i], outs[i], ent, hit)
@@ -722,11 +835,13 @@ func (e *Engine) replay(kind string, task core.EstimationTask, ent *entry, hit b
 // assembleAnswer wraps one task's replay result in the answer envelope.
 func (e *Engine) assembleAnswer(kind string, out any, ent *entry, hit bool) *Answer {
 	ans := &Answer{
-		Kind:     kind,
-		APICalls: ent.traj.APICalls,
-		CacheHit: hit || ent.fromStore,
-		Walkers:  ent.traj.Walkers,
-		Samples:  ent.traj.Samples(),
+		Kind:         kind,
+		APICalls:     ent.traj.APICalls,
+		CacheHit:     hit || ent.fromStore,
+		Walkers:      ent.traj.Walkers,
+		Samples:      ent.traj.Samples(),
+		GraphVersion: ent.traj.GraphVersion,
+		StaleSteps:   ent.staleSteps,
 	}
 	if !ans.CacheHit {
 		ans.SharedBy = ent.sharers
@@ -791,8 +906,12 @@ func resultRows(out any) int {
 
 // acquire resolves the query's trajectory: a valid cached one (hit), an
 // in-flight recording to join, a persisted one reloaded from the store, or
-// a fresh recording this query triggers.
+// a (possibly topped-up) recording this query triggers. A cached trajectory
+// whose graph version no longer matches the served graph is not discarded
+// outright: it becomes the top-up source for the recording that replaces it,
+// so only its invalidated steps are re-bought upstream.
 func (e *Engine) acquire(ctx context.Context, q Query, key trajKey) (*entry, bool, error) {
+	var stale *core.Trajectory
 	for {
 		e.mu.Lock()
 		ent := e.cache[key]
@@ -804,6 +923,16 @@ func (e *Engine) acquire(ctx context.Context, q Query, key trajKey) (*entry, boo
 				// queries that actually waited on a failed recording see its
 				// error (through the join and miss paths below).
 				if ent.err != nil || (ent.hasTTL && e.cfg.now().After(ent.expires)) {
+					delete(e.cache, key)
+					e.mu.Unlock()
+					continue
+				}
+				if g := e.Graph(); ent.traj.GraphVersion != g.Version() ||
+					ent.traj.GraphFingerprint != g.Fingerprint() {
+					// A delta outdated this trajectory. Keep it as the top-up
+					// source and fall through to the miss path, which records
+					// its replacement redeeming the still-valid steps.
+					stale = ent.traj
 					delete(e.cache, key)
 					e.mu.Unlock()
 					continue
@@ -849,17 +978,63 @@ func (e *Engine) acquire(ctx context.Context, q Query, key trajKey) (*entry, boo
 		if e.reloadFromStore(key, ent) {
 			return ent, true, nil
 		}
+		if stale == nil {
+			// No stale in-memory trajectory to top up from; an older graph
+			// version's persisted file (retained across deltas) serves just
+			// as well.
+			stale = e.loadTopUpSource(key)
+		}
 		// record blocks through the batching window and the fleet run, and
 		// closes ent.ready before returning; co-batched queries wake with us.
-		e.record(ctx, key, ent)
+		e.record(ctx, key, ent, stale)
 		return ent, false, nil
 	}
 }
 
-// storeHas reports whether the key's trajectory is persisted. Called with
-// e.mu held — it is a single stat, only on the rare miss-with-MaxCost path.
+// storeHas reports whether the key's trajectory is persisted for the
+// currently served graph version. Called with e.mu held — it is a single
+// stat, only on the rare miss-with-MaxCost path.
 func (e *Engine) storeHas(key trajKey) bool {
-	return e.cfg.Store != nil && e.cfg.Store.Has(e.cfg.Name, storeKey(key))
+	return e.cfg.Store != nil && e.cfg.Store.Has(e.cfg.Name, storeKey(key, e.Graph().Version()))
+}
+
+// loadTopUpSource looks for the newest persisted trajectory at key's
+// configuration recorded on an OLDER graph version — the per-version
+// retention that turns a delta into an incremental top-up instead of a full
+// re-recording. The returned trajectory needs no trust: the top-up validates
+// every recorded response against the current graph before redeeming it.
+func (e *Engine) loadTopUpSource(key trajKey) *core.Trajectory {
+	if e.cfg.Store == nil {
+		return nil
+	}
+	keys, err := e.cfg.Store.Keys(e.cfg.Name)
+	if err != nil {
+		e.countStoreError()
+		return nil
+	}
+	cur := e.Graph().Version()
+	var best store.Key
+	found := false
+	for _, k := range keys {
+		if k.Budget != key.budget || k.Walkers != key.walkers || k.Seed != key.seed {
+			continue
+		}
+		if k.GraphVersion >= cur {
+			continue
+		}
+		if !found || k.GraphVersion > best.GraphVersion {
+			best, found = k, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	traj, err := e.cfg.Store.Load(e.cfg.Name, best)
+	if err != nil {
+		e.countStoreError()
+		return nil
+	}
+	return traj
 }
 
 // reloadFromStore tries to complete a just-published in-flight entry from
@@ -982,9 +1157,12 @@ func (e *Engine) evictOldestCompleted() int64 {
 
 // record waits out the batching window, runs the fleet recording, publishes
 // the result to every query waiting on ent, and persists it to the store
-// (when configured). The recording itself is not bound to the triggering
-// query's context: co-batched queries are still waiting on it.
-func (e *Engine) record(ctx context.Context, key trajKey, ent *entry) {
+// (when configured). When stale carries an outdated trajectory at the same
+// configuration, the recording is an incremental top-up: bit-identical to a
+// fresh walk on the current graph, but paying upstream only for the steps
+// the graph deltas invalidated. The recording itself is not bound to the
+// triggering query's context: co-batched queries are still waiting on it.
+func (e *Engine) record(ctx context.Context, key trajKey, ent *entry, stale *core.Trajectory) {
 	if e.cfg.BatchWindow > 0 {
 		select {
 		case <-time.After(e.cfg.BatchWindow):
@@ -994,21 +1172,36 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry) {
 		}
 	}
 
-	s, err := osn.NewSession(e.cfg.Graph, osn.Config{})
+	// Snapshot the served graph once: a delta applied mid-recording must not
+	// tear this walk across versions.
+	g := e.Graph()
+	s, err := osn.NewSession(g, osn.Config{})
 	var traj *core.Trajectory
+	var topUp core.TopUpStats
+	toppedUp := false
 	if err == nil {
 		seed := stats.Derive(key.seed, "serve/trajectory")
-		traj, err = core.RecordTrajectory(s, key.budget, core.Options{
+		opts := core.Options{
 			BurnIn:       e.burnIn,
 			Rng:          stats.NewSeedSequence(seed).NextRand(),
 			Start:        -1,
 			BudgetDriven: true,
 			Walkers:      key.walkers,
 			Seed:         stats.Derive(seed, "fleet"),
-		})
+		}
+		if stale != nil && stale.NumNodes == g.NumNodes() {
+			traj, topUp, err = core.ResumeRecording(s, g, stale, key.budget, opts)
+			toppedUp = err == nil
+		} else {
+			traj, err = core.RecordTrajectory(s, key.budget, opts)
+		}
 	}
 	var bytes int64
 	if err == nil {
+		// Stamp the graph identity the file header and the staleness checks
+		// key on (ResumeRecording already stamps; fresh recordings here).
+		traj.GraphVersion = g.Version()
+		traj.GraphFingerprint = g.Fingerprint()
 		bytes = store.EncodedSize(traj)
 	}
 
@@ -1022,7 +1215,14 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry) {
 		ent.bytes = bytes
 		ent.dirty = persist
 		e.stats.Recordings++
-		e.stats.UpstreamCalls += traj.APICalls
+		if toppedUp {
+			ent.staleSteps = topUp.StaleSteps
+			e.stats.TopUps++
+			e.stats.TopUpSavedCalls += topUp.PrepaidHits
+			e.stats.UpstreamCalls += topUp.ChargedCalls
+		} else {
+			e.stats.UpstreamCalls += traj.APICalls
+		}
 		if e.cfg.TTL > 0 {
 			ent.expires = e.cfg.now().Add(e.cfg.TTL)
 			ent.hasTTL = true
@@ -1040,8 +1240,35 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry) {
 		if persist {
 			// Persist eagerly so even an ungraceful death keeps the walk;
 			// failures stay dirty and are retried by Flush at shutdown.
-			_ = e.saveItem(flushItem{key: key, ent: ent, traj: traj})
+			if e.saveItem(flushItem{key: key, ent: ent, traj: traj}) == nil {
+				// The new version's file supersedes the older ones it was (or
+				// could have been) topped up from; only now is it safe to
+				// retire them.
+				e.pruneSuperseded(key, traj.GraphVersion)
+			}
 		}
 		e.notifyCached()
+	}
+}
+
+// pruneSuperseded removes persisted trajectories at key's configuration
+// recorded on graph versions older than version — they were retained as
+// top-up sources and a newer file now fills that role.
+func (e *Engine) pruneSuperseded(key trajKey, version uint64) {
+	keys, err := e.cfg.Store.Keys(e.cfg.Name)
+	if err != nil {
+		e.countStoreError()
+		return
+	}
+	for _, k := range keys {
+		if k.Budget != key.budget || k.Walkers != key.walkers || k.Seed != key.seed {
+			continue
+		}
+		if k.GraphVersion >= version {
+			continue
+		}
+		if err := e.cfg.Store.Remove(e.cfg.Name, k); err != nil {
+			e.countStoreError()
+		}
 	}
 }

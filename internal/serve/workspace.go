@@ -41,6 +41,13 @@ type GraphOptions struct {
 	TTL time.Duration
 	// MaxCached bounds the per-graph trajectory count; 0 means 64.
 	MaxCached int
+	// SnapshotPath is the graph's .osnb snapshot on disk; when set,
+	// ApplyDelta persists accepted deltas as .osnd segments beside it (see
+	// Config.SnapshotPath).
+	SnapshotPath string
+	// CompactSegments bounds the delta-segment count before the snapshot is
+	// compacted; 0 means 8 (see Config.CompactSegments).
+	CompactSegments int
 }
 
 // WorkspaceConfig describes a Workspace.
@@ -75,6 +82,9 @@ type GraphInfo struct {
 	Edges int64 // undirected edge count
 	// BurnIn is the burn-in applied to the graph's recordings.
 	BurnIn int
+	// Version is the graph's current delta-log version (see
+	// Engine.ApplyDelta).
+	Version uint64
 	// CachedTrajectories and CachedBytes describe the graph's share of the
 	// trajectory cache.
 	CachedTrajectories int
@@ -153,18 +163,20 @@ func (w *Workspace) AddGraph(name string, g *graph.Graph, opts *GraphOptions) (i
 		o = *opts
 	}
 	engine, err := New(Config{
-		Graph:       g,
-		Name:        name,
-		Store:       w.cfg.Store,
-		BurnIn:      o.BurnIn,
-		Budget:      o.Budget,
-		Walkers:     o.Walkers,
-		Seed:        o.Seed,
-		BatchWindow: o.BatchWindow,
-		TTL:         o.TTL,
-		MaxCached:   o.MaxCached,
-		now:         w.cfg.now,
-		onCached:    w.enforceBudget,
+		Graph:           g,
+		Name:            name,
+		Store:           w.cfg.Store,
+		BurnIn:          o.BurnIn,
+		Budget:          o.Budget,
+		Walkers:         o.Walkers,
+		Seed:            o.Seed,
+		BatchWindow:     o.BatchWindow,
+		TTL:             o.TTL,
+		MaxCached:       o.MaxCached,
+		SnapshotPath:    o.SnapshotPath,
+		CompactSegments: o.CompactSegments,
+		now:             w.cfg.now,
+		onCached:        w.enforceBudget,
 	})
 	if err != nil {
 		return 0, err
@@ -243,6 +255,18 @@ func (w *Workspace) Estimate(ctx context.Context, graphName string, q Query) (*A
 	return e.Estimate(ctx, q)
 }
 
+// ApplyDelta mutates the named graph through its engine (see
+// Engine.ApplyDelta): the delta is applied copy-on-write, persisted when the
+// graph has a snapshot path, and the new version swapped in. Returns the new
+// graph version.
+func (w *Workspace) ApplyDelta(graphName string, d graph.Delta) (uint64, error) {
+	e, err := w.Graph(graphName)
+	if err != nil {
+		return 0, err
+	}
+	return e.ApplyDelta(d)
+}
+
 // EstimateBatch answers a batch of queries against ONE graph and ONE shared
 // trajectory (see Engine.EstimateBatch). Batches cannot mix graphs: a
 // trajectory is a walk over one graph, so a mixed-graph batch has no shared
@@ -265,11 +289,13 @@ func (w *Workspace) List() []GraphInfo {
 	w.mu.Unlock()
 	infos := make([]GraphInfo, 0, len(engines))
 	for _, e := range engines {
+		g := e.Graph()
 		infos = append(infos, GraphInfo{
 			Name:               e.Name(),
-			Nodes:              e.Graph().NumNodes(),
-			Edges:              e.Graph().NumEdges(),
+			Nodes:              g.NumNodes(),
+			Edges:              g.NumEdges(),
 			BurnIn:             e.BurnIn(),
+			Version:            g.Version(),
 			CachedTrajectories: e.CachedTrajectories(),
 			CachedBytes:        e.CachedBytes(),
 			Stats:              e.Stats(),

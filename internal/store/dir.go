@@ -13,9 +13,12 @@ import (
 )
 
 // Key identifies one persisted trajectory within a graph's store directory:
-// the (budget, walkers, seed) configuration the serving layer shares
-// trajectories by. Two queries with equal keys replay the same walk, so one
-// file per key is exactly the cache the server rebuilds on restart.
+// the (budget, walkers, seed, graph version) configuration the serving layer
+// shares trajectories by. Two queries with equal keys replay the same walk,
+// so one file per key is exactly the cache the server rebuilds on restart.
+// The graph version makes retention per-version: when a graph mutates, the
+// old version's files survive as top-up sources for incremental re-recording
+// instead of being thrown away.
 type Key struct {
 	// Budget is the recording's API-call budget.
 	Budget int
@@ -23,18 +26,21 @@ type Key struct {
 	Walkers int
 	// Seed is the recording's trajectory seed.
 	Seed int64
+	// GraphVersion is the delta-log version of the graph the trajectory was
+	// recorded on.
+	GraphVersion uint64
 }
 
-// String renders the key in its on-disk spelling, e.g. "b500_w4_s1".
+// String renders the key in its on-disk spelling, e.g. "b500_w4_s1_g0".
 func (k Key) String() string {
-	return fmt.Sprintf("b%d_w%d_s%d", k.Budget, k.Walkers, k.Seed)
+	return fmt.Sprintf("b%d_w%d_s%d_g%d", k.Budget, k.Walkers, k.Seed, k.GraphVersion)
 }
 
-// Filename returns the key's .osnt file name, e.g. "b500_w4_s1.osnt".
+// Filename returns the key's .osnt file name, e.g. "b500_w4_s1_g0.osnt".
 func (k Key) Filename() string { return k.String() + Ext }
 
 // keyRe matches the on-disk key spelling; seeds may be negative.
-var keyRe = regexp.MustCompile(`^b(\d+)_w(\d+)_s(-?\d+)\.osnt$`)
+var keyRe = regexp.MustCompile(`^b(\d+)_w(\d+)_s(-?\d+)_g(\d+)\.osnt$`)
 
 // ParseKeyName parses a .osnt file name back into its Key; ok is false for
 // names this package did not produce.
@@ -46,10 +52,11 @@ func ParseKeyName(name string) (Key, bool) {
 	budget, err1 := strconv.Atoi(m[1])
 	walkers, err2 := strconv.Atoi(m[2])
 	seed, err3 := strconv.ParseInt(m[3], 10, 64)
-	if err1 != nil || err2 != nil || err3 != nil {
+	version, err4 := strconv.ParseUint(m[4], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 		return Key{}, false
 	}
-	return Key{Budget: budget, Walkers: walkers, Seed: seed}, true
+	return Key{Budget: budget, Walkers: walkers, Seed: seed, GraphVersion: version}, true
 }
 
 // graphNameRe constrains graph names to path-safe tokens: they become
@@ -156,8 +163,8 @@ func (d *Dir) Remove(graphName string, k Key) error {
 }
 
 // Keys lists the trajectory keys persisted for a graph, sorted by
-// (budget, walkers, seed). A graph with no directory yet has no keys; files
-// that are not well-formed key names are ignored.
+// (budget, walkers, seed, graph version). A graph with no directory yet has
+// no keys; files that are not well-formed key names are ignored.
 func (d *Dir) Keys(graphName string) ([]Key, error) {
 	if !ValidGraphName(graphName) {
 		return nil, fmt.Errorf("store: invalid graph name %q", graphName)
@@ -185,7 +192,10 @@ func (d *Dir) Keys(graphName string) ([]Key, error) {
 		if keys[i].Walkers != keys[j].Walkers {
 			return keys[i].Walkers < keys[j].Walkers
 		}
-		return keys[i].Seed < keys[j].Seed
+		if keys[i].Seed != keys[j].Seed {
+			return keys[i].Seed < keys[j].Seed
+		}
+		return keys[i].GraphVersion < keys[j].GraphVersion
 	})
 	return keys, nil
 }

@@ -7,7 +7,7 @@
 // byte-equal estimates, so a restarted server answers previously cached
 // queries with zero API spend.
 //
-// # Format (version 1)
+// # Format (version 2)
 //
 // All integers are little-endian and unsigned on the wire. A file is a
 // fixed header, the per-walker accounting arrays, one start and one step
@@ -15,7 +15,7 @@
 //
 //	offset  size              field
 //	0       4                 magic "OSNT"
-//	4       4                 format version (1)
+//	4       4                 format version (2)
 //	8       4                 walkers (W)
 //	12      4                 HT thinning gap
 //	16      4                 flags (bit 0: budget-driven recording)
@@ -28,7 +28,9 @@
 //	64      8                 labelNodes (L, distinct labeled nodes referenced)
 //	72      8                 labelTable (T, distinct label values)
 //	80      8                 labelRefs  (R, total per-node label references)
-//	88      W*8               per-walker billed calls
+//	88      8                 graphVersion (delta-log version of the recording graph)
+//	96      8                 graphFingerprint (content hash of the recording graph)
+//	104     W*8               per-walker billed calls
 //	...     W*4               per-walker step counts
 //	...     variable          W start records:  node, degree, nbrLen, nbrLen neighbors (u32 each)
 //	...     variable          S step records:   prev, node, degree, nbrLen, nbrLen neighbors (u32 each), walker-major
@@ -55,7 +57,6 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"hash"
 	"hash/crc32"
 	"io"
 	"math"
@@ -71,17 +72,20 @@ import (
 // trajectory.
 const Magic = "OSNT"
 
-// Version is the current format version written by this package.
-const Version = 1
+// Version is the current format version written by this package. Version 2
+// added the recording graph's delta-log version and content fingerprint to
+// the header, so the serving layer can tell exactly which graph state a
+// persisted trajectory replays — and top up stale ones incrementally.
+const Version = 2
 
 // Ext is the conventional file extension for trajectory files.
 const Ext = ".osnt"
 
-// headerSize is the fixed byte length of the v1 header.
-const headerSize = 88
+// headerSize is the fixed byte length of the v2 header.
+const headerSize = 104
 
 // maxSaneCount guards the reader's allocations against a corrupt or hostile
-// header: no v1 section may claim more than 2^35 elements, far beyond any
+// header: no section may claim more than 2^35 elements, far beyond any
 // trajectory this code records.
 const maxSaneCount = 1 << 35
 
@@ -179,9 +183,9 @@ func computeLayout(t *core.Trajectory) layout {
 	return lay
 }
 
-// ExpectedSize returns the exact byte length of a v1 trajectory file with
-// the given header counts. Exposed for tests and integrity tooling; Load
-// cross-checks it against the actual file size before allocating anything.
+// ExpectedSize returns the exact byte length of a v2 trajectory file with
+// the given header counts. Exposed for tests and integrity tooling; the
+// reader cross-checks it against the actual byte count before parsing.
 func ExpectedSize(walkers, totalSteps, totalNeighbors, labelNodes, labelTable, labelRefs uint64) int64 {
 	return int64(headerSize) +
 		int64(walkers)*8 + // per-walker calls
@@ -244,6 +248,8 @@ func Write(w io.Writer, t *core.Trajectory) error {
 	binary.LittleEndian.PutUint64(hdr[64:72], uint64(len(lay.labelNodes)))
 	binary.LittleEndian.PutUint64(hdr[72:80], uint64(len(lay.table)))
 	binary.LittleEndian.PutUint64(hdr[80:88], uint64(len(lay.refs)))
+	binary.LittleEndian.PutUint64(hdr[88:96], t.GraphVersion)
+	binary.LittleEndian.PutUint64(hdr[96:104], t.GraphFingerprint)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("store: writing header: %w", err)
 	}
@@ -304,14 +310,27 @@ func Write(w io.Writer, t *core.Trajectory) error {
 // label store the file carries. Every count and node ID is validated before
 // use, and the trailing CRC must match, so a truncated, bit-flipped or
 // hostile stream fails fast instead of replaying garbage.
+//
+// The whole stream is slurped into one buffer, checksummed in a single
+// crc32 pass, and parsed with a bounds-checked cursor. The previous decoder
+// fed the running CRC four bytes at a time through an io.ReadFull per word,
+// which made reloading a persisted trajectory slower than re-recording it
+// in-process (BENCH_store.json's cold_over_reload_speedup < 1); one
+// table-driven CRC sweep plus direct slice reads restores the reload win.
 func Read(r io.Reader) (*core.Trajectory, error) {
-	crc := crc32.NewIEEE()
-	dec := &decoder{r: bufio.NewReaderSize(r, 1<<16), h: crc}
-
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(dec, hdr[:]); err != nil {
-		return nil, fmt.Errorf("store: reading header: %w", err)
+	raw, err := io.ReadAll(bufio.NewReaderSize(r, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading trajectory stream: %w", err)
 	}
+	return decode(raw)
+}
+
+// decode parses one complete .osnt byte image.
+func decode(raw []byte) (*core.Trajectory, error) {
+	if len(raw) < headerSize+4 {
+		return nil, fmt.Errorf("store: %d bytes is too short for a .osnt file", len(raw))
+	}
+	hdr := raw[:headerSize]
 	if string(hdr[0:4]) != Magic {
 		return nil, fmt.Errorf("store: bad magic %q (not a .osnt file)", hdr[0:4])
 	}
@@ -330,6 +349,8 @@ func Read(r io.Reader) (*core.Trajectory, error) {
 	labelNodes := binary.LittleEndian.Uint64(hdr[64:72])
 	labelTable := binary.LittleEndian.Uint64(hdr[72:80])
 	labelRefs := binary.LittleEndian.Uint64(hdr[80:88])
+	graphVersion := binary.LittleEndian.Uint64(hdr[88:96])
+	graphFP := binary.LittleEndian.Uint64(hdr[96:104])
 
 	if walkers == 0 || walkers > maxSaneWalkers {
 		return nil, fmt.Errorf("store: implausible walker count %d in header (corrupt file?)", walkers)
@@ -348,6 +369,13 @@ func Read(r io.Reader) (*core.Trajectory, error) {
 		}
 		return nil, fmt.Errorf("store: %d label refs cannot cover %d labeled nodes", labelRefs, labelNodes)
 	}
+	if want := ExpectedSize(uint64(walkers), totalSteps, totalNeighbors, labelNodes, labelTable, labelRefs); int64(len(raw)) != want {
+		return nil, fmt.Errorf("store: file is %d bytes, header implies %d (truncated or corrupt)", len(raw), want)
+	}
+	if got, want := crc32.ChecksumIEEE(raw[:len(raw)-4]), binary.LittleEndian.Uint32(raw[len(raw)-4:]); got != want {
+		return nil, fmt.Errorf("store: checksum mismatch (file %08x, computed %08x): corrupt trajectory", want, got)
+	}
+	dec := &cursor{buf: raw[headerSize : len(raw)-4]}
 
 	checkNode := func(u uint32, what string) (graph.Node, error) {
 		if uint64(u) >= numNodes {
@@ -501,26 +529,22 @@ func Read(r io.Reader) (*core.Trajectory, error) {
 	if dec.err != nil {
 		return nil, fmt.Errorf("store: reading label sections: %w", dec.err)
 	}
+	if dec.off != len(dec.buf) {
+		return nil, fmt.Errorf("store: %d unparsed payload bytes (corrupt file?)", len(dec.buf)-dec.off)
+	}
 	ls.buildDense(int(numNodes))
 
-	sum := crc.Sum32() // everything read so far, header included
-	var tail [4]byte
-	if _, err := io.ReadFull(dec.r, tail[:]); err != nil {
-		return nil, fmt.Errorf("store: reading checksum: %w", err)
-	}
-	if want := binary.LittleEndian.Uint32(tail[:]); want != sum {
-		return nil, fmt.Errorf("store: checksum mismatch (file %08x, computed %08x): corrupt trajectory", want, sum)
-	}
-
 	t := &core.Trajectory{
-		Walkers:        W,
-		APICalls:       int64(apiCalls),
-		PerWalkerCalls: perCalls,
-		NumNodes:       int(numNodes),
-		NumEdges:       int64(numEdges),
-		ThinGap:        int(thinGap),
-		BurnIn:         int(burnIn),
-		BudgetDriven:   flags&flagBudgetDriven != 0,
+		Walkers:          W,
+		APICalls:         int64(apiCalls),
+		PerWalkerCalls:   perCalls,
+		NumNodes:         int(numNodes),
+		NumEdges:         int64(numEdges),
+		ThinGap:          int(thinGap),
+		BurnIn:           int(burnIn),
+		BudgetDriven:     flags&flagBudgetDriven != 0,
+		GraphVersion:     graphVersion,
+		GraphFingerprint: graphFP,
 	}
 	if err := t.SetData(data); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -561,41 +585,15 @@ func Save(path string, t *core.Trajectory) error {
 	return nil
 }
 
-// Load reads the trajectory at path. Before allocating anything it
-// cross-checks the header's section sizes against the file's actual size,
+// Load reads the trajectory at path in one slurp. The decoder cross-checks
+// the header's section sizes against the actual byte count before parsing,
 // so a truncated or size-inconsistent file fails fast.
 func Load(path string) (*core.Trajectory, error) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
-
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return nil, fmt.Errorf("store: reading header of %s: %w", path, err)
-	}
-	if string(hdr[0:4]) == Magic && binary.LittleEndian.Uint32(hdr[4:8]) == Version {
-		st, err := f.Stat()
-		if err != nil {
-			return nil, fmt.Errorf("store: stat %s: %w", path, err)
-		}
-		want := ExpectedSize(
-			uint64(binary.LittleEndian.Uint32(hdr[8:12])),
-			binary.LittleEndian.Uint64(hdr[48:56]),
-			binary.LittleEndian.Uint64(hdr[56:64]),
-			binary.LittleEndian.Uint64(hdr[64:72]),
-			binary.LittleEndian.Uint64(hdr[72:80]),
-			binary.LittleEndian.Uint64(hdr[80:88]),
-		)
-		if st.Size() != want {
-			return nil, fmt.Errorf("store: %s is %d bytes, header implies %d (truncated or corrupt)", path, st.Size(), want)
-		}
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("store: rewinding %s: %w", path, err)
-	}
-	t, err := Read(f)
+	t, err := decode(raw)
 	if err != nil {
 		return nil, fmt.Errorf("store: loading %s: %w", path, err)
 	}
@@ -702,42 +700,37 @@ func (e *encoder) nodes(ns []graph.Node) {
 	}
 }
 
-// decoder reads little-endian words while feeding every relayed byte into
-// the running checksum; the first error sticks.
-type decoder struct {
-	r   *bufio.Reader
-	h   hash.Hash32
+// cursor reads little-endian words straight out of an in-memory payload;
+// the first out-of-bounds read sticks as an error. The checksum was already
+// verified over the whole buffer, so reads are plain slice indexing.
+type cursor struct {
+	buf []byte
+	off int
 	err error
-	buf [8]byte
 }
 
-// Read implements io.Reader so header reads also feed the checksum.
-func (d *decoder) Read(p []byte) (int, error) {
-	n, err := d.r.Read(p)
-	if n > 0 {
-		d.h.Write(p[:n])
+func (c *cursor) u32() uint32 {
+	if c.err != nil {
+		return 0
 	}
-	return n, err
+	if c.off+4 > len(c.buf) {
+		c.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v
 }
 
-func (d *decoder) u32() uint32 {
-	if d.err != nil {
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
 		return 0
 	}
-	if _, err := io.ReadFull(d, d.buf[:4]); err != nil {
-		d.err = err
+	if c.off+8 > len(c.buf) {
+		c.err = io.ErrUnexpectedEOF
 		return 0
 	}
-	return binary.LittleEndian.Uint32(d.buf[:4])
-}
-
-func (d *decoder) u64() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	if _, err := io.ReadFull(d, d.buf[:8]); err != nil {
-		d.err = err
-		return 0
-	}
-	return binary.LittleEndian.Uint64(d.buf[:8])
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v
 }
