@@ -66,6 +66,7 @@ func TestCLIFlagValidation(t *testing.T) {
 	genosn := buildTool(t, dir, "genosn")
 	sizeest := buildTool(t, dir, "sizeest")
 	serve := buildTool(t, dir, "serve")
+	gateway := buildTool(t, dir, "gateway")
 
 	runExpectUsageError(t, edgecount, "-walkers", "-dataset", "facebook", "-scale", "0.1", "-walkers", "-3")
 	runExpectUsageError(t, edgecount, "-budget", "-dataset", "facebook", "-scale", "0.1", "-budget", "0")
@@ -115,6 +116,22 @@ func TestCLIFlagValidation(t *testing.T) {
 	runExpectUsageError(t, serve, "-cache-bytes", "-dataset", "facebook", "-scale", "0.1", "-cache-bytes", "-1")
 	runExpectUsageError(t, serve, "-drain", "-dataset", "facebook", "-scale", "0.1", "-drain", "0s")
 	runExpectUsageError(t, serve, "-labels", "-graph", "x.osnb", "-labels", "x.labels")
+
+	// gateway (PR 8) validates its routing tier flags up front: a missing or
+	// malformed replica list, nonsense ring/probe/quota settings, all exit 2
+	// with a message naming the flag.
+	runExpectUsageError(t, gateway, "-replicas") // required
+	runExpectUsageError(t, gateway, "-replicas", "-replicas", "http://a:8080,,http://b:8080")
+	runExpectUsageError(t, gateway, "-replicas", "-replicas", "ftp://a:8080")
+	runExpectUsageError(t, gateway, "-replicas", "-replicas", "http://a:8080,http://a:8080")
+	runExpectUsageError(t, gateway, "-vnodes", "-replicas", "http://a:8080", "-vnodes", "0")
+	runExpectUsageError(t, gateway, "-probe-interval", "-replicas", "http://a:8080", "-probe-interval", "-1s")
+	runExpectUsageError(t, gateway, "-probe-failures", "-replicas", "http://a:8080", "-probe-failures", "0")
+	runExpectUsageError(t, gateway, "-quota-rate", "-replicas", "http://a:8080", "-quota-rate", "-5")
+	runExpectUsageError(t, gateway, "-quota-burst", "-replicas", "http://a:8080", "-quota-burst", "-1")
+	runExpectUsageError(t, gateway, "-quota-rate", "-replicas", "http://a:8080", "-quota-burst", "10")
+	runExpectUsageError(t, gateway, "-tenant-header", "-replicas", "http://a:8080", "-tenant-header", "")
+	runExpectUsageError(t, gateway, "-drain", "-replicas", "http://a:8080", "-drain", "0s")
 
 	// Snapshot input is exclusive with the other sources and embeds labels.
 	runExpectUsageError(t, edgecount, "-graph", "-dataset", "facebook", "-graph", "x.osnb")

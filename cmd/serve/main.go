@@ -172,8 +172,12 @@ func main() {
 			name, g.NumNodes(), g.NumEdges(), burn, callBudget, warmed)
 	}
 
+	// Declare the configured graph count before loading: /healthz reports
+	// ready=false until every expected graph is in, so a gateway prober
+	// never routes to a replica that is still loading snapshots.
 	switch {
 	case *dataset != "":
+		ws.ExpectGraphs(1)
 		g, err := repro.GenerateStandIn(*dataset, *scale, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
@@ -181,6 +185,7 @@ func main() {
 		}
 		addGraph(*dataset, g, "")
 	case *graphF != "":
+		ws.ExpectGraphs(1)
 		start := time.Now()
 		g, err := repro.LoadSnapshot(*graphF)
 		if err != nil {
@@ -191,6 +196,7 @@ func main() {
 		log.Printf("loaded %s in %.3fs", *graphF, time.Since(start).Seconds())
 		addGraph(name, g, *graphF)
 	case *edges != "":
+		ws.ExpectGraphs(1)
 		g, err := repro.LoadGraph(*edges, *labels)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
@@ -204,6 +210,7 @@ func main() {
 			os.Exit(1)
 		}
 		sort.Strings(snaps)
+		ws.ExpectGraphs(len(snaps))
 		for _, snap := range snaps {
 			g, err := repro.LoadSnapshot(snap)
 			if err != nil {

@@ -1,0 +1,190 @@
+package repro
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/gateway/clustertest"
+)
+
+// BenchmarkGatewayCluster pits the sharded gateway tier against the naive
+// alternative under the same key-skewed load:
+//
+//   - cluster: 3 serve replicas behind the gateway — each trajectory key is
+//     consistent-hash routed to one owner, cold keys record exactly once
+//     fleet-wide (single-flight), everything else replays.
+//   - independent: the same 3 replicas with a round-robin load balancer and
+//     no trajectory affinity — each replica ends up recording every key it
+//     is handed, so the fleet spends up to 3x the upstream budget and burns
+//     its wall clock re-walking what a peer already holds.
+//
+// Every upstream fetch costs a simulated crawl round-trip (SetDelay), so
+// recording dominates the way it does against a real rate-limited API. Both
+// spends are read from the replicas' real meters; the cluster's total MUST
+// match what one solo replica spends on the same load — the acceptance
+// criterion that N replicas spend like one. The match carries a tolerance of
+// one in-flight call per walker per recording: trajectory bytes are
+// deterministic, but with concurrent walkers the raw fetch meter can tick a
+// call that was already in flight when the budget ran out, so fleet totals
+// wobble by a few calls independent of routing. It writes BENCH_gateway.json.
+//
+// Run: go test -bench BenchmarkGatewayCluster -benchtime 1x -run '^$' .
+func BenchmarkGatewayCluster(b *testing.B) {
+	nKeys, repeats, delay := 12, 24, 300*time.Microsecond
+	if testing.Short() {
+		nKeys, repeats, delay = 6, 12, 150*time.Microsecond
+	}
+	g := clustertest.TestGraph(b, 2018)
+
+	// Key-skewed schedule: key ranked r gets repeats/(r+1) requests (a
+	// harmonic/zipf-ish head), shuffled deterministically.
+	base := clustertest.EstimateRequest{Graph: "g", Pairs: [][2]int{{1, 2}}, Budget: 200, Walkers: 2}
+	var schedule []clustertest.EstimateRequest
+	for rank := 0; rank < nKeys; rank++ {
+		reps := repeats / (rank + 1)
+		if reps < 1 {
+			reps = 1
+		}
+		for j := 0; j < reps; j++ {
+			req := base
+			req.Seed = int64(1000 + rank)
+			schedule = append(schedule, req)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(schedule), func(i, j int) { schedule[i], schedule[j] = schedule[j], schedule[i] })
+
+	const clients = 8
+	run := func(target func(i int) string) time.Duration {
+		start := time.Now()
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if ans := clustertest.Estimate(b, target(i), schedule[i]); ans.Status != http.StatusOK {
+						b.Errorf("request %d: status %d, error %q", i, ans.Status, ans.Error)
+					}
+				}
+			}()
+		}
+		for i := range schedule {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	var rep gatewayReport
+	for iter := 0; iter < b.N; iter++ {
+		// Yardstick: one solo replica serving the whole schedule spends one
+		// recording per distinct key — the budget the cluster must match.
+		solo := clustertest.NewReplica(b, "g", g)
+		run(func(int) string { return solo.URL() })
+		soloSpend := solo.Upstream.Calls()
+
+		cluster := clustertest.NewCluster(b, 3, "g", g, gateway.Config{})
+		for _, r := range cluster.Replicas {
+			r.Upstream.SetDelay(delay)
+		}
+		clusterElapsed := run(func(int) string { return cluster.Front.URL })
+
+		independent := make([]*clustertest.Replica, 3)
+		for i := range independent {
+			independent[i] = clustertest.NewReplica(b, "g", g)
+			independent[i].Upstream.SetDelay(delay)
+		}
+		independentElapsed := run(func(i int) string { return independent[i%3].URL() })
+		var independentSpend int64
+		for _, r := range independent {
+			independentSpend += r.Upstream.Calls()
+		}
+
+		st := cluster.Gateway.Stats()
+		rep = gatewayReport{
+			SpendTolerance:       int64(base.Walkers * nKeys),
+			GoMaxProcs:           runtime.GOMAXPROCS(0),
+			Nodes:                g.NumNodes(),
+			Edges:                g.NumEdges(),
+			Keys:                 nKeys,
+			Requests:             len(schedule),
+			Clients:              clients,
+			UpstreamDelayUs:      delay.Microseconds(),
+			SoloUpstreamCalls:    soloSpend,
+			ClusterUpstreamCalls: cluster.TotalUpstream(),
+			IndepUpstreamCalls:   independentSpend,
+			ClusterQPS:           float64(len(schedule)) / clusterElapsed.Seconds(),
+			IndepQPS:             float64(len(schedule)) / independentElapsed.Seconds(),
+			Parked:               st.Parked,
+		}
+		rep.QPSRatio = rep.ClusterQPS / rep.IndepQPS
+		rep.SpendRatio = float64(rep.IndepUpstreamCalls) / float64(rep.ClusterUpstreamCalls)
+	}
+	writeGatewayBench(b, rep)
+}
+
+// gatewayReport is the schema of BENCH_gateway.json.
+type gatewayReport struct {
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Nodes      int   `json:"graph_nodes"`
+	Edges      int64 `json:"graph_edges"`
+	// Keys/Requests/Clients describe the key-skewed load: Keys distinct
+	// trajectory keys, Requests total posts, Clients concurrent workers.
+	Keys     int `json:"distinct_keys"`
+	Requests int `json:"requests"`
+	Clients  int `json:"concurrent_clients"`
+	// UpstreamDelayUs is the simulated crawl round-trip per priced fetch.
+	UpstreamDelayUs int64 `json:"upstream_delay_us"`
+	// SoloUpstreamCalls is the yardstick: one replica's spend on the whole
+	// schedule (one recording per key). ClusterUpstreamCalls MUST match it
+	// within SpendTolerance (one in-flight call per walker per recording —
+	// raw meter jitter, not routing waste); IndepUpstreamCalls shows what
+	// round-robin without affinity costs.
+	SoloUpstreamCalls    int64 `json:"solo_upstream_calls"`
+	ClusterUpstreamCalls int64 `json:"cluster_upstream_calls"`
+	IndepUpstreamCalls   int64 `json:"independent_upstream_calls"`
+	SpendTolerance       int64 `json:"spend_tolerance"`
+	// ClusterQPS vs IndepQPS is the throughput headline; QPSRatio MUST
+	// exceed 1 (the cluster serves strictly more than 3 unaffiliated
+	// replicas on the same hardware).
+	ClusterQPS float64 `json:"cluster_qps"`
+	IndepQPS   float64 `json:"independent_qps"`
+	QPSRatio   float64 `json:"qps_ratio"`
+	// SpendRatio is independent/cluster upstream calls — how much API
+	// budget the routing tier saves (≈ replica count on a skewed load).
+	SpendRatio float64 `json:"spend_ratio"`
+	// Parked counts requests that waited on an in-flight recording instead
+	// of re-spending.
+	Parked int64 `json:"parked_on_inflight"`
+}
+
+// writeGatewayBench gates the acceptance criteria and writes the report.
+func writeGatewayBench(b *testing.B, rep gatewayReport) {
+	b.Helper()
+	if diff := rep.ClusterUpstreamCalls - rep.SoloUpstreamCalls; diff > rep.SpendTolerance || diff < -rep.SpendTolerance {
+		b.Errorf("cluster spent %d upstream calls, want one replica's %d ± %d — single-flight or migration double-spent",
+			rep.ClusterUpstreamCalls, rep.SoloUpstreamCalls, rep.SpendTolerance)
+	}
+	if rep.QPSRatio <= 1 {
+		b.Errorf("cluster QPS ratio %.2f, want > 1 over independent replicas", rep.QPSRatio)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_gateway.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_gateway.json: cluster %.0f qps / %d calls, independent %.0f qps / %d calls (%.2fx qps, %.2fx spend saved)",
+		rep.ClusterQPS, rep.ClusterUpstreamCalls, rep.IndepQPS, rep.IndepUpstreamCalls, rep.QPSRatio, rep.SpendRatio)
+}

@@ -15,6 +15,8 @@ import (
 // operational interface — their godoc is what an operator reads first — so
 // comment coverage there is enforced like a compile error.
 var docCheckedPackages = []string{
+	"internal/gateway",
+	"internal/gateway/clustertest",
 	"internal/graph",
 	"internal/graph/snapshot",
 	"internal/serve",

@@ -1,0 +1,233 @@
+package gateway_test
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/gateway"
+	"repro/internal/gateway/clustertest"
+)
+
+// baseRequest is the cold-key query the cluster tests hammer.
+var baseRequest = clustertest.EstimateRequest{
+	Graph:   "g",
+	Pairs:   [][2]int{{1, 2}},
+	Budget:  300,
+	Walkers: 2,
+	Seed:    7,
+}
+
+// spendTolerance bounds the raw-meter wobble between two recordings of the
+// same key: trajectory bytes are deterministic, but each concurrent walker
+// can have one fetch in flight when the budget runs out, so the metered
+// call count of a recording varies by up to one call per walker.
+const spendTolerance = 2 // == baseRequest.Walkers
+
+// closeEnough reports whether got is within spendTolerance of want.
+func closeEnough(got, want int64) bool {
+	diff := got - want
+	return diff >= -spendTolerance && diff <= spendTolerance
+}
+
+// TestClusterSingleFlightColdKey: 50 concurrent requests for one cold key
+// across a 3-replica cluster trigger exactly one recording — the cluster's
+// total upstream spend equals a solo replica's — and every answer carries
+// identical estimates. Run with -race in CI.
+func TestClusterSingleFlightColdKey(t *testing.T) {
+	g := clustertest.TestGraph(t, 42)
+	solo := clustertest.SoloSpend(t, "g", g, baseRequest)
+	if solo == 0 {
+		t.Fatal("solo recording spent nothing; the meter is broken")
+	}
+
+	c := clustertest.NewCluster(t, 3, "g", g, gateway.Config{})
+	const clients = 50
+	answers := make([]*clustertest.EstimateAnswer, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers[i] = clustertest.Estimate(t, c.Front.URL, baseRequest)
+		}(i)
+	}
+	wg.Wait()
+
+	want := fingerprint(t, answers[0])
+	for i, ans := range answers {
+		if ans.Status != http.StatusOK {
+			t.Fatalf("answer %d: status %d, error %q", i, ans.Status, ans.Error)
+		}
+		if got := fingerprint(t, ans); got != want {
+			t.Errorf("answer %d estimates differ:\n%s\n%s", i, got, want)
+		}
+	}
+
+	if total := c.TotalUpstream(); !closeEnough(total, solo) {
+		t.Errorf("cluster upstream spend = %d, want exactly one recording (%d ± %d)", total, solo, spendTolerance)
+	}
+	recorders := 0
+	for i, r := range c.Replicas {
+		if calls := r.Upstream.Calls(); calls > 0 {
+			recorders++
+			if !closeEnough(calls, solo) {
+				t.Errorf("replica %d spent %d calls, want %d ± %d", i, calls, solo, spendTolerance)
+			}
+		}
+	}
+	if recorders != 1 {
+		t.Errorf("%d replicas recorded, want exactly 1", recorders)
+	}
+
+	st := c.Gateway.Stats()
+	if st.Routed != clients {
+		t.Errorf("routed = %d, want %d", st.Routed, clients)
+	}
+	if st.Parked == 0 {
+		t.Error("no request parked on the in-flight recording; single-flight did not engage")
+	}
+}
+
+// fingerprint renders an answer's estimates for equality comparison.
+func fingerprint(t *testing.T, ans *clustertest.EstimateAnswer) string {
+	t.Helper()
+	if len(ans.Pairs) == 0 {
+		t.Fatalf("answer has no pairs: %+v", ans)
+	}
+	return fmt.Sprint(ans.Pairs)
+}
+
+// TestClusterMigratesTrajectoryOnRingChange: after the recording replica
+// leaves the ring, the next request ships the .osnt to the new owner, which
+// serves it as a verified cache hit with zero upstream spend.
+func TestClusterMigratesTrajectoryOnRingChange(t *testing.T) {
+	g := clustertest.TestGraph(t, 42)
+	c := clustertest.NewCluster(t, 3, "g", g, gateway.Config{})
+
+	first := clustertest.Estimate(t, c.Front.URL, baseRequest)
+	if first.Status != http.StatusOK {
+		t.Fatalf("first request: status %d, error %q", first.Status, first.Error)
+	}
+	if first.TrajectoryKey == "" {
+		t.Fatal("first answer carries no trajectory key")
+	}
+	var recorder *clustertest.Replica
+	for _, r := range c.Replicas {
+		if r.Upstream.Calls() > 0 {
+			recorder = r
+		}
+	}
+	if recorder == nil {
+		t.Fatal("no replica recorded")
+	}
+	spent := recorder.Upstream.Calls()
+
+	// Move ownership off the recorder without killing it: its files stay
+	// pullable.
+	c.Gateway.MarkDown(recorder.URL(), "drained for test")
+
+	second := clustertest.Estimate(t, c.Front.URL, baseRequest)
+	if second.Status != http.StatusOK {
+		t.Fatalf("post-eviction request: status %d, error %q", second.Status, second.Error)
+	}
+	if !second.CacheHit {
+		t.Error("migrated trajectory should serve as a cache hit")
+	}
+	if got, want := fingerprint(t, second), fingerprint(t, first); got != want {
+		t.Errorf("estimates changed across migration:\n%s\n%s", got, want)
+	}
+	if total := c.TotalUpstream(); total != spent {
+		t.Errorf("migration spent upstream calls: total %d, want %d (pull, not re-record)", total, spent)
+	}
+	st := c.Gateway.Stats()
+	if st.Pulls != 1 || st.PullErrors != 0 {
+		t.Errorf("pulls = %d, pull_errors = %d, want 1/0", st.Pulls, st.PullErrors)
+	}
+
+	// The recorder rejoins: ownership and serving return to it without new
+	// spend (its cache is still warm).
+	c.Gateway.MarkUp(recorder.URL())
+	third := clustertest.Estimate(t, c.Front.URL, baseRequest)
+	if third.Status != http.StatusOK || !third.CacheHit {
+		t.Errorf("post-rejoin request: status %d, cache_hit %v", third.Status, third.CacheHit)
+	}
+	if total := c.TotalUpstream(); total != spent {
+		t.Errorf("rejoin spent upstream calls: total %d, want %d", total, spent)
+	}
+}
+
+// TestGatewayQuota: a tenant over its token budget is refused with 429 and
+// a Retry-After; other tenants are unaffected.
+func TestGatewayQuota(t *testing.T) {
+	g := clustertest.TestGraph(t, 42)
+	c := clustertest.NewCluster(t, 2, "g", g, gateway.Config{QuotaRate: 0.001, QuotaBurst: 2})
+
+	req := baseRequest
+	req.Tenant = "acme"
+	for i := 0; i < 2; i++ {
+		if ans := clustertest.Estimate(t, c.Front.URL, req); ans.Status != http.StatusOK {
+			t.Fatalf("request %d within burst: status %d, error %q", i, ans.Status, ans.Error)
+		}
+	}
+	ans := clustertest.Estimate(t, c.Front.URL, req)
+	if ans.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-burst request: status %d, want 429", ans.Status)
+	}
+	if ans.RetryAfter == "" || ans.RetryAfter == "0" {
+		t.Errorf("429 carries Retry-After %q, want a positive bound", ans.RetryAfter)
+	}
+	other := baseRequest
+	other.Tenant = "other"
+	if ans := clustertest.Estimate(t, c.Front.URL, other); ans.Status != http.StatusOK {
+		t.Errorf("isolated tenant: status %d, want 200", ans.Status)
+	}
+	if st := c.Gateway.Stats(); st.QuotaRejected != 1 {
+		t.Errorf("quota_rejected = %d, want 1", st.QuotaRejected)
+	}
+}
+
+// TestProberEvictsUnreadyAndRejoins: the prober evicts a replica whose
+// /healthz stops answering (after the configured failure streak) and
+// rejoins it when it recovers.
+func TestProberEvictsUnreadyAndRejoins(t *testing.T) {
+	g := clustertest.TestGraph(t, 42)
+	c := clustertest.NewCluster(t, 2, "g", g, gateway.Config{ProbeFailures: 2})
+	ctx := t.Context()
+
+	c.Gateway.ProbeOnce(ctx)
+	for _, rs := range c.Gateway.Replicas() {
+		if !rs.Alive {
+			t.Fatalf("healthy replica %s probed down", rs.URL)
+		}
+	}
+
+	victim := c.Replicas[1]
+	victim.Kill()
+	c.Gateway.ProbeOnce(ctx)
+	if rs := c.Gateway.Replicas()[1]; !rs.Alive {
+		t.Fatal("one probe failure evicted below the threshold of 2")
+	}
+	c.Gateway.ProbeOnce(ctx)
+	if rs := c.Gateway.Replicas()[1]; rs.Alive {
+		t.Fatal("two probe failures did not evict")
+	}
+
+	// Traffic still flows through the survivor.
+	if ans := clustertest.Estimate(t, c.Front.URL, baseRequest); ans.Status != http.StatusOK {
+		t.Errorf("estimate with one replica down: status %d, error %q", ans.Status, ans.Error)
+	}
+
+	// Recovery: a fresh replica process at a new address is out of scope for
+	// membership (the ring is fixed), but the SAME replica answering again
+	// rejoins. Simulate by probing the survivor only — then force rejoin via
+	// MarkUp and confirm status flips.
+	c.Gateway.MarkUp(victim.URL())
+	if rs := c.Gateway.Replicas()[1]; !rs.Alive {
+		t.Fatal("MarkUp did not rejoin the replica")
+	}
+	if st := c.Gateway.Stats(); st.Evictions != 1 || st.Rejoins != 1 {
+		t.Errorf("evictions/rejoins = %d/%d, want 1/1", st.Evictions, st.Rejoins)
+	}
+}

@@ -1,0 +1,164 @@
+package gateway_test
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/gateway"
+	"repro/internal/gateway/clustertest"
+)
+
+// TestKillReplicaMidRecording: the recorder dies partway through a
+// recording. The gateway evicts it, re-elects a recorder among the
+// survivors, and the total upstream spend is one full recording plus
+// exactly the lost partial — no double spend beyond what died with the
+// replica.
+func TestKillReplicaMidRecording(t *testing.T) {
+	g := clustertest.TestGraph(t, 42)
+	solo := clustertest.SoloSpend(t, "g", g, baseRequest)
+	const partial = 20
+	if solo <= partial {
+		t.Fatalf("solo spend %d too small to cut at %d", solo, partial)
+	}
+
+	c := clustertest.NewCluster(t, 3, "g", g, gateway.Config{})
+
+	// Gate every replica at the partial mark: only the replica actually
+	// recording reaches it. The gate identifies the recorder and then blocks
+	// every further fetch (each concurrent walker parks as it crosses the
+	// mark), freezing the recording until the test releases it.
+	tripped := make(chan int, 1)
+	release := make(chan struct{})
+	for i, r := range c.Replicas {
+		i := i
+		var once sync.Once
+		r.Upstream.SetGate(func(calls int64) {
+			if calls >= partial {
+				once.Do(func() { tripped <- i })
+				<-release
+			}
+		})
+	}
+	defer close(release)
+
+	done := make(chan *clustertest.EstimateAnswer, 1)
+	go func() { done <- clustertest.Estimate(t, c.Front.URL, baseRequest) }()
+
+	victimIdx := <-tripped
+	// The survivors must record unimpeded once the gateway re-routes.
+	for i, r := range c.Replicas {
+		if i != victimIdx {
+			r.Upstream.SetGate(nil)
+		}
+	}
+	c.Replicas[victimIdx].Kill()
+
+	ans := <-done
+	if ans.Status != http.StatusOK {
+		t.Fatalf("request across the kill: status %d, error %q", ans.Status, ans.Error)
+	}
+
+	// The victim's spend is the lost partial: the gate freezes each of the
+	// recording's walkers as it crosses the mark, so at most one in-flight
+	// call per walker lands beyond it.
+	const walkers = 2
+	victimSpend := c.Replicas[victimIdx].Upstream.Calls()
+	if victimSpend < partial || victimSpend > partial+walkers {
+		t.Errorf("killed replica spent %d calls, want the lost partial in [%d, %d]", victimSpend, partial, partial+walkers)
+	}
+	recorders := 0
+	for i, r := range c.Replicas {
+		if i == victimIdx {
+			continue
+		}
+		switch calls := r.Upstream.Calls(); {
+		case calls == 0:
+		case closeEnough(calls, solo):
+			recorders++
+		default:
+			t.Errorf("survivor %d spent %d calls, want 0 or a full recording (%d ± %d)", i, calls, solo, spendTolerance)
+		}
+	}
+	if recorders != 1 {
+		t.Errorf("%d survivors recorded, want exactly 1 re-elected recorder — no double spend beyond the lost partial", recorders)
+	}
+
+	st := c.Gateway.Stats()
+	if st.Retries == 0 {
+		t.Error("no retry counted across the replica kill")
+	}
+	if st.Evictions == 0 {
+		t.Error("the killed replica was never evicted")
+	}
+
+	// The re-elected recorder's answer matches what an unfailed cluster
+	// would have served — recording is deterministic in the key.
+	if got := clustertest.Estimate(t, c.Front.URL, baseRequest); got.Status != http.StatusOK ||
+		fingerprint(t, got) != fingerprint(t, ans) {
+		t.Errorf("post-failover answer differs: status %d", got.Status)
+	}
+}
+
+// TestCorruptTrajectoryPullFallsBackToRecord: when ring ownership moves and
+// the finished .osnt on the old holder has rotted on disk, the receiving
+// replica's verification rejects the pull (CRC path) and the new owner
+// re-records — correct answers survive corruption at the cost of one extra
+// recording.
+func TestCorruptTrajectoryPullFallsBackToRecord(t *testing.T) {
+	g := clustertest.TestGraph(t, 42)
+	c := clustertest.NewCluster(t, 3, "g", g, gateway.Config{})
+
+	first := clustertest.Estimate(t, c.Front.URL, baseRequest)
+	if first.Status != http.StatusOK || first.TrajectoryKey == "" {
+		t.Fatalf("first request: status %d, key %q", first.Status, first.TrajectoryKey)
+	}
+	var recorder *clustertest.Replica
+	for _, r := range c.Replicas {
+		if r.Upstream.Calls() > 0 {
+			recorder = r
+		}
+	}
+	if recorder == nil {
+		t.Fatal("no replica recorded")
+	}
+	spent := recorder.Upstream.Calls()
+
+	// Rot the recorder's on-disk copy, then move ownership off it. The
+	// replica itself stays up — it serves the rotten bytes verbatim; only
+	// the PULLING side's verification stands between them and a wrong
+	// answer.
+	path := filepath.Join(recorder.StoreDir, "g", first.TrajectoryKey)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Gateway.MarkDown(recorder.URL(), "drained for test")
+
+	second := clustertest.Estimate(t, c.Front.URL, baseRequest)
+	if second.Status != http.StatusOK {
+		t.Fatalf("post-corruption request: status %d, error %q", second.Status, second.Error)
+	}
+	if got, want := fingerprint(t, second), fingerprint(t, first); got != want {
+		t.Errorf("estimates differ after corrupt-pull fallback:\n%s\n%s", got, want)
+	}
+
+	st := c.Gateway.Stats()
+	if st.PullErrors != 1 {
+		t.Errorf("pull_errors = %d, want 1 (the rejected corrupt pull)", st.PullErrors)
+	}
+	if st.Pulls != 0 {
+		t.Errorf("pulls = %d, want 0", st.Pulls)
+	}
+	// The fallback re-recorded on the new owner: one extra full recording,
+	// nothing admitted from the corrupt bytes.
+	if total := c.TotalUpstream(); !closeEnough(total, 2*spent) {
+		t.Errorf("total spend = %d, want original + fallback re-record = %d ± %d", total, 2*spent, spendTolerance)
+	}
+}

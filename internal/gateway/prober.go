@@ -1,0 +1,78 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// replicaHealth is the slice of a replica's /healthz body the prober reads.
+type replicaHealth struct {
+	Status string `json:"status"`
+	Ready  bool   `json:"ready"`
+}
+
+// Start launches the background health prober: every ProbeInterval it
+// probes each replica's /healthz, evicting a replica from the ring after
+// ProbeFailures consecutive failures and rejoining it on the first success.
+// A no-op when ProbeInterval is 0. The prober stops when ctx ends.
+func (g *Gateway) Start(ctx context.Context) {
+	if g.cfg.ProbeInterval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(g.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				g.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeOnce health-checks every configured replica once, applying the
+// eviction/rejoin policy. Exported so tests (and operational tooling) can
+// drive ring liveness deterministically instead of waiting on the ticker.
+func (g *Gateway) ProbeOnce(ctx context.Context) {
+	for _, rep := range g.ring.status() {
+		if err := g.probe(ctx, rep.URL); err != nil {
+			if fails := g.ring.recordFailure(rep.URL, err.Error()); fails >= g.cfg.ProbeFailures {
+				g.MarkDown(rep.URL, err.Error())
+			}
+		} else {
+			g.MarkUp(rep.URL)
+		}
+	}
+}
+
+// probe checks one replica: /healthz must answer 200 with ready=true. A
+// bound listener that is still loading graphs is NOT healthy — routing to
+// it would 404 every query.
+func (g *Gateway) probe(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	var h replicaHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("healthz body: %w", err)
+	}
+	if !h.Ready {
+		return fmt.Errorf("replica not ready")
+	}
+	return nil
+}

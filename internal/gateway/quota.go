@@ -1,0 +1,56 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotas is the edge admission controller: one token bucket per tenant,
+// refilled at rate tokens/second up to burst. A request costs one token;
+// a tenant out of tokens is rejected with how long until the next token.
+// rate <= 0 disables admission control entirely.
+type quotas struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	tenants map[string]*bucket
+	now     func() time.Time
+}
+
+// bucket is one tenant's token balance at its last refill instant.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate, burst float64, now func() time.Time) *quotas {
+	return &quotas{rate: rate, burst: burst, tenants: make(map[string]*bucket), now: now}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is empty it
+// returns false plus the wait until a full token accrues — the 429 response's
+// Retry-After.
+func (q *quotas) allow(tenant string) (bool, time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.tenants[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.tenants[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,103 @@
+package gateway_test
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gateway"
+	"repro/internal/gateway/clustertest"
+)
+
+// TestPatchCoherenceUnderTraffic interleaves a PATCH /graphs/{name}
+// broadcast with estimate traffic across the cluster and asserts version
+// coherence: every answer reports a graph_version that actually existed (the
+// pre-delta or post-delta version, never anything else), and once the patch
+// has broadcast, fresh recordings land on the new version. Run with -race
+// in CI — the interesting failures here are data races between the
+// copy-on-write delta swap, trajectory migration and concurrent replays.
+func TestPatchCoherenceUnderTraffic(t *testing.T) {
+	g := clustertest.TestGraph(t, 42)
+	c := clustertest.NewCluster(t, 3, "g", g, gateway.Config{})
+	edge := clustertest.FreeEdge(t, g)
+
+	// Warm one key so pre-patch traffic has a cache-hit path too.
+	warm := clustertest.Estimate(t, c.Front.URL, baseRequest)
+	if warm.Status != http.StatusOK || warm.GraphVersion != 0 {
+		t.Fatalf("warm-up: status %d, version %d", warm.Status, warm.GraphVersion)
+	}
+
+	const workers = 8
+	const perWorker = 6
+	var patched atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, version := clustertest.Patch(t, c.Front.URL, "g", [][2]int{edge})
+		if status != http.StatusOK || version != 1 {
+			errs <- "patch failed"
+			return
+		}
+		patched.Store(true)
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req := baseRequest
+				// Mix one hot key with per-iteration cold keys so the run
+				// exercises cache hits, recordings and migrations at once.
+				if i%2 == 1 {
+					req.Seed = int64(100 + w*perWorker + i)
+				}
+				ans := clustertest.Estimate(t, c.Front.URL, req)
+				if ans.Status != http.StatusOK {
+					errs <- ans.Error
+					continue
+				}
+				if ans.GraphVersion != 0 && ans.GraphVersion != 1 {
+					errs <- "incoherent graph_version"
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("during interleave: %s", e)
+	}
+	if !patched.Load() {
+		t.Fatal("patch goroutine did not succeed")
+	}
+
+	// The broadcast has completed on every replica: a fresh key records on
+	// the post-delta graph no matter which replica owns it.
+	for i := 0; i < 6; i++ {
+		req := baseRequest
+		req.Seed = int64(9000 + i)
+		ans := clustertest.Estimate(t, c.Front.URL, req)
+		if ans.Status != http.StatusOK {
+			t.Fatalf("post-patch estimate %d: status %d, error %q", i, ans.Status, ans.Error)
+		}
+		if ans.GraphVersion != 1 {
+			t.Errorf("post-patch estimate %d reports version %d, want 1", i, ans.GraphVersion)
+		}
+	}
+
+	// Every replica agrees on the final version.
+	for i, r := range c.Replicas {
+		e, err := r.Workspace.Graph("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := e.Graph().Version(); v != 1 {
+			t.Errorf("replica %d at version %d after broadcast, want 1", i, v)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"net/http"
 	"path/filepath"
 	"time"
@@ -130,6 +132,10 @@ type estimateResponse struct {
 	// top-up re-recorded to produce it (0 for one-piece recordings).
 	GraphVersion uint64 `json:"graph_version"`
 	StaleSteps   int    `json:"stale_steps"`
+	// TrajectoryKey is the store spelling of the trajectory that served the
+	// answer (e.g. "b500_w4_s1_g0.osnt") — the name a replication peer pulls
+	// via GET /trajectories/{graph}/{key}.
+	TrajectoryKey string `json:"trajectory_key,omitempty"`
 }
 
 // batchResponse is the POST /estimate response for a batch request: one
@@ -156,7 +162,16 @@ type graphInfoJSON struct {
 	Deltas             int64            `json:"deltas"`
 	TopUps             int64            `json:"topups"`
 	TopUpSavedCalls    int64            `json:"topup_saved_calls"`
+	Imports            int64            `json:"imports"`
 	TasksByKind        map[string]int64 `json:"tasks_by_kind,omitempty"`
+}
+
+// trajectoriesResponse is the GET /trajectories/{graph} body.
+type trajectoriesResponse struct {
+	Graph string `json:"graph"`
+	// Keys are the graph's exportable trajectory keys in their .osnt
+	// spelling, sorted.
+	Keys []string `json:"keys"`
 }
 
 // graphsResponse is the GET /graphs body.
@@ -215,8 +230,12 @@ type patchGraphResponse struct {
 // healthResponse is the GET /healthz body: liveness plus workspace-wide
 // counters (per-graph detail lives under GET /graphs).
 type healthResponse struct {
-	Status          string `json:"status"`
-	Graphs          int    `json:"graphs"`
+	Status string `json:"status"`
+	// Ready is false until every configured graph has finished loading (see
+	// Workspace.ExpectGraphs); probers must not route traffic to an unready
+	// replica even though the listener answers.
+	Ready  bool `json:"ready"`
+	Graphs int  `json:"graphs"`
 	Queries         int64  `json:"queries"`
 	CacheHits       int64  `json:"cache_hits"`
 	Recordings      int64  `json:"recordings"`
@@ -227,6 +246,7 @@ type healthResponse struct {
 	Deltas          int64  `json:"deltas"`
 	TopUps          int64  `json:"topups"`
 	TopUpSavedCalls int64  `json:"topup_saved_calls"`
+	Imports         int64  `json:"imports"`
 	CacheBytesUsed  int64  `json:"cache_bytes_used"`
 	CacheByteBudget int64  `json:"cache_byte_budget"`
 	UptimeSec       int64  `json:"uptime_seconds"`
@@ -240,6 +260,9 @@ type healthResponse struct {
 //	PUT    /graphs/{name}  load a .osnb snapshot as a new graph (409 if the name is taken)
 //	PATCH  /graphs/{name}  apply an edge delta {"add": [[u,v],...], "del": [[u,v],...]} (404 if unknown)
 //	DELETE /graphs/{name}  unload a graph, flushing its dirty trajectories (404 if unknown)
+//	GET    /trajectories/{graph}        list the graph's exportable trajectory keys
+//	GET    /trajectories/{graph}/{key}  the raw .osnt bytes of one trajectory (replication pull)
+//	PUT    /trajectories/{graph}/{key}  admit verified .osnt bytes from a peer (replication push)
 //	GET    /methods        the estimator names a "pairs" answer carries, plus the task kinds
 //	GET    /healthz        liveness plus workspace counters
 //
@@ -294,6 +317,7 @@ func NewHandler(ws *Workspace) http.Handler {
 				Deltas:             gi.Stats.Deltas,
 				TopUps:             gi.Stats.TopUps,
 				TopUpSavedCalls:    gi.Stats.TopUpSavedCalls,
+				Imports:            gi.Stats.Imports,
 				TasksByKind:        gi.Stats.TasksByKind,
 			})
 		}
@@ -411,6 +435,47 @@ func NewHandler(ws *Workspace) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "name": name})
 	})
 
+	mux.HandleFunc("GET /trajectories/{graph}", func(w http.ResponseWriter, r *http.Request) {
+		graphName := r.PathValue("graph")
+		keys, err := ws.TrajectoryKeys(graphName)
+		if err != nil {
+			writeEstimateError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, trajectoriesResponse{Graph: graphName, Keys: keys})
+	})
+
+	mux.HandleFunc("GET /trajectories/{graph}/{key}", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := ws.ExportTrajectory(r.PathValue("graph"), r.PathValue("key"))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			writeEstimateError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(raw)
+	})
+
+	mux.HandleFunc("PUT /trajectories/{graph}/{key}", func(w http.ResponseWriter, r *http.Request) {
+		graphName, key := r.PathValue("graph"), r.PathValue("key")
+		// Trajectories are megabytes, not gigabytes; bound the body so a
+		// broken peer cannot exhaust memory.
+		raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+			return
+		}
+		if err := ws.ImportTrajectory(graphName, key, raw); err != nil {
+			writeEstimateError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "imported", "graph": graphName, "key": key})
+	})
+
 	mux.HandleFunc("GET /methods", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{
 			"methods": Methods(),
@@ -423,11 +488,13 @@ func NewHandler(ws *Workspace) http.Handler {
 	// method-qualified patterns above would otherwise answer with the Go
 	// mux's plain-text 405.
 	for path, allow := range map[string]string{
-		"/estimate":      "POST only",
-		"/graphs":        "GET only",
-		"/graphs/{name}": "PUT, PATCH or DELETE only",
-		"/methods":       "GET only",
-		"/healthz":       "GET only",
+		"/estimate":                    "POST only",
+		"/graphs":                      "GET only",
+		"/graphs/{name}":               "PUT, PATCH or DELETE only",
+		"/trajectories/{graph}":        "GET only",
+		"/trajectories/{graph}/{key}":  "GET or PUT only",
+		"/methods":                     "GET only",
+		"/healthz":                     "GET only",
 	} {
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusMethodNotAllowed, allow)
@@ -438,6 +505,7 @@ func NewHandler(ws *Workspace) http.Handler {
 		infos := ws.List()
 		resp := healthResponse{
 			Status:          "ok",
+			Ready:           ws.Ready(),
 			Graphs:          len(infos),
 			CacheByteBudget: ws.CacheBudget(),
 			UptimeSec:       int64(time.Since(start).Seconds()),
@@ -453,6 +521,7 @@ func NewHandler(ws *Workspace) http.Handler {
 			resp.Deltas += gi.Stats.Deltas
 			resp.TopUps += gi.Stats.TopUps
 			resp.TopUpSavedCalls += gi.Stats.TopUpSavedCalls
+			resp.Imports += gi.Stats.Imports
 			resp.CacheBytesUsed += gi.CachedBytes
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -535,7 +604,7 @@ func writeEstimateError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrQueryBudget):
 		status = http.StatusPaymentRequired
-	case errors.Is(err, ErrBadQuery):
+	case errors.Is(err, ErrBadQuery), errors.Is(err, ErrBadTrajectory):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrUnknownGraph):
 		status = http.StatusNotFound
@@ -560,8 +629,9 @@ func renderAnswer(graphName string, ans *Answer) estimateResponse {
 		SharedBy:     ans.SharedBy,
 		Walkers:      ans.Walkers,
 		Samples:      ans.Samples,
-		GraphVersion: ans.GraphVersion,
-		StaleSteps:   ans.StaleSteps,
+		GraphVersion:  ans.GraphVersion,
+		StaleSteps:    ans.StaleSteps,
+		TrajectoryKey: ans.StoreKey,
 	}
 	if ans.Err != nil {
 		resp.Error = ans.Err.Error()

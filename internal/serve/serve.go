@@ -24,10 +24,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io/fs"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +69,13 @@ var ErrBadQuery = errors.New("serve: bad query")
 // answers' Charged can fall short of APICalls by the failed queries'
 // shares.
 var ErrEstimation = errors.New("serve: estimation failed")
+
+// ErrBadTrajectory marks an attempted trajectory import whose bytes failed
+// verification: a corrupt or truncated .osnt image (the CRC and structural
+// checks), or a file recorded against a different graph state or burn-in
+// than this engine serves. The HTTP layer maps it to 400 Bad Request — the
+// puller must fall back to re-recording instead of serving the bytes.
+var ErrBadTrajectory = errors.New("serve: trajectory rejected")
 
 // Methods returns the estimator names a "pairs" answer carries, in stable
 // order. The names match repro.Method values.
@@ -131,6 +140,12 @@ type Config struct {
 	// beside SnapshotPath before ApplyDelta compacts them into a fresh base
 	// snapshot; 0 means 8. Ignored without SnapshotPath.
 	CompactSegments int
+	// SourceFactory, when set, builds the upstream osn.Source each recording
+	// session meters, from the graph version the recording snapshots. Nil
+	// means the in-memory osn.GraphSource — the default simulation backend.
+	// Cluster tests inject metered (call-counted, latency-injected, gated)
+	// sources here, and a future HTTP crawler backend plugs in the same way.
+	SourceFactory func(*graph.Graph) osn.Source
 
 	// now is a test hook for the TTL clock; nil means time.Now.
 	now func() time.Time
@@ -222,6 +237,12 @@ type Answer struct {
 	// answer replays a trajectory recorded in one piece on its graph
 	// version.
 	StaleSteps int
+	// StoreKey is the resolved persistent-store spelling of the trajectory
+	// that served the query (e.g. "b500_w4_s1_g0.osnt"): the engine defaults
+	// applied to the query's budget/walkers/seed, at the serving graph
+	// version. A gateway uses it verbatim as the {key} of the trajectory
+	// replication endpoints, so peers can pull exactly this recording.
+	StoreKey string
 }
 
 // Stats counts engine activity since construction.
@@ -258,6 +279,10 @@ type Stats struct {
 	// fresh recording's; only its nominal bill minus this saving hits the
 	// upstream API, and UpstreamCalls counts that actual spend.
 	TopUpSavedCalls int64
+	// Imports is how many trajectories arrived as verified .osnt bytes from
+	// a peer replica (ImportTrajectory) instead of being recorded or loaded
+	// from this engine's own store — the replication data plane's hit count.
+	Imports int64
 }
 
 // trajKey identifies a shareable trajectory configuration.
@@ -726,7 +751,8 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	ent, hit, err := e.acquire(ctx, q, e.resolveKey(q))
+	key := e.resolveKey(q)
+	ent, hit, err := e.acquire(ctx, q, key)
 	if err != nil {
 		return nil, err
 	}
@@ -738,6 +764,7 @@ func (e *Engine) Estimate(ctx context.Context, q Query) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
+	ans.StoreKey = storeKey(key, ans.GraphVersion).Filename()
 	e.countQuery(kind, ans)
 	return ans, nil
 }
@@ -816,6 +843,7 @@ func (e *Engine) EstimateBatch(ctx context.Context, qs []Query) ([]*Answer, erro
 			// itself).
 			ans.Charged = (ent.traj.APICalls / int64(ent.sharers)) / int64(len(qs))
 		}
+		ans.StoreKey = storeKey(key, ans.GraphVersion).Filename()
 		answers[i] = ans
 		e.countQuery(kinds[i], ans)
 	}
@@ -1175,7 +1203,11 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry, stale *cor
 	// Snapshot the served graph once: a delta applied mid-recording must not
 	// tear this walk across versions.
 	g := e.Graph()
-	s, err := osn.NewSession(g, osn.Config{})
+	src := osn.Source(osn.NewGraphSource(g))
+	if e.cfg.SourceFactory != nil {
+		src = e.cfg.SourceFactory(g)
+	}
+	s, err := osn.NewSessionFrom(src, osn.Config{})
 	var traj *core.Trajectory
 	var topUp core.TopUpStats
 	toppedUp := false
@@ -1271,4 +1303,148 @@ func (e *Engine) pruneSuperseded(key trajKey, version uint64) {
 			e.countStoreError()
 		}
 	}
+}
+
+// TrajectoryKeys lists the trajectory keys this engine can export, in their
+// on-disk .osnt spelling: every key persisted in the store plus every
+// completed in-memory trajectory not yet on disk, deduplicated and sorted.
+func (e *Engine) TrajectoryKeys() []string {
+	seen := make(map[string]bool)
+	if e.cfg.Store != nil {
+		keys, err := e.cfg.Store.Keys(e.cfg.Name)
+		if err != nil {
+			e.countStoreError()
+		}
+		for _, k := range keys {
+			seen[k.Filename()] = true
+		}
+	}
+	e.mu.Lock()
+	for k, ent := range e.cache {
+		if ent.completed() && ent.err == nil {
+			seen[storeKey(k, ent.traj.GraphVersion).Filename()] = true
+		}
+	}
+	e.mu.Unlock()
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExportTrajectory returns the raw .osnt bytes of the trajectory keyed by
+// name (the Filename spelling, e.g. "b500_w4_s1_g0.osnt"): the persisted
+// file verbatim when the store has it, or the cached in-memory trajectory
+// freshly encoded (memory-only engines, or a dirty entry whose save failed).
+// A key this engine holds nowhere returns an error wrapping fs.ErrNotExist;
+// a malformed key wraps ErrBadQuery.
+func (e *Engine) ExportTrajectory(name string) ([]byte, error) {
+	k, ok := store.ParseKeyName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: malformed trajectory key %q (want bB_wW_sS_gV.osnt)", ErrBadQuery, name)
+	}
+	if e.cfg.Store != nil {
+		raw, err := e.cfg.Store.ReadRaw(e.cfg.Name, k)
+		if err == nil {
+			return raw, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			e.countStoreError()
+		}
+	}
+	tk := trajKey{budget: k.Budget, walkers: k.Walkers, seed: k.Seed}
+	e.mu.Lock()
+	var traj *core.Trajectory
+	if ent := e.cache[tk]; ent != nil && ent.completed() && ent.err == nil && ent.traj.GraphVersion == k.GraphVersion {
+		traj = ent.traj
+	}
+	e.mu.Unlock()
+	if traj == nil {
+		return nil, fmt.Errorf("serve: trajectory %q: %w", name, fs.ErrNotExist)
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, traj); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ImportTrajectory admits raw .osnt bytes pulled from a peer replica as the
+// trajectory keyed by name. The bytes are fully verified before anything is
+// admitted: the .osnt CRC and structural checks (store.Decode), the key's
+// own spelling, and the same graph version + content fingerprint + burn-in
+// identity checks a store reload applies — a peer's file is trusted exactly
+// as far as a local one. Verified trajectories are persisted to the store
+// (when configured) and installed in the cache, so the next query at this
+// configuration is a zero-spend cache hit. Rejected bytes wrap
+// ErrBadTrajectory and leave no trace.
+func (e *Engine) ImportTrajectory(name string, raw []byte) error {
+	k, ok := store.ParseKeyName(name)
+	if !ok {
+		return fmt.Errorf("%w: malformed trajectory key %q (want bB_wW_sS_gV.osnt)", ErrBadQuery, name)
+	}
+	traj, err := store.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadTrajectory, err)
+	}
+	if traj.Walkers != k.Walkers || traj.GraphVersion != k.GraphVersion {
+		return fmt.Errorf("%w: file is a w%d_g%d trajectory, key %q disagrees",
+			ErrBadTrajectory, traj.Walkers, traj.GraphVersion, name)
+	}
+	g := e.Graph()
+	if traj.GraphVersion != g.Version() || traj.GraphFingerprint != g.Fingerprint() {
+		return fmt.Errorf("%w: recorded on graph version %d fingerprint %x, this engine serves version %d fingerprint %x",
+			ErrBadTrajectory, traj.GraphVersion, traj.GraphFingerprint, g.Version(), g.Fingerprint())
+	}
+	if traj.BurnIn != e.burnIn {
+		return fmt.Errorf("%w: recorded burn-in %d, this engine records at %d",
+			ErrBadTrajectory, traj.BurnIn, e.burnIn)
+	}
+	// Same label rebinding as a store reload: replays consult the served
+	// graph's labels at CSR speed instead of the file's interned store.
+	traj.BindLabels(g)
+
+	persisted := false
+	if e.cfg.Store != nil {
+		if err := e.cfg.Store.WriteRaw(e.cfg.Name, k, raw); err != nil {
+			e.countStoreError()
+		} else {
+			persisted = true
+		}
+	}
+	ent := &entry{
+		ready:     make(chan struct{}),
+		traj:      traj,
+		frozen:    true,
+		fromStore: true,
+		bytes:     int64(len(raw)),
+		dirty:     e.cfg.Store != nil && !persisted,
+		lastUsed:  e.cfg.now(),
+	}
+	if e.cfg.TTL > 0 {
+		ent.expires = e.cfg.now().Add(e.cfg.TTL)
+		ent.hasTTL = true
+	}
+	close(ent.ready)
+
+	tk := trajKey{budget: k.Budget, walkers: k.Walkers, seed: k.Seed}
+	e.mu.Lock()
+	e.stats.Imports++
+	if persisted {
+		e.stats.StoreSaves++
+	}
+	installed := false
+	if _, exists := e.cache[tk]; !exists {
+		// A recording in flight (or a fresher cached trajectory) keeps its
+		// slot; the imported file still landed in the store above.
+		e.cache[tk] = ent
+		installed = true
+	}
+	e.mu.Unlock()
+	if installed {
+		e.notifyCached()
+	}
+	return nil
 }

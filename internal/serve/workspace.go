@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/osn"
 	"repro/internal/store"
 )
 
@@ -48,6 +49,10 @@ type GraphOptions struct {
 	// CompactSegments bounds the delta-segment count before the snapshot is
 	// compacted; 0 means 8 (see Config.CompactSegments).
 	CompactSegments int
+	// SourceFactory, when set, builds the upstream osn.Source each recording
+	// session meters (see Config.SourceFactory); nil records against the
+	// in-memory graph directly.
+	SourceFactory func(*graph.Graph) osn.Source
 }
 
 // WorkspaceConfig describes a Workspace.
@@ -107,6 +112,9 @@ type Workspace struct {
 	// engine (mixing-time measurement, warm start), so a concurrent
 	// duplicate load conflicts immediately instead of racing.
 	loading map[string]bool
+	// expected is how many graphs this workspace is configured to serve;
+	// Ready reports false until that many have loaded (see ExpectGraphs).
+	expected int
 }
 
 // NewWorkspace builds an empty workspace; add graphs with AddGraph.
@@ -175,6 +183,7 @@ func (w *Workspace) AddGraph(name string, g *graph.Graph, opts *GraphOptions) (i
 		MaxCached:       o.MaxCached,
 		SnapshotPath:    o.SnapshotPath,
 		CompactSegments: o.CompactSegments,
+		SourceFactory:   o.SourceFactory,
 		now:             w.cfg.now,
 		onCached:        w.enforceBudget,
 	})
@@ -243,6 +252,56 @@ func (w *Workspace) namesLocked() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// ExpectGraphs declares how many graphs this workspace is configured to
+// serve. Ready stays false until that many have finished loading, giving
+// health probers a correct warm-up signal: a replica that has bound its
+// listener but is still loading snapshots must not receive traffic yet.
+func (w *Workspace) ExpectGraphs(n int) {
+	w.mu.Lock()
+	w.expected = n
+	w.mu.Unlock()
+}
+
+// Ready reports whether every configured graph has finished loading: at
+// least ExpectGraphs graphs are registered and no AddGraph is still in
+// flight. A workspace with no declared expectation is ready once nothing is
+// loading — graphs added later at runtime do not flip it back.
+func (w *Workspace) Ready() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.graphs) >= w.expected && len(w.loading) == 0
+}
+
+// TrajectoryKeys lists the named graph's exportable trajectory keys (see
+// Engine.TrajectoryKeys).
+func (w *Workspace) TrajectoryKeys(graphName string) ([]string, error) {
+	e, err := w.Graph(graphName)
+	if err != nil {
+		return nil, err
+	}
+	return e.TrajectoryKeys(), nil
+}
+
+// ExportTrajectory returns the raw .osnt bytes of one trajectory of the
+// named graph (see Engine.ExportTrajectory).
+func (w *Workspace) ExportTrajectory(graphName, key string) ([]byte, error) {
+	e, err := w.Graph(graphName)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExportTrajectory(key)
+}
+
+// ImportTrajectory verifies and admits raw .osnt bytes from a peer replica
+// as a trajectory of the named graph (see Engine.ImportTrajectory).
+func (w *Workspace) ImportTrajectory(graphName, key string, raw []byte) error {
+	e, err := w.Graph(graphName)
+	if err != nil {
+		return err
+	}
+	return e.ImportTrajectory(key, raw)
 }
 
 // Estimate answers one query against the named graph (see Engine.Estimate;

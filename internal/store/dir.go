@@ -149,6 +149,63 @@ func (d *Dir) Has(graphName string, k Key) bool {
 	return err == nil && st.Mode().IsRegular()
 }
 
+// ReadRaw returns the exact on-disk bytes of the (graph, key) trajectory —
+// the .osnt image as written, including its trailing CRC. It is the export
+// half of trajectory replication: the bytes can be shipped to a peer replica
+// verbatim and verified there by Decode. A missing file returns an error
+// wrapping fs.ErrNotExist.
+func (d *Dir) ReadRaw(graphName string, k Key) ([]byte, error) {
+	path, err := d.Path(graphName, k)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return raw, nil
+}
+
+// WriteRaw atomically installs raw as the (graph, key) trajectory file,
+// replacing any previous file for the same key. The bytes are written as
+// given — callers are responsible for validating them first (Decode runs the
+// full CRC and structural checks); the serving layer never admits unverified
+// bytes. The same tmp+fsync+rename discipline as Save applies, so a crash
+// mid-write never leaves a truncated file behind.
+func (d *Dir) WriteRaw(graphName string, k Key, raw []byte) error {
+	path, err := d.Path(graphName, k)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: creating graph directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(raw); err != nil {
+		return fmt.Errorf("store: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: renaming into place: %w", err)
+	}
+	tmp = nil
+	return nil
+}
+
 // Remove deletes the (graph, key) trajectory file; removing a missing file
 // is not an error.
 func (d *Dir) Remove(graphName string, k Key) error {

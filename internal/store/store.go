@@ -325,6 +325,13 @@ func Read(r io.Reader) (*core.Trajectory, error) {
 	return decode(raw)
 }
 
+// Decode parses one complete in-memory .osnt byte image, applying the same
+// CRC, size and structural validation as Read. It is the entry point for
+// trajectory bytes that arrive over the network rather than from disk — the
+// replication pull path decodes (and thereby verifies) a peer's file before
+// admitting it to the local store.
+func Decode(raw []byte) (*core.Trajectory, error) { return decode(raw) }
+
 // decode parses one complete .osnt byte image.
 func decode(raw []byte) (*core.Trajectory, error) {
 	if len(raw) < headerSize+4 {
