@@ -133,6 +133,10 @@ func TestCLIFlagValidation(t *testing.T) {
 	runExpectUsageError(t, gateway, "-tenant-header", "-replicas", "http://a:8080", "-tenant-header", "")
 	runExpectUsageError(t, gateway, "-drain", "-replicas", "http://a:8080", "-drain", "0s")
 
+	// -pprof (PR 9) must be a host:port listen address on both servers.
+	runExpectUsageError(t, serve, "-pprof", "-dataset", "facebook", "-scale", "0.1", "-pprof", "nonsense")
+	runExpectUsageError(t, gateway, "-pprof", "-replicas", "http://a:8080", "-pprof", "nonsense")
+
 	// Snapshot input is exclusive with the other sources and embeds labels.
 	runExpectUsageError(t, edgecount, "-graph", "-dataset", "facebook", "-graph", "x.osnb")
 	runExpectUsageError(t, edgecount, "-labels", "-graph", "x.osnb", "-labels", "x.labels")

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only on -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +55,7 @@ func main() {
 		quotaBurst    = flag.Float64("quota-burst", 0, "per-tenant burst capacity in requests (0 = same as -quota-rate)")
 		tenantHeader  = flag.String("tenant-header", "X-Tenant", "request header naming the tenant for quota accounting")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061); empty disables profiling")
 	)
 	flag.Parse()
 
@@ -95,6 +98,11 @@ func main() {
 	if *drain <= 0 {
 		fail("-drain must be positive, got %s", *drain)
 	}
+	if *pprofAddr != "" {
+		if _, _, err := net.SplitHostPort(*pprofAddr); err != nil {
+			fail("-pprof must be a host:port listen address, got %q: %v", *pprofAddr, err)
+		}
+	}
 
 	gw, err := gateway.New(gateway.Config{
 		Replicas:      urls,
@@ -119,6 +127,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	gw.Start(ctx)
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gateway: -pprof:", err)
+			os.Exit(1)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("routing across %d replicas: %s", len(urls), strings.Join(urls, ", "))
 	log.Printf("vnodes=%d probe=%s/%d quota=%g req/s burst=%g tenant-header=%s",

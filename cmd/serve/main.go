@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only on -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -72,6 +74,7 @@ func main() {
 		ttl        = flag.Duration("ttl", 10*time.Minute, "cached trajectory lifetime (0 = keep until eviction)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		compactSeg = flag.Int("compact-segments", 0, "compact a graph's .osnd delta log into its .osnb once it exceeds this many segments (0 = default 8)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 
@@ -116,6 +119,11 @@ func main() {
 	}
 	if *compactSeg < 0 {
 		fail("-compact-segments must be non-negative, got %d", *compactSeg)
+	}
+	if *pprofAddr != "" {
+		if _, _, err := net.SplitHostPort(*pprofAddr); err != nil {
+			fail("-pprof must be a host:port listen address, got %q: %v", *pprofAddr, err)
+		}
 	}
 
 	var st *store.Dir
@@ -231,6 +239,20 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: -pprof:", err)
+			os.Exit(1)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	storeMsg := "memory-only"
 	if st != nil {

@@ -24,6 +24,30 @@ const maskLabelLimit = 64
 // columns; graphs past it use a map keyed by node instead.
 const denseMaskMaxNodes = 1 << 24
 
+// denseScratch decides whether an O(numNodes) build-time scratch array is
+// worth allocating for a column build that touches at most touched distinct
+// nodes. Small graphs always take the dense array (cheap, fastest); larger
+// graphs take it only when the workload is within a constant factor of the
+// graph size, so a few-hundred-step trajectory over a million-node graph
+// builds through sparse maps and the per-estimate allocation cost stays
+// independent of |V|. Both paths produce identical columns — the sparse one
+// is the same fallback graphs beyond denseMaskMaxNodes have always used.
+func denseScratch(numNodes, touched int) bool {
+	if numNodes <= 0 || numNodes > denseMaskMaxNodes {
+		return false
+	}
+	return numNodes <= denseScratchMinNodes || numNodes/denseScratchFactor <= touched
+}
+
+const (
+	// denseScratchMinNodes is the graph size below which dense scratch is
+	// unconditional: a few KB of arrays beat any map.
+	denseScratchMinNodes = 1 << 12
+	// denseScratchFactor is how many times larger than the touched-node
+	// bound the graph must be before sparse scratch wins.
+	denseScratchFactor = 8
+)
+
 // labelCols holds the precomputed mask columns.
 type labelCols struct {
 	// ok is false when the columns could not be built (no bound reader, or
@@ -106,9 +130,9 @@ type maskScratch struct {
 	m     map[graph.Node]uint64
 }
 
-func newMaskScratch(lr LabelReader, bitOf map[graph.Label]int, numNodes int) *maskScratch {
+func newMaskScratch(lr LabelReader, bitOf map[graph.Label]int, numNodes, touched int) *maskScratch {
 	s := &maskScratch{lr: lr, bitOf: bitOf}
-	if numNodes > 0 && numNodes <= denseMaskMaxNodes {
+	if denseScratch(numNodes, touched) {
 		s.dense = make([]uint64, numNodes)
 		s.seen = make([]bool, numNodes)
 	} else {
@@ -156,16 +180,21 @@ func buildLabelCols(t *Trajectory) *labelCols {
 		}
 		return len(labels) <= maskLabelLimit
 	}
+	refs := len(t.startNode) + len(t.prev) + len(t.node) + len(t.arena)
 	var visited *nodeSet
-	if t.NumNodes > 0 && t.NumNodes <= denseMaskMaxNodes {
+	if denseScratch(t.NumNodes, refs) {
 		visited = newNodeSet(t.NumNodes)
 	} else {
 		visited = newNodeSet(0)
 	}
+	distinct := 0
 	scan := func(col []graph.Node) bool {
 		for _, u := range col {
-			if visited.add(u) && !collect(u) {
-				return false
+			if visited.add(u) {
+				distinct++
+				if !collect(u) {
+					return false
+				}
 			}
 		}
 		return true
@@ -183,8 +212,10 @@ func buildLabelCols(t *Trajectory) *labelCols {
 		bitOf[l] = i
 	}
 
-	// Pass 2: fill the columns from the cached per-node masks.
-	sc := newMaskScratch(lr, bitOf, t.NumNodes)
+	// Pass 2: fill the columns from the cached per-node masks. Pass 1 knows
+	// exactly how many distinct nodes the trajectory references, so the
+	// dense-vs-sparse choice here is sharper than the refs upper bound.
+	sc := newMaskScratch(lr, bitOf, t.NumNodes, distinct)
 	lc := &labelCols{
 		ok:       true,
 		table:    table,

@@ -130,7 +130,7 @@ func buildCommonNeighbors(t *Trajectory) []int32 {
 	S := t.Samples()
 	W := t.NumWalkers()
 	cn := make([]int32, S)
-	dense := t.NumNodes > 0 && t.NumNodes <= denseMaskMaxNodes
+	dense := denseScratch(t.NumNodes, len(t.arena))
 	if dense {
 		// Arena entries outside [0, NumNodes) would overflow the stamp
 		// array; fall back to merging if any exist (a malformed header).
@@ -291,7 +291,7 @@ func buildOccurrences(t *Trajectory) *OccurrenceIndex {
 	S := t.Samples()
 	W := t.NumWalkers()
 	slotOf := func() func(u graph.Node, assign bool) int32 {
-		if t.NumNodes > 0 && t.NumNodes <= denseMaskMaxNodes {
+		if denseScratch(t.NumNodes, S) {
 			slots := make([]int32, t.NumNodes)
 			for i := range slots {
 				slots[i] = -1

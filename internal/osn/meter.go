@@ -2,6 +2,7 @@ package osn
 
 import (
 	"errors"
+	mathbits "math/bits"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -21,26 +22,35 @@ const meterFlushEvery = 64
 // trajectory, per-walker sample counts — and therefore merged estimates —
 // are deterministic regardless of goroutine scheduling.
 //
-// The shared Session still does the real work: responses come from (and
-// fill) its sharded cache, and its global counter tracks actual upstream
-// traffic — a fetch another walker already cached is served without hitting
-// the Source, and without a global charge. A Meter models one of W
-// independent crawlers that each pay for their own API calls while sharing
-// a response store, so Session.Calls() <= the sum of Meter.Calls() across
-// walkers.
+// The shared Session still does the real work for metered sources: responses
+// come from (and fill) its sharded cache, and its global counter tracks
+// actual upstream traffic — a fetch another walker already cached is served
+// without hitting the Source, and without a global charge. A Meter models
+// one of W independent crawlers that each pay for their own API calls while
+// sharing a response store, so Session.Calls() <= the sum of Meter.Calls()
+// across walkers.
 //
-// Two mechanisms keep the walk fast path off shared state, where concurrent
-// walkers would otherwise serialize on cache-line traffic:
+// Concurrent walkers must not serialize on cache-line traffic in the walk
+// hot loop, so the fast path is kept off shared state:
 //
 //   - a per-walker read-through arena: once this meter has fetched a node,
-//     repeat queries are answered from walker-local storage (a bitmap over
-//     the immutable graph for in-memory sources, a private response map
-//     otherwise) without touching the session's fetched bits or shards;
-//   - batched global debits: when the session enforces no budget and injects
-//     no failures, global charges accumulate locally and are flushed to the
-//     shared atomic counter every meterFlushEvery calls (and on Flush), so
-//     the per-step cost is a plain local increment. Local accounting — the
-//     deterministic quantity estimates depend on — is always exact.
+//     repeat queries are answered from walker-local storage (an epoch-stamped
+//     bitmap over the immutable graph for in-memory sources, a private
+//     response map otherwise) without touching the session's fetched stamps
+//     or shards. Reset invalidates the bitmap with a single epoch bump —
+//     O(1), not O(|V|/64) — and pooled arenas carry their epoch across
+//     sessions so reuse never needs a wipe;
+//   - a fully walker-local fetch path: when the source is an in-memory graph
+//     and the session enforces no budget and injects no failures, a fetch
+//     reads the response straight from the immutable graph and records it
+//     only in the local arena — zero shared-memory writes per step. The
+//     session's global accounting (Calls, UniqueNodes, PrepaidHits) is
+//     settled at Flush, which merges the local bitmap into the session's
+//     shared epoch array and counts the nodes this walker was first to
+//     fetch. Flush is idempotent and safe to call from concurrent walkers;
+//     the fleet engine flushes every meter at each phase barrier, so
+//     session-level accounting is settled — and schedule-independent —
+//     whenever walkers are quiescent.
 //
 // A Meter is owned by exactly one goroutine and is NOT safe for concurrent
 // use; concurrency safety lives in the Session underneath.
@@ -50,19 +60,42 @@ type Meter struct {
 	calls   int64
 	pending int64 // global debits not yet forwarded to s.calls
 
-	// Walker-local read-through arena. bits is used when the session serves
-	// from an immutable in-memory graph (the response slice needs no local
-	// copy); arena stores the response slices otherwise.
-	bits  []uint64
-	arena map[graph.Node][]graph.Node
+	// local marks the fully walker-local fetch path (in-memory graph, no
+	// session budget, no failure injection): fetches touch no shared state
+	// and global accounting is reconciled at Flush.
+	local bool
+
+	// Walker-local read-through arena. bits+wordEpoch are used when the
+	// session serves from an immutable in-memory graph (the response slice
+	// needs no local copy): word w of bits is valid only while
+	// wordEpoch[w] == epoch, so Reset is an epoch bump instead of a bitmap
+	// wipe. arena stores the response slices otherwise.
+	bits      []uint64
+	wordEpoch []uint32
+	epoch     uint32
+	arena     map[graph.Node][]graph.Node
 }
 
 // Meter returns a fresh metering view over s with the given call budget
-// (0 = unlimited).
+// (0 = unlimited). When the session is pooled, the meter's arena is drawn
+// from the pool and returned by Session.Release.
 func (s *Session) Meter(budget int64) *Meter {
 	m := &Meter{s: s, budget: budget}
 	if s.graphFast != nil {
-		m.bits = make([]uint64, (s.NumNodes()+63)/64)
+		m.local = m.fastBill()
+		words := (s.NumNodes() + 63) / 64
+		if s.pool != nil {
+			var last uint32
+			m.bits, m.wordEpoch, last = s.pool.getMeter(words)
+			m.epoch = nextEpoch(last, func() { clear(m.wordEpoch) })
+			s.meterMu.Lock()
+			s.pooledMeters = append(s.pooledMeters, m)
+			s.meterMu.Unlock()
+		} else {
+			m.bits = make([]uint64, words)
+			m.wordEpoch = make([]uint32, words)
+			m.epoch = 1
+		}
 	} else {
 		m.arena = make(map[graph.Node][]graph.Node)
 	}
@@ -71,39 +104,91 @@ func (s *Session) Meter(budget int64) *Meter {
 
 // Reset zeroes the meter's accounting and local arena and installs a new
 // budget — the per-walker analogue of Session.ResetAccounting, used at the
-// burn-in/sampling boundary. Pending global debits are discarded, because
-// the caller resets the session's counter at the same barrier; call Flush
-// first to settle them instead.
+// burn-in/sampling boundary. The bitmap arena is invalidated by bumping the
+// meter's epoch (O(1)). Pending global debits and unreconciled local fetches
+// are discarded, because the caller resets the session's counters at the
+// same barrier; call Flush first to settle them instead.
 func (m *Meter) Reset(budget int64) {
 	m.budget = budget
 	m.calls = 0
 	m.pending = 0
-	clear(m.bits)
+	if m.bits != nil {
+		m.epoch = nextEpoch(m.epoch, func() { clear(m.wordEpoch) })
+	}
 	clear(m.arena)
 }
 
-// Flush forwards the batched global debits to the shared session counter.
-// Call it before reading Session.Calls() for accounting.
+// Flush settles this meter's deferred global accounting: batched debits are
+// forwarded to the shared session counter, and (on the walker-local path)
+// the local fetch bitmap is merged into the session's shared epoch array so
+// Session.Calls/UniqueNodes/PrepaidHits reflect this walker's traffic. Flush
+// is idempotent — nodes already merged are not recounted — and safe to call
+// while other walkers run. Call it before reading Session.Calls() for
+// accounting.
 func (m *Meter) Flush() {
 	if m.pending > 0 {
 		m.s.calls.Add(m.pending)
 		m.pending = 0
 	}
+	m.reconcile()
 }
 
-// fastBill reports whether global debits may be batched: with a session-level
-// budget every charge must be refused exactly at the cap, and with failure
-// injection every charge must roll (and possibly fail) individually, so both
-// force the exact per-call path.
+// reconcile merges the walker-local fetch bitmap into the session's shared
+// epoch-stamped array, counting exactly the nodes this walker was first
+// (across all walkers) to fetch in the current session epoch. Unique and
+// prepaid counters always advance; the global call counter advances only in
+// the default charging mode, where one global call is billed per unique
+// upstream fetch (with ChargeDuplicates every local charge was already
+// forwarded via pending).
+func (m *Meter) reconcile() {
+	if !m.local || m.bits == nil {
+		return
+	}
+	s := m.s
+	ep := s.epoch.Load()
+	var uniq, prepaidHits int64
+	for w, stamp := range m.wordEpoch {
+		if stamp != m.epoch || m.bits[w] == 0 {
+			continue
+		}
+		word := m.bits[w]
+		base := graph.Node(w << 6)
+		for word != 0 {
+			u := base + graph.Node(mathbits.TrailingZeros64(word))
+			word &= word - 1
+			if s.fetched[u].Swap(ep) != ep {
+				uniq++
+				if s.prepaid != nil && s.prepaid[u].Load() {
+					prepaidHits++
+				}
+			}
+		}
+	}
+	if uniq > 0 {
+		s.unique.Add(uniq)
+		if prepaidHits > 0 {
+			s.prepaidHits.Add(prepaidHits)
+		}
+		if !s.cfg.ChargeDuplicates {
+			s.calls.Add(uniq)
+		}
+	}
+}
+
+// fastBill reports whether global debits may be deferred: with a
+// session-level budget every charge must be refused exactly at the cap, and
+// with failure injection every charge must roll (and possibly fail)
+// individually, so both force the exact per-call path.
 func (m *Meter) fastBill() bool {
 	return m.s.cfg.Budget == 0 && m.s.cfg.FailureRate == 0
 }
 
-// localHit returns u's response if this meter has already fetched it.
+// localHit returns u's response if this meter has already fetched it in its
+// current accounting epoch.
 func (m *Meter) localHit(u graph.Node) ([]graph.Node, bool) {
 	if m.bits != nil {
 		w := uint(u) >> 6
-		if int(w) < len(m.bits) && m.bits[w]&(1<<(uint(u)&63)) != 0 {
+		if int(w) < len(m.bits) && m.wordEpoch[w] == m.epoch && m.bits[w]&(1<<(uint(u)&63)) != 0 {
 			return m.s.graphFast.Neighbors(u), true
 		}
 		return nil, false
@@ -112,10 +197,16 @@ func (m *Meter) localHit(u graph.Node) ([]graph.Node, bool) {
 	return adj, ok
 }
 
-// markLocal records u's response in the walker-local arena.
+// markLocal records u's response in the walker-local arena, lazily clearing
+// a bitmap word the first time it is touched in the current epoch.
 func (m *Meter) markLocal(u graph.Node, adj []graph.Node) {
 	if m.bits != nil {
-		m.bits[uint(u)>>6] |= 1 << (uint(u) & 63)
+		w := uint(u) >> 6
+		if m.wordEpoch[w] != m.epoch {
+			m.wordEpoch[w] = m.epoch
+			m.bits[w] = 0
+		}
+		m.bits[w] |= 1 << (uint(u) & 63)
 		return
 	}
 	m.arena[u] = adj
@@ -171,6 +262,28 @@ func (m *Meter) Neighbors(u graph.Node) ([]graph.Node, error) {
 func (m *Meter) fetch(u graph.Node) ([]graph.Node, error) {
 	if err := m.s.checkNode(u); err != nil {
 		return nil, err
+	}
+	if m.local {
+		// Fully walker-local: the response comes straight from the immutable
+		// in-memory graph and is recorded only in the local arena. No shared
+		// cache probe, no shared stamp write, no atomic — reconciliation with
+		// the session's global accounting happens at Flush. With
+		// ChargeDuplicates every charge is also a global call, deferred into
+		// the batched pending counter.
+		if m.budget > 0 && m.calls >= m.budget {
+			return nil, ErrBudgetExhausted
+		}
+		m.calls++
+		if m.s.cfg.ChargeDuplicates {
+			m.pending++
+			if m.pending >= meterFlushEvery {
+				m.s.calls.Add(m.pending)
+				m.pending = 0
+			}
+		}
+		adj := m.s.graphFast.Neighbors(u)
+		m.markLocal(u, adj)
+		return adj, nil
 	}
 	if m.fastBill() {
 		if m.budget > 0 && m.calls >= m.budget {

@@ -53,6 +53,13 @@ type Config struct {
 	// being surfaced. Every attempt is charged — real APIs bill the request
 	// whether or not the response arrives intact.
 	MaxRetries int
+	// Pool, when non-nil, recycles the session's node-indexed accounting
+	// arrays (and its meters' walker-local arenas) across sessions over
+	// graphs with the same node count, so a long-lived serving engine pays
+	// the O(|V|) allocations once instead of per estimate. The pool's node
+	// count must equal the Source's. Call Session.Release when the session
+	// is done with all metered access to return the arrays.
+	Pool *Pool
 }
 
 // API is the access surface shared by Session and Meter: everything the
@@ -107,9 +114,21 @@ type Session struct {
 	calls  atomic.Int64
 	unique atomic.Int64
 
-	// fetched marks nodes whose response is available locally — the crawl
-	// cache membership bit. Guards metering, not storage.
-	fetched []atomic.Bool
+	// epoch is the current accounting epoch. fetched[u] == epoch marks u's
+	// response as available locally — the crawl cache membership bit, which
+	// guards metering, not storage. ResetAccounting invalidates the whole
+	// bitmap by bumping the epoch instead of wiping O(|V|) entries, so the
+	// burn-in/sampling barrier costs O(1) regardless of graph size.
+	epoch   atomic.Uint32
+	fetched []atomic.Uint32
+
+	// pool, when non-nil, owns the backing of fetched and of every pooled
+	// meter arena; Release returns them. See Config.Pool.
+	pool *Pool
+	// meterMu guards pooledMeters (Meter may be called while earlier meters
+	// are live; registration must not race with Release).
+	meterMu      sync.Mutex
+	pooledMeters []*Meter
 
 	shards [cacheShards]cacheShard
 
@@ -147,18 +166,72 @@ func NewSessionFrom(src Source, cfg Config) (*Session, error) {
 	if cfg.Budget < 0 {
 		return nil, fmt.Errorf("osn: negative budget %d", cfg.Budget)
 	}
-	s := &Session{
-		src:     src,
-		cfg:     cfg,
-		fetched: make([]atomic.Bool, src.NumNodes()),
+	s := &Session{src: src, cfg: cfg, pool: cfg.Pool}
+	if s.pool != nil {
+		if s.pool.Nodes() != src.NumNodes() {
+			return nil, fmt.Errorf("osn: pool spans %d nodes, source %d", s.pool.Nodes(), src.NumNodes())
+		}
+		var last uint32
+		s.fetched, last = s.pool.getFetched()
+		s.epoch.Store(nextEpoch(last, func() { clearEpochs(s.fetched) }))
+	} else {
+		s.fetched = make([]atomic.Uint32, src.NumNodes())
+		s.epoch.Store(1)
 	}
 	if gs, ok := src.(GraphSource); ok {
 		s.graphFast = gs.G
-	}
-	for i := range s.shards {
-		s.shards[i].m = make(map[graph.Node][]graph.Node)
+	} else {
+		// The response store is only needed when responses cannot be re-read
+		// from an immutable in-memory graph; for GraphSource the graph itself
+		// is the store and the shard maps would be dead weight per session.
+		for i := range s.shards {
+			s.shards[i].m = make(map[graph.Node][]graph.Node)
+		}
 	}
 	return s, nil
+}
+
+// nextEpoch advances an epoch counter, invoking wipe (which must zero every
+// stamp the counter guards) on the once-in-2^32 wraparound so stale stamps
+// can never alias a live epoch.
+func nextEpoch(cur uint32, wipe func()) uint32 {
+	next := cur + 1
+	if next == 0 {
+		wipe()
+		next = 1
+	}
+	return next
+}
+
+// clearEpochs zeroes an epoch-stamp array (the wraparound slow path).
+func clearEpochs(a []atomic.Uint32) {
+	for i := range a {
+		a[i].Store(0)
+	}
+}
+
+// Release returns the session's pooled accounting arrays — and those of
+// every meter it issued — to the configured pool, for the next session over
+// the same graph size to reuse. It is a no-op for unpooled sessions. The
+// session and its meters must not perform any further metered access after
+// Release; free label reads (Labels, HasLabel) remain valid, so a recorded
+// trajectory bound to this session keeps replaying.
+func (s *Session) Release() {
+	if s.pool == nil {
+		return
+	}
+	s.meterMu.Lock()
+	meters := s.pooledMeters
+	s.pooledMeters = nil
+	s.meterMu.Unlock()
+	for _, m := range meters {
+		s.pool.putMeter(m.bits, m.wordEpoch, m.epoch)
+		m.bits, m.wordEpoch = nil, nil
+	}
+	if s.fetched != nil {
+		s.pool.putFetched(s.fetched, s.epoch.Load())
+		s.fetched = nil
+	}
 }
 
 // Source returns the backend this session meters.
@@ -272,16 +345,17 @@ func (s *Session) redeemPrepaid(u graph.Node) ([]graph.Node, bool) {
 		sh.m[u] = adj
 		sh.mu.Unlock()
 	}
-	if !s.fetched[u].Swap(true) {
+	if ep := s.epoch.Load(); s.fetched[u].Swap(ep) != ep {
 		s.unique.Add(1)
 		s.prepaidHits.Add(1)
 	}
 	return adj, true
 }
 
-// cached returns u's response if it is in the crawl cache.
+// cached returns u's response if it is in the crawl cache (fetched in the
+// current accounting epoch).
 func (s *Session) cached(u graph.Node) ([]graph.Node, bool) {
-	if !s.fetched[u].Load() {
+	if s.fetched[u].Load() != s.epoch.Load() {
 		return nil, false
 	}
 	if s.graphFast != nil {
@@ -307,7 +381,7 @@ func (s *Session) fill(u graph.Node) ([]graph.Node, error) {
 		sh.m[u] = adj
 		sh.mu.Unlock()
 	}
-	if !s.fetched[u].Swap(true) {
+	if ep := s.epoch.Load(); s.fetched[u].Swap(ep) != ep {
 		s.unique.Add(1)
 	}
 	return adj, nil
@@ -390,17 +464,17 @@ func (s *Session) Remaining() int64 {
 }
 
 // ResetAccounting zeroes the call counter and crawl cache, e.g. after
-// burn-in when only the sampling phase should be billed. Unlike the rest of
-// the Session it must not race with in-flight calls: callers synchronize
-// (the multi-walker engine barriers all walkers between burn-in and
-// sampling before resetting).
+// burn-in when only the sampling phase should be billed. The crawl-cache
+// bitmap is invalidated in O(1) by bumping the accounting epoch — stale
+// stamps simply stop matching — so the burn-in/sampling barrier does not
+// scale with |V|. Unlike the rest of the Session it must not race with
+// in-flight calls: callers synchronize (the multi-walker engine barriers
+// all walkers between burn-in and sampling before resetting).
 func (s *Session) ResetAccounting() {
 	s.calls.Store(0)
 	s.unique.Store(0)
 	s.prepaidHits.Store(0)
-	for i := range s.fetched {
-		s.fetched[i].Store(false)
-	}
+	s.epoch.Store(nextEpoch(s.epoch.Load(), func() { clearEpochs(s.fetched) }))
 	if s.graphFast == nil {
 		for i := range s.shards {
 			sh := &s.shards[i]

@@ -1,0 +1,111 @@
+package osn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poolMaxIdle bounds how many idle arrays of each kind a Pool retains, so a
+// burst of concurrent sessions cannot pin memory forever. Returns beyond the
+// cap are dropped for the garbage collector.
+const poolMaxIdle = 64
+
+// Pool recycles the node-indexed accounting arrays of sessions — the shared
+// epoch-stamped fetched array and the per-walker meter arenas — across
+// estimates over graphs with the same node count. On a million-node graph a
+// fresh session costs a 4MB fetched array plus ~2MB of arena per walker; a
+// long-lived serving engine pays that once per pool slot instead of per
+// estimate. Pass a Pool via Config.Pool and return the arrays with
+// Session.Release.
+//
+// Recycled arrays are NOT wiped: each entry carries the last epoch it was
+// used at, and the next session simply continues the epoch sequence, so a
+// warm acquisition is O(1). The once-in-2^32 wraparound falls back to a full
+// clear (see nextEpoch).
+//
+// A Pool is safe for concurrent use. All sessions drawing from one Pool must
+// span the same node count (enforced by NewSessionFrom); graph deltas only
+// ever change edges, so one pool per served graph is sound.
+type Pool struct {
+	nodes int
+
+	mu      sync.Mutex
+	fetched []fetchedEntry
+	meters  []meterEntry
+}
+
+type fetchedEntry struct {
+	arr  []atomic.Uint32
+	last uint32
+}
+
+type meterEntry struct {
+	bits      []uint64
+	wordEpoch []uint32
+	last      uint32
+}
+
+// NewPool returns an empty pool for sessions over graphs with the given node
+// count.
+func NewPool(nodes int) *Pool {
+	return &Pool{nodes: nodes}
+}
+
+// Nodes returns the node count this pool's arrays span.
+func (p *Pool) Nodes() int { return p.nodes }
+
+// getFetched returns a session fetched array and the last epoch it was
+// stamped at (0 for a fresh array).
+func (p *Pool) getFetched() ([]atomic.Uint32, uint32) {
+	p.mu.Lock()
+	if n := len(p.fetched); n > 0 {
+		e := p.fetched[n-1]
+		p.fetched[n-1] = fetchedEntry{}
+		p.fetched = p.fetched[:n-1]
+		p.mu.Unlock()
+		return e.arr, e.last
+	}
+	p.mu.Unlock()
+	return make([]atomic.Uint32, p.nodes), 0
+}
+
+// putFetched returns a fetched array together with the epoch it was last
+// stamped at.
+func (p *Pool) putFetched(arr []atomic.Uint32, last uint32) {
+	if len(arr) != p.nodes {
+		return
+	}
+	p.mu.Lock()
+	if len(p.fetched) < poolMaxIdle {
+		p.fetched = append(p.fetched, fetchedEntry{arr: arr, last: last})
+	}
+	p.mu.Unlock()
+}
+
+// getMeter returns a walker arena (bitmap + word-epoch array of the given
+// word count) and the last epoch it was stamped at (0 for a fresh arena).
+func (p *Pool) getMeter(words int) ([]uint64, []uint32, uint32) {
+	p.mu.Lock()
+	if n := len(p.meters); n > 0 {
+		e := p.meters[n-1]
+		p.meters[n-1] = meterEntry{}
+		p.meters = p.meters[:n-1]
+		p.mu.Unlock()
+		return e.bits, e.wordEpoch, e.last
+	}
+	p.mu.Unlock()
+	return make([]uint64, words), make([]uint32, words), 0
+}
+
+// putMeter returns a walker arena together with the epoch it was last
+// stamped at. Nil arenas (meters over non-graph sources) are ignored.
+func (p *Pool) putMeter(bits []uint64, wordEpoch []uint32, last uint32) {
+	if bits == nil || len(wordEpoch) != len(bits) || len(bits) != (p.nodes+63)/64 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.meters) < poolMaxIdle {
+		p.meters = append(p.meters, meterEntry{bits: bits, wordEpoch: wordEpoch, last: last})
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestWarmEngineAllocsConstantInGraphSize pins the pooling contract of the
+// serve engine (in the spirit of store's TestLoadAllocsPerStep): on a warm
+// engine, recording one more trajectory costs memory proportional to the
+// walk (budget, steps) — NOT to the graph. Without the session/arena pool
+// every estimate re-allocates the O(|V|) epoch array plus an O(|V|/64)
+// arena per walker, which at 16x the nodes shows up here as the large
+// graph's estimates allocating far more bytes than the small graph's.
+func TestWarmEngineAllocsConstantInGraphSize(t *testing.T) {
+	// Circulant graphs (each node linked to its 8 nearest ring neighbors):
+	// constant degree, so a fixed-budget walk references the same number of
+	// steps, neighbors and labels regardless of |V| — any remaining
+	// size-proportional cost is engine state, not the walk.
+	build := func(n int) *graph.Graph {
+		rng := rand.New(rand.NewSource(7))
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for d := 1; d <= 8; d++ {
+				if err := b.AddEdge(graph.Node(i), graph.Node((i+d)%n)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		g0, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := gen.Apply(g0, &gen.GenderLabeler{PFemale: 0.3, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	// Same budget and fleet for both sizes, so the walks cost the same and
+	// any difference is graph-size-proportional state.
+	perEstimate := func(g *graph.Graph) (bytes, objects float64) {
+		e := testEngine(t, g, Config{Budget: 200, Walkers: 2})
+		ctx := context.Background()
+		q := func(seed int64) {
+			_, err := e.Estimate(ctx, Query{
+				Pairs: []graph.LabelPair{{T1: 1, T2: 2}},
+				Seed:  seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		q(1) // warm: prime the pool and any lazy engine state
+		const runs = 8
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := int64(0); i < runs; i++ {
+			q(100 + i) // fresh seed => fresh recording, no cache hit
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.TotalAlloc-before.TotalAlloc) / runs,
+			float64(after.Mallocs-before.Mallocs) / runs
+	}
+
+	smallBytes, smallObjs := perEstimate(build(1_000))
+	largeBytes, largeObjs := perEstimate(build(16_000))
+	t.Logf("per-estimate allocations: small |V|=1000: %.0f B / %.0f objs; large |V|=16000: %.0f B / %.0f objs",
+		smallBytes, smallObjs, largeBytes, largeObjs)
+
+	// An unpooled large-graph estimate would add ~90KB of accounting arrays
+	// (64KB epoch array + 2 walker arenas) on top of the walk-proportional
+	// cost; allow walk-level noise well below that.
+	if largeBytes > smallBytes+48*1024 {
+		t.Errorf("per-estimate bytes grew with |V|: %.0f B at 16k nodes vs %.0f B at 1k — the session pool is not recycling O(|V|) arrays", largeBytes, smallBytes)
+	}
+	if largeObjs > smallObjs*1.5+64 {
+		t.Errorf("per-estimate allocation count grew with |V|: %.0f vs %.0f", largeObjs, smallObjs)
+	}
+}

@@ -350,6 +350,12 @@ type Engine struct {
 	// and compaction must advance one delta at a time.
 	deltaMu sync.Mutex
 
+	// pool recycles the O(|V|) session and walker accounting arrays across
+	// recordings, so a warm engine's per-estimate allocations are constant
+	// in graph size. Sound for the engine's lifetime because deltas only
+	// change edges, never the node count.
+	pool *osn.Pool
+
 	mu    sync.Mutex
 	cache map[trajKey]*entry
 	stats Stats
@@ -403,6 +409,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{cfg: cfg, burnIn: burn, cache: make(map[trajKey]*entry)}
+	e.pool = osn.NewPool(cfg.Graph.NumNodes())
 	e.graph.Store(cfg.Graph)
 	return e, nil
 }
@@ -1207,7 +1214,11 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry, stale *cor
 	if e.cfg.SourceFactory != nil {
 		src = e.cfg.SourceFactory(g)
 	}
-	s, err := osn.NewSessionFrom(src, osn.Config{})
+	scfg := osn.Config{}
+	if e.pool.Nodes() == g.NumNodes() {
+		scfg.Pool = e.pool
+	}
+	s, err := osn.NewSessionFrom(src, scfg)
 	var traj *core.Trajectory
 	var topUp core.TopUpStats
 	toppedUp := false
@@ -1227,6 +1238,10 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry, stale *cor
 		} else {
 			traj, err = core.RecordTrajectory(s, key.budget, opts)
 		}
+		// All metered access is over: hand the session's pooled accounting
+		// arrays to the next recording. The trajectory's bound label reads
+		// stay valid after Release (and queries rebind to the graph anyway).
+		s.Release()
 	}
 	var bytes int64
 	if err == nil {

@@ -63,8 +63,8 @@ type FleetConfig[N comparable] struct {
 	Ctx context.Context
 	// Seed roots the per-walker RNG streams.
 	Seed int64
-	// Walkers is the fleet size (>= 1). Callers should clamp it to K so
-	// every walker gets a positive share.
+	// Walkers is the fleet size (>= 1). RunFleet clamps it to K (when K >= 1)
+	// so every walker gets a positive share of the work.
 	Walkers int
 	// K is the total sample count (sample-driven) or API budget
 	// (budget-driven), split into near-equal per-walker shares.
@@ -85,20 +85,33 @@ type FleetConfig[N comparable] struct {
 }
 
 // RunFleet executes a multi-walker estimate: every walker picks a start and
-// burns in concurrently, a barrier resets the shared accounting (burn-in is
-// not billed, per the paper), per-walker budgets are armed, and all walkers
-// sample concurrently until each exhausts its share. The returned slice
-// holds each walker's billed API calls (deterministic for a fixed seed; see
-// osn.Meter).
+// burns in concurrently, an internal barrier resets the shared accounting
+// (burn-in is not billed, per the paper), per-walker budgets are armed, and
+// all walkers sample concurrently until each exhausts its share. The
+// returned slice holds each walker's billed API calls (deterministic for a
+// fixed seed; see osn.Meter).
+//
+// Each walker is one goroutine for its whole lifetime: it burns in, parks at
+// the barrier, and resumes into sampling when released — one spawn wave per
+// estimate instead of two, and the barrier itself is O(1) (epoch bumps, not
+// O(|V|) wipes). Walkers exceeding the work (Walkers > K when K >= 1) are
+// clamped away rather than silently given zero-share quotas, so the
+// returned slice may be shorter than cfg.Walkers. On every exit path —
+// including phase-1 errors — all meters are flushed first, so
+// Session.Calls() and UniqueNodes() are settled whenever RunFleet returns.
 func RunFleet[N comparable](cfg FleetConfig[N]) ([]int64, error) {
 	if cfg.Walkers < 1 {
 		return nil, fmt.Errorf("walk: fleet needs at least one walker, got %d", cfg.Walkers)
 	}
+	walkers := cfg.Walkers
+	if cfg.K >= 1 && walkers > cfg.K {
+		walkers = cfg.K // every walker must get a positive share
+	}
 	ctx, cancel := context.WithCancel(orBackground(cfg.Ctx))
 	defer cancel()
 
-	quotas := SplitQuota(cfg.K, cfg.Walkers)
-	runs := make([]*FleetRun[N], cfg.Walkers)
+	quotas := SplitQuota(cfg.K, walkers)
+	runs := make([]*FleetRun[N], walkers)
 	for i := range runs {
 		r := &FleetRun[N]{
 			ID:    i,
@@ -114,59 +127,63 @@ func RunFleet[N comparable](cfg FleetConfig[N]) ([]int64, error) {
 		runs[i] = r
 	}
 
-	errs := make([]error, cfg.Walkers)
-	var wg sync.WaitGroup
+	errs := make([]error, walkers)
+	var wg, burnt sync.WaitGroup
+	release := make(chan struct{})
+	sample := false // written before close(release), read after <-release
 
-	// Phase 1: construct and burn in every walker concurrently.
 	for _, r := range runs {
 		wg.Add(1)
+		burnt.Add(1)
 		go func(r *FleetRun[N]) {
 			defer wg.Done()
 			w, err := cfg.NewWalker(r)
 			if err != nil {
 				errs[r.ID] = fmt.Errorf("walk: walker %d start: %w", r.ID, err)
 				cancel()
-				return
-			}
-			if err := BurninCtx[N](ctx, w, cfg.BurnIn); err != nil {
+			} else if err := BurninCtx[N](ctx, w, cfg.BurnIn); err != nil {
 				errs[r.ID] = fmt.Errorf("walk: walker %d burn-in: %w", r.ID, err)
 				cancel()
+			} else {
+				r.W = w
+			}
+			// Barrier: park until the coordinator has reset the shared
+			// accounting and this walker's meter (safe: the walker is
+			// quiescent here, and close(release) orders the resets before
+			// the sampling phase reads).
+			burnt.Done()
+			<-release
+			if !sample {
 				return
 			}
-			r.W = w
-		}(r)
-	}
-	wg.Wait()
-	if err := firstFleetErr(errs); err != nil {
-		return nil, err
-	}
-
-	// Barrier: wipe burn-in charges and meters. Safe because no walker is
-	// in flight between the phases. The meters stay uncapped: per-walker
-	// budgets are enforced softly by Done() checks between iterations, so
-	// an iteration's trailing charges may overshoot the share slightly —
-	// exactly the serial loops' budget semantics ("s.Calls() >= k" checked
-	// between iterations). A hard meter cap would instead starve walkers
-	// whose share is smaller than one iteration's cost.
-	cfg.Session.ResetAccounting()
-	for _, r := range runs {
-		r.Meter.Reset(0)
-	}
-
-	// Phase 2: all walkers sample concurrently.
-	for _, r := range runs {
-		wg.Add(1)
-		go func(r *FleetRun[N]) {
-			defer wg.Done()
 			if err := cfg.Sample(r); err != nil {
 				errs[r.ID] = fmt.Errorf("walk: walker %d: %w", r.ID, err)
 				cancel()
 			}
 		}(r)
 	}
+
+	burnt.Wait()
+	if firstFleetErr(errs) == nil {
+		// Wipe burn-in charges and meters. The meters stay uncapped:
+		// per-walker budgets are enforced softly by Done() checks between
+		// iterations, so an iteration's trailing charges may overshoot the
+		// share slightly — exactly the serial loops' budget semantics
+		// ("s.Calls() >= k" checked between iterations). A hard meter cap
+		// would instead starve walkers whose share is smaller than one
+		// iteration's cost.
+		cfg.Session.ResetAccounting()
+		for _, r := range runs {
+			r.Meter.Reset(0)
+		}
+		sample = true
+	}
+	close(release)
 	wg.Wait()
-	// Settle every meter's batched global debits so Session.Calls() reflects
-	// the full upstream traffic before any caller reads it.
+
+	// Settle every meter's deferred global accounting — batched debits and
+	// walker-local fetch bitmaps — so Session.Calls() reflects the full
+	// upstream traffic on every exit path, error or not.
 	for _, r := range runs {
 		r.Meter.Flush()
 	}
@@ -174,7 +191,7 @@ func RunFleet[N comparable](cfg FleetConfig[N]) ([]int64, error) {
 		return nil, err
 	}
 
-	calls := make([]int64, cfg.Walkers)
+	calls := make([]int64, walkers)
 	for i, r := range runs {
 		calls[i] = r.Meter.Calls()
 	}
@@ -182,7 +199,8 @@ func RunFleet[N comparable](cfg FleetConfig[N]) ([]int64, error) {
 }
 
 // SplitQuota splits k into w near-equal positive shares (the first k%w
-// shares get the extra unit). Callers clamp w <= k first.
+// shares get the extra unit). RunFleet clamps w <= k before splitting;
+// direct callers should do the same.
 func SplitQuota(k, w int) []int {
 	out := make([]int, w)
 	base, rem := k/w, k%w

@@ -209,6 +209,119 @@ func TestRunFleetBarrierResetsAccounting(t *testing.T) {
 	}
 }
 
+// TestRunFleetClampsWalkers pins the clamp contract: a caller passing more
+// walkers than units of work gets K walkers with positive shares, not
+// cfg.Walkers with zero-share stragglers — in both quota modes.
+func TestRunFleetClampsWalkers(t *testing.T) {
+	for _, budgetDriven := range []bool{false, true} {
+		name := "samples"
+		if budgetDriven {
+			name = "budget"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := fleetGraph(t)
+			s, err := osn.NewSession(g, osn.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const (
+				W = 8
+				K = 3
+			)
+			sampled := make([]int, W)
+			calls, err := RunFleet(FleetConfig[graph.Node]{
+				Session:      s,
+				Seed:         11,
+				Walkers:      W,
+				K:            K,
+				BudgetDriven: budgetDriven,
+				BurnIn:       5,
+				NewWalker: func(r *FleetRun[graph.Node]) (Walker[graph.Node], error) {
+					if r.ID >= K {
+						t.Errorf("walker %d spawned beyond the K=%d clamp", r.ID, K)
+					}
+					return NewSimple[graph.Node](NodeSpace{S: r.Meter}, graph.Node(r.ID), r.Rng), nil
+				},
+				Sample: func(r *FleetRun[graph.Node]) error {
+					if budgetDriven && r.Budget <= 0 || !budgetDriven && r.Quota <= 0 {
+						t.Errorf("walker %d got a zero share", r.ID)
+					}
+					maxIters := r.MaxIters()
+					for iter := 0; iter < maxIters && !r.Done(sampled[r.ID]); iter++ {
+						if _, err := r.W.Step(); err != nil {
+							if errors.Is(err, osn.ErrBudgetExhausted) {
+								return nil
+							}
+							return err
+						}
+						sampled[r.ID]++
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(calls) != K {
+				t.Fatalf("returned %d per-walker calls, want the clamped %d", len(calls), K)
+			}
+			for i := K; i < W; i++ {
+				if sampled[i] != 0 {
+					t.Errorf("clamped-away walker %d drew %d samples", i, sampled[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunFleetPhase1ErrorSettlesAccounting checks the phase-1 failure path
+// flushes every meter before returning: burn-in traffic billed through
+// walker-local fast paths must be visible in Session.Calls() and
+// UniqueNodes() even when the fleet never reaches sampling.
+func TestRunFleetPhase1ErrorSettlesAccounting(t *testing.T) {
+	g := fleetGraph(t)
+	s, err := osn.NewSession(g, osn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	const prefetch = 5
+	_, err = RunFleet(FleetConfig[graph.Node]{
+		Session: s,
+		Seed:    4,
+		Walkers: 3,
+		K:       300,
+		BurnIn:  5,
+		NewWalker: func(r *FleetRun[graph.Node]) (Walker[graph.Node], error) {
+			if r.ID == 1 {
+				// Bill real traffic through the walker-local meter, then fail
+				// construction: the fleet must settle these charges globally
+				// before surfacing the error.
+				for u := 0; u < prefetch; u++ {
+					if _, err := r.Meter.Neighbors(graph.Node(u)); err != nil {
+						return nil, err
+					}
+				}
+				return nil, boom
+			}
+			return NewSimple[graph.Node](NodeSpace{S: r.Meter}, graph.Node(r.ID), r.Rng), nil
+		},
+		Sample: func(r *FleetRun[graph.Node]) error {
+			t.Error("sampling phase must not start after a phase-1 error")
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the construction error, got %v", err)
+	}
+	if got := s.Calls(); got < prefetch {
+		t.Errorf("Session.Calls() = %d after phase-1 error, want >= %d (meters not flushed)", got, prefetch)
+	}
+	if got := s.UniqueNodes(); got < prefetch {
+		t.Errorf("Session.UniqueNodes() = %d after phase-1 error, want >= %d", got, prefetch)
+	}
+}
+
 // TestRunFleetPropagatesWalkerError checks one failing walker cancels the
 // fleet and the real error (not the cancellation) surfaces.
 func TestRunFleetPropagatesWalkerError(t *testing.T) {

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestWalkerScalingGuardCPU is the regression guard for ROADMAP item 1 /
+// BENCH_walkers.json: on a multicore box, a CPU-bound fixed-budget estimate
+// split across 4 walkers must be decisively faster than the serial run. The
+// fleet hot path used to scale NEGATIVELY (0.60x at W=4 on GOMAXPROCS=4)
+// because of O(|V|) barrier wipes, false sharing on the fetched bitmap and
+// per-estimate arena allocation; this test keeps those overheads from
+// creeping back. The threshold is deliberately below the benched speedup
+// (~2x at W=4) to absorb CI noise while still failing hard if scaling
+// regresses toward or below 1x.
+//
+// The guard needs real parallelism: it skips on fewer than 4 usable cores
+// and runs in CI's GOMAXPROCS=4 bench job.
+func TestWalkerScalingGuardCPU(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a CPU-bound scaling guard, have %d", runtime.NumCPU())
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need GOMAXPROCS >= 4, have %d", runtime.GOMAXPROCS(0))
+	}
+	g, err := GenerateStandIn("facebook", 1.0, 2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := LabelPair{T1: 1, T2: 2}
+	const (
+		samples = 2000
+		burnIn  = 300
+		reps    = 3
+	)
+	run := func(w int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			if _, err := EstimateTargetEdges(g, pair, EstimateOptions{
+				Method:  NeighborSampleHH,
+				Samples: samples,
+				BurnIn:  burnIn,
+				Seed:    int64(rep),
+				Walkers: w,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	run(1) // warm caches and code paths before timing
+	serial := run(1)
+	fleet := run(4)
+	speedup := float64(serial) / float64(fleet)
+	t.Logf("cpu regime: W=1 %v, W=4 %v, speedup %.2fx", serial, fleet, speedup)
+	if speedup < 1.5 {
+		t.Errorf("cpu-regime W=4 speedup %.2fx below the 1.5x guard — the fleet hot path has regressed (see BENCH_walkers.json and docs/ARCHITECTURE.md fleet scaling)", speedup)
+	}
+}

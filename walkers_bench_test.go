@@ -43,10 +43,14 @@ func BenchmarkEstimateWalkers(b *testing.B) {
 	)
 
 	nsPerOp := map[string]map[int]float64{"cpu": {}, "latency": {}}
+	allocsPerOp := map[string]map[int]float64{"cpu": {}, "latency": {}}
 
 	for _, w := range benchWalkerCounts {
 		w := w
 		b.Run(fmt.Sprintf("cpu/%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			for i := 0; i < b.N; i++ {
 				if _, err := EstimateTargetEdges(g, pair, EstimateOptions{
 					Method:  NeighborSampleHH,
@@ -58,13 +62,18 @@ func BenchmarkEstimateWalkers(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			runtime.ReadMemStats(&after)
 			nsPerOp["cpu"][w] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			allocsPerOp["cpu"][w] = float64(after.Mallocs-before.Mallocs) / float64(b.N)
 		})
 	}
 
 	for _, w := range benchWalkerCounts {
 		w := w
 		b.Run(fmt.Sprintf("latency/%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			for i := 0; i < b.N; i++ {
 				src := osn.WithLatency(osn.NewGraphSource(g), delay, 0, 1)
 				s, err := osn.NewSessionFrom(src, osn.Config{})
@@ -82,22 +91,25 @@ func BenchmarkEstimateWalkers(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			runtime.ReadMemStats(&after)
 			nsPerOp["latency"][w] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			allocsPerOp["latency"][w] = float64(after.Mallocs-before.Mallocs) / float64(b.N)
 		})
 	}
 
-	writeWalkersBench(b, nsPerOp, samples)
+	writeWalkersBench(b, nsPerOp, allocsPerOp, samples)
 }
 
 // walkersBenchReport is the schema of BENCH_walkers.json.
 type walkersBenchReport struct {
-	GoMaxProcs int                           `json:"gomaxprocs"`
-	Samples    int                           `json:"samples_per_estimate"`
-	NsPerOp    map[string]map[string]float64 `json:"ns_per_op"`
-	Speedup    map[string]map[string]float64 `json:"speedup_vs_serial"`
+	GoMaxProcs  int                           `json:"gomaxprocs"`
+	Samples     int                           `json:"samples_per_estimate"`
+	NsPerOp     map[string]map[string]float64 `json:"ns_per_op"`
+	Speedup     map[string]map[string]float64 `json:"speedup_vs_serial"`
+	AllocsPerOp map[string]map[string]float64 `json:"allocs_per_op"`
 }
 
-func writeWalkersBench(b *testing.B, nsPerOp map[string]map[int]float64, samples int) {
+func writeWalkersBench(b *testing.B, nsPerOp, allocsPerOp map[string]map[int]float64, samples int) {
 	b.Helper()
 	for _, m := range nsPerOp {
 		if len(m) != len(benchWalkerCounts) {
@@ -105,14 +117,16 @@ func writeWalkersBench(b *testing.B, nsPerOp map[string]map[int]float64, samples
 		}
 	}
 	rep := walkersBenchReport{
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Samples:    samples,
-		NsPerOp:    map[string]map[string]float64{},
-		Speedup:    map[string]map[string]float64{},
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Samples:     samples,
+		NsPerOp:     map[string]map[string]float64{},
+		Speedup:     map[string]map[string]float64{},
+		AllocsPerOp: map[string]map[string]float64{},
 	}
 	for regime, m := range nsPerOp {
 		rep.NsPerOp[regime] = map[string]float64{}
 		rep.Speedup[regime] = map[string]float64{}
+		rep.AllocsPerOp[regime] = map[string]float64{}
 		serial := m[1]
 		for w, ns := range m {
 			key := fmt.Sprintf("%d", w)
@@ -120,6 +134,7 @@ func writeWalkersBench(b *testing.B, nsPerOp map[string]map[int]float64, samples
 			if ns > 0 {
 				rep.Speedup[regime][key] = serial / ns
 			}
+			rep.AllocsPerOp[regime][key] = allocsPerOp[regime][w]
 		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
