@@ -137,6 +137,17 @@ func TestCLIFlagValidation(t *testing.T) {
 	runExpectUsageError(t, serve, "-pprof", "-dataset", "facebook", "-scale", "0.1", "-pprof", "nonsense")
 	runExpectUsageError(t, gateway, "-pprof", "-replicas", "http://a:8080", "-pprof", "nonsense")
 
+	// Live-source flags (PR 10): -source-url must be a well-formed http(s)
+	// URL, the tuning knobs must be sane and need -source-url, and an
+	// unwritable cache path fails fast before the upstream is ever dialed.
+	runExpectUsageError(t, serve, "-source-url", "-dataset", "facebook", "-scale", "0.1", "-source-url", "not a url://")
+	runExpectUsageError(t, serve, "-source-url", "-dataset", "facebook", "-scale", "0.1", "-source-url", "ftp://api:1234")
+	runExpectUsageError(t, serve, "-source-rate", "-dataset", "facebook", "-scale", "0.1", "-source-url", "http://api:1234", "-source-rate", "-5")
+	runExpectUsageError(t, serve, "-source-retries", "-dataset", "facebook", "-scale", "0.1", "-source-url", "http://api:1234", "-source-retries", "-2")
+	runExpectUsageError(t, serve, "-source-timeout", "-dataset", "facebook", "-scale", "0.1", "-source-url", "http://api:1234", "-source-timeout", "-1s")
+	runExpectUsageError(t, serve, "-source-url", "-dataset", "facebook", "-scale", "0.1", "-source-cache", "x.osnc")
+	runExpectUsageError(t, serve, "-source-cache", "-dataset", "facebook", "-scale", "0.1", "-source-url", "http://api:1234", "-source-cache", filepath.Join(dir, "no-such-dir", "x.osnc"))
+
 	// Snapshot input is exclusive with the other sources and embeds labels.
 	runExpectUsageError(t, edgecount, "-graph", "-dataset", "facebook", "-graph", "x.osnb")
 	runExpectUsageError(t, edgecount, "-labels", "-graph", "x.osnb", "-labels", "x.labels")

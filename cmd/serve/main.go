@@ -51,6 +51,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/osn"
+	"repro/internal/osn/httpsrc"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -75,6 +77,13 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		compactSeg = flag.Int("compact-segments", 0, "compact a graph's .osnd delta log into its .osnb once it exceeds this many segments (0 = default 8)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+
+		sourceURL     = flag.String("source-url", "", "record against a live OSN HTTP API at this base URL (endpoints /meta, /neighbors/{id}, /degree/{id}, /labels/{id}) instead of the in-memory graph")
+		sourceCache   = flag.String("source-cache", "", "persistent .osnc response cache for -source-url; an interrupted recording resumes from it without re-paying the upstream")
+		sourceRate    = flag.Float64("source-rate", 0, "client-side rate limit toward -source-url in requests/second (0 = unlimited)")
+		sourceBurst   = flag.Float64("source-burst", 1, "token-bucket burst size for -source-rate")
+		sourceRetries = flag.Int("source-retries", 4, "retries per upstream request on transient failures (-1 = none)")
+		sourceTimeout = flag.Duration("source-timeout", 10*time.Second, "per-request timeout toward -source-url")
 	)
 	flag.Parse()
 
@@ -125,6 +134,50 @@ func main() {
 			fail("-pprof must be a host:port listen address, got %q: %v", *pprofAddr, err)
 		}
 	}
+	if *sourceURL == "" {
+		for flagName, set := range map[string]bool{
+			"-source-cache": *sourceCache != "", "-source-rate": *sourceRate != 0,
+			"-source-retries": *sourceRetries != 4, "-source-timeout": *sourceTimeout != 10*time.Second,
+		} {
+			if set {
+				fail("%s needs -source-url", flagName)
+			}
+		}
+	}
+	srcCfg := httpsrc.Config{
+		BaseURL:    *sourceURL,
+		CachePath:  *sourceCache,
+		Rate:       *sourceRate,
+		Burst:      *sourceBurst,
+		MaxRetries: *sourceRetries,
+		Timeout:    *sourceTimeout,
+	}
+	if *sourceURL != "" {
+		if *sourceRate < 0 {
+			fail("-source-rate must be non-negative, got %g", *sourceRate)
+		}
+		if *sourceBurst < 0 {
+			fail("-source-burst must be non-negative, got %g", *sourceBurst)
+		}
+		if *sourceRetries < -1 {
+			fail("-source-retries must be >= -1 (-1 disables retries), got %d", *sourceRetries)
+		}
+		if *sourceTimeout < 0 {
+			fail("-source-timeout must be non-negative, got %s", *sourceTimeout)
+		}
+		if err := httpsrc.ValidateConfig(srcCfg); err != nil {
+			fail("-source-url: %v", err)
+		}
+		if *sourceCache != "" {
+			// Pre-flight the cache path before dialing the upstream, so a
+			// misconfigured deployment fails fast with exit 2.
+			f, err := os.OpenFile(*sourceCache, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail("-source-cache %s is not writable: %v", *sourceCache, err)
+			}
+			f.Close()
+		}
+	}
 
 	var st *store.Dir
 	if *storeDir != "" {
@@ -135,7 +188,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	ws, err := serve.NewWorkspace(serve.WorkspaceConfig{
+	// With -source-url, every recording meters the live upstream through one
+	// shared client (its .osnc cache and rate limiter span all sessions),
+	// and /healthz readiness tracks the upstream's reachability.
+	var src *httpsrc.Client
+	if *sourceURL != "" {
+		var err error
+		src, err = httpsrc.New(srcCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		defer src.Close()
+		log.Printf("upstream source %s: |V|=%d |E|=%d, cache=%s (%d responses)",
+			*sourceURL, src.NumNodes(), src.NumEdges(), *sourceCache, src.Cache().Len())
+	}
+	wcfg := serve.WorkspaceConfig{
 		Store:      st,
 		CacheBytes: *cacheBytes,
 		GraphsDir:  *graphsDir,
@@ -147,7 +215,12 @@ func main() {
 			TTL:             *ttl,
 			CompactSegments: *compactSeg,
 		},
-	})
+	}
+	if src != nil {
+		wcfg.Defaults.SourceFactory = func(*repro.Graph) osn.Source { return src }
+		wcfg.SourceReady = src.Healthy
+	}
+	ws, err := serve.NewWorkspace(wcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -159,6 +232,11 @@ func main() {
 	// segments (generated and text-loaded graphs have no snapshot to anchor
 	// a delta log to, so their deltas live in memory only).
 	addGraph := func(name string, g *repro.Graph, snapPath string) {
+		if src != nil && g.NumNodes() != src.NumNodes() {
+			fmt.Fprintf(os.Stderr, "serve: graph %q has %d nodes but the upstream at %s serves %d — recordings need a matching skeleton snapshot\n",
+				name, g.NumNodes(), *sourceURL, src.NumNodes())
+			os.Exit(1)
+		}
 		callBudget := int(*budget * float64(g.NumNodes()))
 		if callBudget < 100 {
 			callBudget = 100

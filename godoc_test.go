@@ -19,6 +19,8 @@ var docCheckedPackages = []string{
 	"internal/gateway/clustertest",
 	"internal/graph",
 	"internal/graph/snapshot",
+	"internal/osn/httpsrc",
+	"internal/osn/httpsrc/faultsim",
 	"internal/serve",
 	"internal/store",
 }

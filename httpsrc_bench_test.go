@@ -1,0 +1,186 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/osn/httpsrc"
+	"repro/internal/osn/httpsrc/faultsim"
+	"repro/internal/stats"
+)
+
+// BenchmarkHTTPSourceResume measures what the .osnc response cache buys a
+// crawler that gets killed and restarted: recording a trajectory over the
+// HTTP source from scratch (every unique node is a paid, latency-bearing
+// upstream round-trip) versus re-recording over a fully populated cache (a
+// fresh client reloads the .osnc, prepays the session, and the upstream
+// sees zero neighbor fetches). Upstream calls are read from the faultsim
+// ledger, not assumed, and the resumed trajectory is asserted bit-identical
+// to the cold one. Writes BENCH_httpsrc.json so CI tracks the zero-refetch
+// invariant and the wall-clock ratio.
+//
+// Run: go test -short -bench BenchmarkHTTPSourceResume -benchtime 1x -run '^$' .
+func BenchmarkHTTPSourceResume(b *testing.B) {
+	scale, samples, latency := 1.0, 2000, 2*time.Millisecond
+	if testing.Short() {
+		scale, samples, latency = 0.25, 800, time.Millisecond
+	}
+	g, err := GenerateStandIn("facebook", scale, 2018)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const burnIn = 200
+	up := faultsim.New(g)
+	defer up.Close()
+	// Every upstream answer bears a fixed service latency — the cost the
+	// cache saves. (A real API adds network RTT and rate limits on top.)
+	up.SetSchedule(func(call int64, endpoint string, node graph.Node) *faultsim.Fault {
+		return &faultsim.Fault{Latency: latency}
+	})
+
+	opts := func() core.Options {
+		seed := int64(41)
+		return core.Options{
+			BurnIn: burnIn, Rng: stats.NewSeedSequence(seed).NextRand(), Start: -1,
+			Walkers: 4, Seed: stats.Derive(seed, "httpsrc/bench"),
+		}
+	}
+	record := func(cachePath string) (*core.Trajectory, *httpsrc.Client) {
+		c, err := httpsrc.New(httpsrc.Config{BaseURL: up.URL(), CachePath: cachePath})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := osn.NewSessionFrom(c, osn.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.PrimeSession(s)
+		traj, err := core.RecordTrajectory(s, samples, opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return traj, c
+	}
+
+	dir := b.TempDir()
+	var (
+		nsCold, nsResumed       float64
+		callsCold, callsResumed int64 = 0, -1
+		coldTraj, resumedTraj   *core.Trajectory
+		cachedResponses         int
+		coldRan, resumedRan     bool
+	)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := os.MkdirAll(filepath.Join(dir, "cold"), 0o755); err != nil {
+				b.Fatal(err)
+			}
+			before := up.Ledger().Neighbors
+			traj, c := record(filepath.Join(dir, "cold", "c.osnc"))
+			callsCold = up.Ledger().Neighbors - before
+			coldTraj = traj
+			c.Close()
+			os.RemoveAll(filepath.Join(dir, "cold")) // next iteration starts cacheless
+		}
+		nsCold = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		coldRan = true
+	})
+
+	// Populate the cache once, untimed: the recording a killed crawler
+	// leaves behind on disk.
+	resumePath := filepath.Join(dir, "resume.osnc")
+	if _, c := record(resumePath); true {
+		cachedResponses = c.Cache().Len()
+		c.Close()
+	}
+
+	b.Run("resumed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			before := up.Ledger().Neighbors
+			traj, c := record(resumePath) // fresh client, warm .osnc: the restart
+			callsResumed = up.Ledger().Neighbors - before
+			resumedTraj = traj
+			c.Close()
+		}
+		nsResumed = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		resumedRan = true
+	})
+
+	if !coldRan || !resumedRan {
+		return // a sub-benchmark was filtered out; skip the report
+	}
+	if !reflect.DeepEqual(resumedTraj.Data(), coldTraj.Data()) {
+		b.Error("resumed trajectory differs from the cold recording — the cache broke bit-identity")
+	}
+	writeHTTPSourceBench(b, httpsrcReport{
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		Nodes:             g.NumNodes(),
+		Edges:             g.NumEdges(),
+		Samples:           samples,
+		BurnIn:            burnIn,
+		Walkers:           4,
+		UpstreamLatencyMs: float64(latency) / 1e6,
+		CachedResponses:   cachedResponses,
+		FetchesCold:       callsCold,
+		FetchesResumed:    callsResumed,
+		NsPerOpCold:       nsCold,
+		NsPerOpResumed:    nsResumed,
+		ColdOverResumed:   nsCold / nsResumed,
+	})
+}
+
+// httpsrcReport is the schema of BENCH_httpsrc.json.
+type httpsrcReport struct {
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Nodes      int   `json:"graph_nodes"`
+	Edges      int64 `json:"graph_edges"`
+	Samples    int   `json:"samples"`
+	BurnIn     int   `json:"burn_in"`
+	Walkers    int   `json:"walkers"`
+	// UpstreamLatencyMs is the injected per-request service latency the
+	// cold path pays per unique node and the resumed path avoids.
+	UpstreamLatencyMs float64 `json:"upstream_latency_ms"`
+	// CachedResponses is how many neighbor responses the .osnc held when
+	// the resumed runs started.
+	CachedResponses int `json:"cached_responses"`
+	// FetchesCold is the ledger-measured upstream neighbor fetches of a
+	// cacheless recording; FetchesResumed is the acceptance headline — the
+	// resumed recording's upstream neighbor fetches, which MUST be 0.
+	FetchesCold    int64 `json:"upstream_fetches_cold"`
+	FetchesResumed int64 `json:"upstream_fetches_resumed"`
+	// NsPerOpCold and NsPerOpResumed time one full recording each way.
+	NsPerOpCold    float64 `json:"ns_per_op_cold"`
+	NsPerOpResumed float64 `json:"ns_per_op_resumed"`
+	// ColdOverResumed is the restart speedup the persisted cache buys.
+	ColdOverResumed float64 `json:"cold_over_resumed_speedup"`
+}
+
+// writeHTTPSourceBench validates and writes the resume report.
+func writeHTTPSourceBench(b *testing.B, rep httpsrcReport) {
+	b.Helper()
+	if rep.FetchesResumed != 0 {
+		b.Errorf("resumed recording paid %d upstream neighbor fetches, want exactly 0", rep.FetchesResumed)
+	}
+	if rep.ColdOverResumed < 2 {
+		b.Errorf("resume speedup %.2fx; want >= 2x over a cold recording at %.0fms upstream latency",
+			rep.ColdOverResumed, rep.UpstreamLatencyMs)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_httpsrc.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_httpsrc.json: cold %d fetches / %.1fms, resumed %d fetches / %.1fms (%.1fx), %d cached responses",
+		rep.FetchesCold, rep.NsPerOpCold/1e6, rep.FetchesResumed, rep.NsPerOpResumed/1e6, rep.ColdOverResumed, rep.CachedResponses)
+}

@@ -38,6 +38,9 @@ type TaskParams struct {
 	// ThinGap overrides the collision-spacing gap of kind "size"; 0 uses
 	// the 2.5%-of-samples default.
 	ThinGap int
+	// Variant selects the mixing measure of kind "assortativity": "degree"
+	// (the default when empty) or "label".
+	Variant string
 }
 
 // EstimationTask consumes a recorded trajectory and produces a typed result.

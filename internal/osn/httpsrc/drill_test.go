@@ -1,0 +1,274 @@
+package httpsrc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/osn"
+	"repro/internal/osn/httpsrc/faultsim"
+)
+
+// drillOpts returns fresh recording options for one drill run. Every run
+// gets its own rand.Source so repeated recordings walk identical paths.
+func drillOpts() core.Options {
+	return core.Options{
+		BurnIn: 50, Rng: rand.New(rand.NewSource(11)), Start: -1,
+		Walkers: 3, Seed: 9,
+	}
+}
+
+const drillSamples = 400
+
+// drillSession wraps a client in the metered access model.
+func drillSession(t *testing.T, c *Client) *osn.Session {
+	t.Helper()
+	s, err := osn.NewSessionFrom(c, osn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// recordControl records the uninterrupted reference trajectory through a
+// memory-only client against a healthy upstream.
+func recordControl(t *testing.T, g *graph.Graph) *core.Trajectory {
+	t.Helper()
+	up := faultsim.New(g)
+	defer up.Close()
+	c, err := New(fastCfg(up.URL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	traj, err := core.RecordTrajectory(drillSession(t, c), drillSamples, drillOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+// TestDrillResumeAfterKill is the kill-and-restart drill: a recording dies
+// mid-walk when the upstream starts failing, the process "restarts" with a
+// fresh client over the same .osnc cache, and the re-recorded trajectory
+// (a) never re-fetches a previously paid response — faultsim-ledger
+// asserted per node — and (b) is bit-identical to an uninterrupted run.
+func TestDrillResumeAfterKill(t *testing.T) {
+	g := apiGraph(t)
+	control := recordControl(t, g)
+	cachePath := t.TempDir() + "/resume.osnc"
+
+	// Phase 1: the upstream dies after 20 neighbor fetches; the recording
+	// client has no retry budget, so the walk is interrupted mid-flight.
+	up1 := faultsim.New(g)
+	cfg := fastCfg(up1.URL())
+	cfg.CachePath = cachePath
+	cfg.MaxRetries = -1
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served int
+	up1.SetSchedule(func(call int64, endpoint string, node graph.Node) *faultsim.Fault {
+		if endpoint != "neighbors" {
+			return nil
+		}
+		served++
+		if served > 20 {
+			return &faultsim.Fault{Status: 500}
+		}
+		return nil
+	})
+	if _, err := core.RecordTrajectory(drillSession(t, c1), drillSamples, drillOpts()); err == nil {
+		t.Fatal("interrupted recording finished cleanly; the drill needs a mid-walk failure")
+	}
+	c1.Close() // the "kill": all in-memory state is gone, only .osnc remains
+	up1.Close()
+
+	// Phase 2: restart. A fresh client reloads the cache; everything it
+	// holds is prepaid into the new session and must cost zero upstream
+	// neighbor fetches.
+	up2 := faultsim.New(g)
+	defer up2.Close()
+	cfg2 := fastCfg(up2.URL())
+	cfg2.CachePath = cachePath
+	c2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	paid := c2.Cache().NeighborResponses()
+	if len(paid) == 0 || len(paid) >= g.NumNodes() {
+		t.Fatalf("drill setup: %d of %d responses survived the kill; want a strict mid-walk subset", len(paid), g.NumNodes())
+	}
+	s := drillSession(t, c2)
+	c2.PrimeSession(s)
+	resumed, err := core.RecordTrajectory(s, drillSamples, drillOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ledger := up2.Ledger()
+	for u := range paid {
+		if n := ledger.PerNode[u]; n != 0 {
+			t.Errorf("node %d was paid before the kill but re-fetched %d times", u, n)
+		}
+	}
+	// Distinct fetched nodes are bounded by the unpaid set; concurrent
+	// walkers missing the same node at once may add a few duplicate calls.
+	distinct := 0
+	for _, n := range ledger.PerNode {
+		if n > 0 {
+			distinct++
+		}
+	}
+	if unpaid := g.NumNodes() - len(paid); distinct > unpaid {
+		t.Errorf("resume fetched %d distinct nodes, only %d were unpaid", distinct, unpaid)
+	}
+	if s.PrepaidHits() == 0 {
+		t.Error("resumed walk redeemed zero prepaid responses")
+	}
+	if !reflect.DeepEqual(resumed.Data(), control.Data()) {
+		t.Error("resumed trajectory differs from the uninterrupted control")
+	}
+}
+
+// TestDrillRetryAfterStorm: a 429 storm with Retry-After 1s must pace the
+// client at the upstream's requested cadence, not its own tiny backoff.
+func TestDrillRetryAfterStorm(t *testing.T) {
+	g := apiGraph(t)
+	up := faultsim.New(g)
+	defer up.Close()
+	cfg := fastCfg(up.URL())
+	cfg.MaxBackoff = 5 * time.Millisecond // own backoff is negligible next to Retry-After
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var storms int
+	up.SetSchedule(func(call int64, endpoint string, node graph.Node) *faultsim.Fault {
+		if endpoint == "neighbors" && storms < 3 {
+			storms++
+			return &faultsim.Fault{Status: 429, RetryAfter: time.Second}
+		}
+		return nil
+	})
+	start := time.Now()
+	adj, err := c.Neighbors(2)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(adj, g.Neighbors(2)) {
+		t.Errorf("post-storm response %v, want %v", adj, g.Neighbors(2))
+	}
+	if elapsed < 2900*time.Millisecond {
+		t.Errorf("three Retry-After: 1s throttles honored in %s; client is ignoring the header", elapsed)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("storm recovery took %s; client is over-waiting", elapsed)
+	}
+	if s := c.Stats(); s.Throttled != 3 {
+		t.Errorf("Throttled = %d, want 3", s.Throttled)
+	}
+}
+
+// TestDrillRetryBudgetExhaustion: when the upstream fails for good, the
+// recording surfaces the client's typed error and the walk's partial
+// accounting is settled — every request that went out stays billed.
+func TestDrillRetryBudgetExhaustion(t *testing.T) {
+	g := apiGraph(t)
+	up := faultsim.New(g)
+	defer up.Close()
+	cfg := fastCfg(up.URL())
+	cfg.MaxRetries = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var served int
+	up.SetSchedule(func(call int64, endpoint string, node graph.Node) *faultsim.Fault {
+		if endpoint != "neighbors" {
+			return nil
+		}
+		served++
+		if served > 5 {
+			return &faultsim.Fault{Status: 500}
+		}
+		return nil
+	})
+	s := drillSession(t, c)
+	// Serial walk: with one walker the settled bill is exact.
+	opts := drillOpts()
+	opts.Walkers = 0
+	_, err = core.RecordTrajectory(s, drillSamples, opts)
+	if err == nil {
+		t.Fatal("recording against a dead upstream succeeded")
+	}
+	var rbe *RetryBudgetError
+	if !errors.As(err, &rbe) {
+		t.Fatalf("want *RetryBudgetError in the chain, got %v", err)
+	}
+	// 5 paid fetches plus the failed one: charge-then-fetch means the lost
+	// request is billed too, exactly like a real API.
+	if got := s.Calls(); got != 6 {
+		t.Errorf("session settled %d calls, want 6 (5 served + 1 failed)", got)
+	}
+	if c.Healthy() {
+		t.Error("exhausted client still reports healthy")
+	}
+	up.SetSchedule(nil)
+	if _, err := c.Neighbors(50); err != nil {
+		t.Fatalf("recovered fetch: %v", err)
+	}
+	if !c.Healthy() {
+		t.Error("client stayed unhealthy after recovery")
+	}
+}
+
+// TestDrillHungUpstreamCancel: a hung upstream must not wedge the fleet —
+// cancelling the shared base context unblocks every in-flight walker.
+func TestDrillHungUpstreamCancel(t *testing.T) {
+	g := apiGraph(t)
+	up := faultsim.New(g)
+	defer up.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := fastCfg(up.URL())
+	cfg.BaseContext = ctx
+	cfg.Timeout = 30 * time.Second
+	cfg.MaxRetries = -1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	up.SetSchedule(func(call int64, endpoint string, node graph.Node) *faultsim.Fault {
+		return &faultsim.Fault{Hang: 30 * time.Second}
+	})
+	opts := drillOpts()
+	opts.Walkers = 4
+	opts.Ctx = ctx
+	done := make(chan error, 1)
+	go func() {
+		_, err := core.RecordTrajectory(drillSession(t, c), drillSamples, opts)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled fleet recording reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fleet still wedged 5s after cancellation")
+	}
+}

@@ -306,20 +306,28 @@ func (s *Session) chargeRetry(u graph.Node) error {
 // must guarantee each response equals what the Source would return NOW —
 // core.ResumeRecording builds the map by filtering a stale trajectory's
 // recorded responses against the current graph. Call before any fetches;
-// Prepay must not race with in-flight calls.
+// Prepay must not race with in-flight calls. Successive calls merge (the
+// later call wins per node), so a source-side persistent cache (see
+// SessionPrimer) and a trajectory top-up can both prepay one session.
 func (s *Session) Prepay(resp map[graph.Node][]graph.Node) {
 	if len(resp) == 0 {
 		return
 	}
-	p := make([]atomic.Bool, s.src.NumNodes())
+	if s.prepaid == nil {
+		s.prepaid = make([]atomic.Bool, s.src.NumNodes())
+	}
 	for u := range resp {
-		if u >= 0 && int(u) < len(p) {
-			p[u].Store(true)
+		if u >= 0 && int(u) < len(s.prepaid) {
+			s.prepaid[u].Store(true)
 		}
 	}
-	s.prepaid = p
 	if s.graphFast == nil {
-		s.prepaidResp = resp
+		if s.prepaidResp == nil {
+			s.prepaidResp = make(map[graph.Node][]graph.Node, len(resp))
+		}
+		for u, adj := range resp {
+			s.prepaidResp[u] = adj
+		}
 	}
 }
 

@@ -40,6 +40,17 @@ type Source interface {
 	RandomNode(rng *rand.Rand) graph.Node
 }
 
+// SessionPrimer is implemented by Sources that carry previously paid
+// responses across process restarts — e.g. the HTTP crawler backend's
+// persistent .osnc response cache (internal/osn/httpsrc). The serving layer
+// primes each new Session with those responses via Prepay, so a resumed
+// recording is billed identically to an uninterrupted one but pays the
+// upstream nothing for responses already on disk. PrimeSession must be
+// called before any metered fetches on s.
+type SessionPrimer interface {
+	PrimeSession(s *Session)
+}
+
 // GraphSource is the in-memory Source: a fully materialized immutable
 // graph.Graph. It is the backend of every simulation in this repository.
 type GraphSource struct {

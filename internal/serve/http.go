@@ -37,6 +37,9 @@ type estimateQuery struct {
 	Motif string `json:"motif,omitempty"`
 	// Top bounds how many census rows kind "census" returns (0 = all).
 	Top int `json:"top,omitempty"`
+	// Variant is the mixing measure for kind "assortativity": "degree"
+	// (default) or "label".
+	Variant string `json:"variant,omitempty"`
 }
 
 // estimateRequest is the POST /estimate body: one query (the historical
@@ -110,6 +113,15 @@ type motifJSON struct {
 	Rows  []motifRowJSON `json:"rows"`
 }
 
+// assortJSON is the kind="assortativity" result.
+type assortJSON struct {
+	Variant     string  `json:"variant"`
+	Coefficient float64 `json:"coefficient"`
+	Used        int     `json:"used"`
+	Skipped     int     `json:"skipped"`
+	CI          *ciJSON `json:"ci,omitempty"`
+}
+
 // estimateResponse is one answered query. Exactly one of
 // Pairs/Size/Census/Motif is populated, per the request kind — or Error,
 // for a batch member whose replay failed.
@@ -120,6 +132,7 @@ type estimateResponse struct {
 	Size     *sizeJSON        `json:"size,omitempty"`
 	Census   []censusRowJSON  `json:"census,omitempty"`
 	Motif    *motifJSON       `json:"motif,omitempty"`
+	Assort   *assortJSON      `json:"assortativity,omitempty"`
 	Error    string           `json:"error,omitempty"`
 	APICalls int64            `json:"api_calls"`
 	Charged  int64            `json:"charged"`
@@ -234,22 +247,22 @@ type healthResponse struct {
 	// Ready is false until every configured graph has finished loading (see
 	// Workspace.ExpectGraphs); probers must not route traffic to an unready
 	// replica even though the listener answers.
-	Ready  bool `json:"ready"`
-	Graphs int  `json:"graphs"`
-	Queries         int64  `json:"queries"`
-	CacheHits       int64  `json:"cache_hits"`
-	Recordings      int64  `json:"recordings"`
-	StoreLoads      int64  `json:"store_loads"`
-	StoreSaves      int64  `json:"store_saves"`
-	StoreErrors     int64  `json:"store_errors"`
-	UpstreamCalls   int64  `json:"upstream_api_calls"`
-	Deltas          int64  `json:"deltas"`
-	TopUps          int64  `json:"topups"`
-	TopUpSavedCalls int64  `json:"topup_saved_calls"`
-	Imports         int64  `json:"imports"`
-	CacheBytesUsed  int64  `json:"cache_bytes_used"`
-	CacheByteBudget int64  `json:"cache_byte_budget"`
-	UptimeSec       int64  `json:"uptime_seconds"`
+	Ready           bool  `json:"ready"`
+	Graphs          int   `json:"graphs"`
+	Queries         int64 `json:"queries"`
+	CacheHits       int64 `json:"cache_hits"`
+	Recordings      int64 `json:"recordings"`
+	StoreLoads      int64 `json:"store_loads"`
+	StoreSaves      int64 `json:"store_saves"`
+	StoreErrors     int64 `json:"store_errors"`
+	UpstreamCalls   int64 `json:"upstream_api_calls"`
+	Deltas          int64 `json:"deltas"`
+	TopUps          int64 `json:"topups"`
+	TopUpSavedCalls int64 `json:"topup_saved_calls"`
+	Imports         int64 `json:"imports"`
+	CacheBytesUsed  int64 `json:"cache_bytes_used"`
+	CacheByteBudget int64 `json:"cache_byte_budget"`
+	UptimeSec       int64 `json:"uptime_seconds"`
 }
 
 // NewHandler exposes a Workspace as an HTTP JSON API:
@@ -488,13 +501,13 @@ func NewHandler(ws *Workspace) http.Handler {
 	// method-qualified patterns above would otherwise answer with the Go
 	// mux's plain-text 405.
 	for path, allow := range map[string]string{
-		"/estimate":                    "POST only",
-		"/graphs":                      "GET only",
-		"/graphs/{name}":               "PUT, PATCH or DELETE only",
-		"/trajectories/{graph}":        "GET only",
-		"/trajectories/{graph}/{key}":  "GET or PUT only",
-		"/methods":                     "GET only",
-		"/healthz":                     "GET only",
+		"/estimate":                   "POST only",
+		"/graphs":                     "GET only",
+		"/graphs/{name}":              "PUT, PATCH or DELETE only",
+		"/trajectories/{graph}":       "GET only",
+		"/trajectories/{graph}/{key}": "GET or PUT only",
+		"/methods":                    "GET only",
+		"/healthz":                    "GET only",
 	} {
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusMethodNotAllowed, allow)
@@ -534,8 +547,8 @@ func NewHandler(ws *Workspace) http.Handler {
 // one trajectory of one graph. Mixed-graph batches are rejected with 400
 // before any API spend.
 func handleBatch(ws *Workspace, w http.ResponseWriter, r *http.Request, req estimateRequest) {
-	if req.Kind != "" || len(req.estimateQuery.Pairs) > 0 || req.Motif != "" || req.Top != 0 {
-		httpError(w, http.StatusBadRequest, "a batch request puts kind/pairs/motif/top inside \"queries\", not at the top level")
+	if req.Kind != "" || len(req.estimateQuery.Pairs) > 0 || req.Motif != "" || req.Top != 0 || req.Variant != "" {
+		httpError(w, http.StatusBadRequest, "a batch request puts kind/pairs/motif/top/variant inside \"queries\", not at the top level")
 		return
 	}
 	graphName := req.Graph
@@ -577,6 +590,7 @@ func buildQuery(w http.ResponseWriter, eq estimateQuery, req estimateRequest) (Q
 		Kind:    eq.Kind,
 		Motif:   eq.Motif,
 		Top:     eq.Top,
+		Variant: eq.Variant,
 		Budget:  req.Budget,
 		Walkers: req.Walkers,
 		Seed:    req.Seed,
@@ -621,14 +635,14 @@ func writeEstimateError(w http.ResponseWriter, r *http.Request, err error) {
 // renderAnswer maps an engine Answer onto the kind-specific wire schema.
 func renderAnswer(graphName string, ans *Answer) estimateResponse {
 	resp := estimateResponse{
-		Graph:        graphName,
-		Kind:         ans.Kind,
-		APICalls:     ans.APICalls,
-		Charged:      ans.Charged,
-		CacheHit:     ans.CacheHit,
-		SharedBy:     ans.SharedBy,
-		Walkers:      ans.Walkers,
-		Samples:      ans.Samples,
+		Graph:         graphName,
+		Kind:          ans.Kind,
+		APICalls:      ans.APICalls,
+		Charged:       ans.Charged,
+		CacheHit:      ans.CacheHit,
+		SharedBy:      ans.SharedBy,
+		Walkers:       ans.Walkers,
+		Samples:       ans.Samples,
 		GraphVersion:  ans.GraphVersion,
 		StaleSteps:    ans.StaleSteps,
 		TrajectoryKey: ans.StoreKey,
@@ -679,6 +693,14 @@ func renderAnswer(graphName string, ans *Answer) estimateResponse {
 			m.Rows = append(m.Rows, rj)
 		}
 		resp.Motif = m
+	case core.AssortativityResult:
+		resp.Assort = &assortJSON{
+			Variant:     res.Variant,
+			Coefficient: res.Coefficient,
+			Used:        res.Used,
+			Skipped:     res.Skipped,
+			CI:          ciPtr(res.CI),
+		}
 	}
 	return resp
 }

@@ -169,6 +169,9 @@ type Query struct {
 	// Motif selects the motif shape for kind "motif": "wedges" or
 	// "triangles".
 	Motif string
+	// Variant selects the mixing measure for kind "assortativity": "degree"
+	// (the default when empty) or "label". Ignored otherwise.
+	Variant string
 	// Top bounds how many census rows kind "census" returns; 0 returns all.
 	Top int
 	// Budget overrides the engine's per-trajectory API budget when positive.
@@ -716,7 +719,7 @@ func buildTask(q Query) (string, core.EstimationTask, error) {
 	if !ok {
 		return "", nil, fmt.Errorf("%w: unknown kind %q (have %v)", ErrBadQuery, kind, core.TaskKinds())
 	}
-	task, err := spec.NewTask(core.TaskParams{Pairs: q.Pairs, Motif: q.Motif, Top: q.Top})
+	task, err := spec.NewTask(core.TaskParams{Pairs: q.Pairs, Motif: q.Motif, Top: q.Top, Variant: q.Variant})
 	if err != nil {
 		return "", nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
@@ -1223,6 +1226,12 @@ func (e *Engine) record(ctx context.Context, key trajKey, ent *entry, stale *cor
 	var topUp core.TopUpStats
 	toppedUp := false
 	if err == nil {
+		// A source carrying its own persistent response cache (e.g. the
+		// httpsrc .osnc log) prepays everything it already holds; a top-up's
+		// own Prepay below merges over it, later call winning per node.
+		if p, ok := src.(osn.SessionPrimer); ok {
+			p.PrimeSession(s)
+		}
 		seed := stats.Derive(key.seed, "serve/trajectory")
 		opts := core.Options{
 			BurnIn:       e.burnIn,

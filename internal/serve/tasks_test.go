@@ -313,7 +313,7 @@ func TestHTTPKindDispatch(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&methods); err != nil {
 		t.Fatal(err)
 	}
-	want := fmt.Sprintf("%v", []string{"census", "motif", "pairs", "size"})
+	want := fmt.Sprintf("%v", []string{"assortativity", "census", "motif", "pairs", "size"})
 	if got := fmt.Sprintf("%v", methods["kinds"]); got != want {
 		t.Errorf("kinds = %v, want %v", got, want)
 	}

@@ -73,6 +73,11 @@ type WorkspaceConfig struct {
 	// Defaults seed each added graph's options; AddGraph calls may override
 	// them per graph.
 	Defaults GraphOptions
+	// SourceReady, when set, gates Ready (and so /healthz readiness) on the
+	// upstream data source: a replica recording through a live API (see
+	// internal/osn/httpsrc) must not receive traffic while the upstream is
+	// unreachable. Nil means "always ready" — the in-memory source case.
+	SourceReady func() bool
 
 	// now is a test hook for the TTL clock; nil means time.Now.
 	now func() time.Time
@@ -264,14 +269,21 @@ func (w *Workspace) ExpectGraphs(n int) {
 	w.mu.Unlock()
 }
 
-// Ready reports whether every configured graph has finished loading: at
+// Ready reports whether every configured graph has finished loading — at
 // least ExpectGraphs graphs are registered and no AddGraph is still in
-// flight. A workspace with no declared expectation is ready once nothing is
-// loading — graphs added later at runtime do not flip it back.
+// flight — and, when SourceReady is configured, whether the upstream data
+// source is reachable. A workspace with no declared expectation is ready
+// once nothing is loading — graphs added later at runtime do not flip it
+// back.
 func (w *Workspace) Ready() bool {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.graphs) >= w.expected && len(w.loading) == 0
+	loaded := len(w.graphs) >= w.expected && len(w.loading) == 0
+	srcReady := w.cfg.SourceReady
+	w.mu.Unlock()
+	if !loaded {
+		return false
+	}
+	return srcReady == nil || srcReady()
 }
 
 // TrajectoryKeys lists the named graph's exportable trajectory keys (see

@@ -26,6 +26,8 @@ func TestFusedReplayBitIdentity(t *testing.T) {
 		{Kind: "census", Top: 10},
 		{Kind: "motif", Motif: MotifWedges, Pairs: pairs[:1]},
 		{Kind: "motif", Motif: MotifTriangles},
+		{Kind: "assortativity"},
+		{Kind: "assortativity", Variant: "label"},
 	}
 	for _, walkers := range []int{1, 4} {
 		traj, err := RecordTrajectory(g, MultiPairOptions{

@@ -22,8 +22,8 @@ import (
 // CountMotifs are the single-task conveniences built on the same machinery,
 // and cmd/serve exposes it over HTTP (see docs/API.md).
 
-// TaskKinds lists the registered estimation-task kinds ("census", "motif",
-// "pairs", "size"), sorted.
+// TaskKinds lists the registered estimation-task kinds ("assortativity",
+// "census", "motif", "pairs", "size"), sorted.
 func TaskKinds() []string { return core.TaskKinds() }
 
 // Motif shapes accepted by CountMotifs, EstimateBatch and the HTTP API.
@@ -31,6 +31,10 @@ const (
 	MotifWedges    = motif.ShapeWedges
 	MotifTriangles = motif.ShapeTriangles
 )
+
+// AssortativityResult is the kind "assortativity" answer: the degree or
+// label mixing coefficient estimated from the shared walk.
+type AssortativityResult = core.AssortativityResult
 
 // TaskRequest is one question of a batch: a task kind plus its parameters.
 type TaskRequest struct {
@@ -44,6 +48,9 @@ type TaskRequest struct {
 	Motif string
 	// Top bounds how many census rows kind "census" returns; 0 returns all.
 	Top int
+	// Variant selects the mixing measure for kind "assortativity": "degree"
+	// (the default when empty) or "label".
+	Variant string
 }
 
 // TaskAnswer is one batch answer; exactly one result field is populated,
@@ -60,6 +67,8 @@ type TaskAnswer struct {
 	Census []PairEstimate
 	// Motif is set for kind "motif".
 	Motif *MotifResult
+	// Assortativity is set for kind "assortativity".
+	Assortativity *AssortativityResult
 	// Err reports a per-task replay failure (e.g. a size estimate whose
 	// walk saw no collisions). Other answers of the batch are unaffected:
 	// the walk is shared, the failures are not. Invalid requests (unknown
@@ -171,7 +180,7 @@ func replayTasks(traj *core.Trajectory, burn int, kinds []string, tasks []core.E
 
 // taskParams maps a public request onto the registry's parameter struct.
 func taskParams(req TaskRequest) core.TaskParams {
-	return core.TaskParams{Pairs: req.Pairs, Motif: req.Motif, Top: req.Top}
+	return core.TaskParams{Pairs: req.Pairs, Motif: req.Motif, Top: req.Top, Variant: req.Variant}
 }
 
 // taskAnswer converts a registry result into the public answer types.
@@ -200,6 +209,8 @@ func taskAnswer(kind string, out any, burn int, traj *core.Trajectory) (TaskAnsw
 		ans.Census = r.Pairs
 	case motif.TaskResult:
 		ans.Motif = motifResult(r, burn)
+	case core.AssortativityResult:
+		ans.Assortativity = &r
 	default:
 		return ans, fmt.Errorf("repro: task kind %q returned unexpected type %T", kind, out)
 	}

@@ -229,7 +229,7 @@ func TestCountMotifsMatchesSingle(t *testing.T) {
 
 func TestTaskKindsExposed(t *testing.T) {
 	kinds := TaskKinds()
-	want := map[string]bool{"pairs": true, "size": true, "census": true, "motif": true}
+	want := map[string]bool{"pairs": true, "size": true, "census": true, "motif": true, "assortativity": true}
 	if len(kinds) != len(want) {
 		t.Fatalf("kinds = %v", kinds)
 	}
